@@ -1,0 +1,52 @@
+//! End-to-end simulation throughput: batches per second through the full
+//! machine (translation, LLC, tier split, device reservation, PEBS), page
+//! population, and a migration round trip.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use hemem_core::backend::AccessBatch;
+use hemem_core::hemem::{HeMem, HeMemConfig};
+use hemem_core::machine::MachineConfig;
+use hemem_core::runtime::{Event, Sim};
+use hemem_memdev::GIB;
+
+fn machine() -> Sim<HeMem> {
+    let mc = MachineConfig::small(2, 8);
+    let hc = HeMemConfig::scaled_for(&mc);
+    Sim::new(mc, HeMem::new(hc))
+}
+
+fn bench_submit(c: &mut Criterion) {
+    c.bench_function("sim/submit_batch_200k", |b| {
+        let mut sim = machine();
+        let id = sim.mmap(4 * GIB);
+        sim.populate(id, true);
+        let batch = AccessBatch::uniform(id, 0, 2048, 200_000, 8, 0.5, 4 * GIB);
+        b.iter(|| {
+            sim.submit_batch(0, &batch);
+            while let Some((_, ev)) = sim.step() {
+                if matches!(ev, Event::ThreadReady(_)) {
+                    break;
+                }
+            }
+            black_box(sim.now())
+        });
+    });
+}
+
+fn bench_populate(c: &mut Criterion) {
+    c.bench_function("sim/populate_1gib", |b| {
+        b.iter_batched(
+            machine,
+            |mut sim| {
+                let id = sim.mmap(GIB);
+                black_box(sim.populate(id, true))
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_submit, bench_populate);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared runner for the betweenness-centrality figures (14 and 15).
+
+use hemem_baselines::BackendKind;
+use hemem_sim::Ns;
+use hemem_workloads::{Bc, GraphConfig};
+
+use crate::{ExpArgs, Report};
+
+/// Runs BC at `scale` across `backends`, reporting per-iteration runtimes.
+pub fn run_bc(args: &ExpArgs, scale: u32, name: &str, title: &str, backends: &[BackendKind]) {
+    let backends = args.backends_or(backends);
+    let mut series = Vec::new();
+    for &kind in &backends {
+        let mut sim = args.sim(kind);
+        let mut cfg = GraphConfig::paper(scale);
+        cfg.iterations = 15;
+        let bc = Bc::setup(&mut sim, cfg);
+        sim.advance(Ns::secs(1));
+        let res = bc.run(&mut sim);
+        series.push((kind.label(), res));
+    }
+    let mut headers = vec!["iteration".to_string()];
+    headers.extend(series.iter().map(|(l, _)| format!("{l} (s)")));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new(name, title, &hdr_refs);
+    let n = series
+        .iter()
+        .map(|(_, r)| r.iterations.len())
+        .min()
+        .unwrap_or(0);
+    for i in 0..n {
+        let mut cells = vec![(i + 1).to_string()];
+        for (_, r) in &series {
+            cells.push(format!("{:.3}", r.iterations[i].runtime.as_secs_f64()));
+        }
+        rep.row(&cells);
+    }
+    rep.emit();
+}

@@ -1,0 +1,49 @@
+//! Ablation: cooling on/off (DESIGN.md §4).
+//!
+//! Without cooling, page counters only grow: once the hot set shifts, the
+//! stale hot set keeps its classification forever and the newly hot data
+//! competes for DRAM it can never reclaim.
+
+use hemem_bench::{ExpArgs, Report};
+use hemem_core::hemem::{HeMem, HeMemConfig};
+use hemem_core::runtime::Sim;
+use hemem_sim::Ns;
+use hemem_workloads::{Gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let secs = args.seconds.unwrap_or(30);
+    let mut rep = Report::new(
+        "ablate_cooling",
+        "Ablation: cooling disabled vs enabled (dynamic hot set)",
+        &["cooling", "GUPS avg", "GUPS final-third"],
+    );
+    for cooling in [true, false] {
+        let mc = args.machine();
+        let mut hc = HeMemConfig::scaled_for(&mc);
+        if !cooling {
+            hc.tracker.cooling_threshold = u32::MAX;
+        }
+        let mut sim = Sim::new(mc, HeMem::new(hc));
+        let mut cfg = GupsConfig::paper(args.gib(512), args.gib(16));
+        cfg.warmup = Ns::secs(25);
+        cfg.duration = Ns::secs(secs);
+        cfg.rate_window = Ns::secs(1);
+        let shift = args.gib(8);
+        let mut g = Gups::setup(&mut sim, cfg);
+        let at = Ns::secs(secs / 3);
+        let res = g.run_with_events(&mut sim, &[(1, at)], |g, _| g.shift_hot_set(shift));
+        let n = res.timeseries.len();
+        let tail = if n >= 3 {
+            res.timeseries[n - n / 3..].iter().map(|p| p.1).sum::<f64>() / (n / 3) as f64 / 1e9
+        } else {
+            0.0
+        };
+        rep.row(&[
+            cooling.to_string(),
+            format!("{:.4}", res.gups),
+            format!("{tail:.4}"),
+        ]);
+    }
+    rep.emit();
+}

@@ -1,0 +1,43 @@
+//! Ablation: small-allocation DRAM bypass (DESIGN.md §4).
+//!
+//! HeMem forwards small allocations to the kernel so ephemeral structures
+//! stay in DRAM; X-Mem-style managers place everything in the tiered pool.
+//! A Silo run with its small, write-hot redo log shows the difference.
+
+use hemem_baselines::StaticTier;
+use hemem_bench::{ExpArgs, Report};
+use hemem_core::hemem::{HeMem, HeMemConfig};
+use hemem_core::runtime::Sim;
+use hemem_sim::Ns;
+use hemem_workloads::{run_silo, SiloConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut rep = Report::new(
+        "ablate_smallalloc",
+        "Ablation: small allocations bypass tiering",
+        &["configuration", "txn/s"],
+    );
+    let wh = ((864 / args.scale).max(2)) as u32;
+    let mut cfg = SiloConfig::paper(wh);
+    cfg.warmup = Ns::secs(args.seconds.unwrap_or(4));
+    cfg.duration = Ns::secs(args.seconds.unwrap_or(4));
+    // HeMem: log (256 MiB) is below the manage threshold -> kernel DRAM.
+    let mc = args.machine();
+    let hc = HeMemConfig::scaled_for(&mc);
+    let mut sim = Sim::new(mc, HeMem::new(hc));
+    let r = run_silo(&mut sim, cfg.clone());
+    rep.row(&[
+        "small allocs bypass (HeMem)".to_string(),
+        format!("{:.0}", r.tps),
+    ]);
+    // X-Mem with threshold 0: everything, including the log, goes to NVM.
+    let mc = args.machine();
+    let mut sim = Sim::new(mc, StaticTier::xmem_with_threshold(0));
+    let r = run_silo(&mut sim, cfg);
+    rep.row(&[
+        "everything tiered to NVM (X-Mem, no bypass)".to_string(),
+        format!("{:.0}", r.tps),
+    ]);
+    rep.emit();
+}

@@ -1,0 +1,35 @@
+//! Ablation: DRAM free watermark size (DESIGN.md §4).
+//!
+//! The watermark keeps allocations landing in DRAM. Too small and growth
+//! spills to NVM synchronously; too large and usable DRAM shrinks.
+
+use hemem_bench::{ExpArgs, Report};
+use hemem_core::hemem::{HeMem, HeMemConfig};
+use hemem_core::runtime::Sim;
+use hemem_sim::Ns;
+use hemem_workloads::{run_gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut rep = Report::new(
+        "ablate_watermark",
+        "Ablation: DRAM free watermark",
+        &["watermark (MiB)", "GUPS", "migrations"],
+    );
+    for mib in [0u64, 16, 64, 256, 1024] {
+        let mc = args.machine();
+        let mut hc = HeMemConfig::scaled_for(&mc);
+        hc.policy.dram_watermark = mib << 20;
+        let mut sim = Sim::new(mc, HeMem::new(hc));
+        let mut cfg = GupsConfig::paper(args.gib(512), args.gib(16));
+        cfg.warmup = Ns::secs(25);
+        cfg.duration = Ns::secs(args.seconds.unwrap_or(6));
+        let r = run_gups(&mut sim, cfg);
+        rep.row(&[
+            mib.to_string(),
+            format!("{:.4}", r.gups),
+            sim.m.stats.migrations_done.to_string(),
+        ]);
+    }
+    rep.emit();
+}

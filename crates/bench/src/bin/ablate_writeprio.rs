@@ -1,0 +1,41 @@
+//! Ablation: write-heavy page prioritization on/off (DESIGN.md §4).
+//!
+//! Runs the Table 2 write-skew workload with and without the policy of
+//! moving write-heavy pages to the front of the hot queue. With NVM write
+//! bandwidth ~10x scarcer than read bandwidth, promoting writers first
+//! should matter exactly here.
+
+use hemem_bench::{ExpArgs, Report};
+use hemem_core::hemem::{HeMem, HeMemConfig};
+use hemem_core::runtime::Sim;
+use hemem_sim::Ns;
+use hemem_workloads::{run_gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut rep = Report::new(
+        "ablate_writeprio",
+        "Ablation: write-priority migration (Table 2 workload)",
+        &["write priority", "GUPS", "NVM media writes (GiB)"],
+    );
+    for wp in [true, false] {
+        let mc = args.machine();
+        let mut hc = HeMemConfig::scaled_for(&mc);
+        hc.tracker.write_priority = wp;
+        let mut sim = Sim::new(mc, HeMem::new(hc));
+        let mut cfg = GupsConfig::paper(args.gib(512), args.gib(256));
+        cfg.write_only_bytes = args.gib(128);
+        // Short warm-up on purpose: write priority changes the *order* of
+        // promotions, so its effect shows during convergence (how fast
+        // NVM writes stop), not at the converged steady state.
+        cfg.warmup = Ns::secs(10);
+        cfg.duration = Ns::secs(args.seconds.unwrap_or(90));
+        let r = run_gups(&mut sim, cfg);
+        rep.row(&[
+            wp.to_string(),
+            format!("{:.4}", r.gups),
+            format!("{:.2}", r.nvm_writes as f64 / (1u64 << 30) as f64),
+        ]);
+    }
+    rep.emit();
+}

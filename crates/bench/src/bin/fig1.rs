@@ -1,0 +1,44 @@
+//! Figure 1: memory access throughput scalability — DRAM vs Optane,
+//! sequential vs random, read vs write, 1-24 threads, 256 B blocks.
+
+use hemem_bench::{f3, ExpArgs, Report};
+use hemem_memdev::{DeviceConfig, MemOp, Pattern, GIB};
+use hemem_workloads::{run_stream, StreamConfig};
+
+fn main() {
+    let _args = ExpArgs::parse();
+    let devices = [
+        ("DRAM", DeviceConfig::ddr4_dram(192 * GIB)),
+        ("NVM", DeviceConfig::optane_dc(768 * GIB)),
+    ];
+    let mut rep = Report::new(
+        "fig1",
+        "Figure 1: throughput scalability (GB/s, 256 B blocks)",
+        &[
+            "threads",
+            "DRAM seq R",
+            "DRAM rand R",
+            "DRAM seq W",
+            "DRAM rand W",
+            "NVM seq R",
+            "NVM rand R",
+            "NVM seq W",
+            "NVM rand W",
+        ],
+    );
+    for threads in [1u32, 2, 4, 8, 12, 16, 20, 24] {
+        let mut cells = vec![threads.to_string()];
+        for (_, dev) in &devices {
+            for op in [MemOp::Read, MemOp::Write] {
+                for pat in [Pattern::Sequential, Pattern::Random] {
+                    let g = run_stream(&StreamConfig::paper_default(dev.clone(), threads, op, pat))
+                        .gb_per_sec();
+                    cells.push(f3(g));
+                }
+            }
+        }
+        // Reorder: seq R, rand R, seq W, rand W per device (already so).
+        rep.row(&cells);
+    }
+    rep.emit();
+}

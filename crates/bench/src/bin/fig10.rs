@@ -1,0 +1,49 @@
+//! Figure 10: PEBS sampling-period sensitivity (512 GB working set, 16 GB
+//! hot set); three seeds give the min/avg/max band.
+//!
+//! Paper shape: small periods drop samples (up to 30%) and are noisy;
+//! 5k-100k is the sweet spot; beyond 100k, samples arrive too rarely and
+//! GUPS falls.
+
+use hemem_bench::{ExpArgs, Report};
+use hemem_core::hemem::{HeMem, HeMemConfig};
+use hemem_core::runtime::Sim;
+use hemem_sim::Ns;
+use hemem_workloads::{run_gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut rep = Report::new(
+        "fig10",
+        "Figure 10: PEBS sample-period sensitivity",
+        &["period", "GUPS min", "GUPS avg", "GUPS max", "dropped %"],
+    );
+    for period in [100u64, 1_000, 5_000, 20_000, 100_000, 1_000_000] {
+        let mut vals = Vec::new();
+        let mut dropped = 0.0;
+        for seed in 0..3u64 {
+            let mut mc = args.machine();
+            mc.seed = mc.seed.wrapping_add(seed);
+            mc.pebs.sample_period = period;
+            let hc = HeMemConfig::scaled_for(&mc);
+            let mut sim = Sim::new(mc, HeMem::new(hc));
+            let mut cfg = GupsConfig::paper(args.gib(512), args.gib(16));
+            cfg.warmup = Ns::secs(25);
+            cfg.duration = Ns::secs(args.seconds.unwrap_or(5));
+            let r = run_gups(&mut sim, cfg);
+            vals.push(r.gups);
+            dropped += sim.m.pebs.stats().drop_fraction();
+        }
+        let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = vals.iter().cloned().fold(0.0, f64::max);
+        let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+        rep.row(&[
+            period.to_string(),
+            format!("{min:.4}"),
+            format!("{avg:.4}"),
+            format!("{max:.4}"),
+            format!("{:.3}", dropped / 3.0 * 100.0),
+        ]);
+    }
+    rep.emit();
+}

@@ -1,0 +1,37 @@
+//! Figure 11: hot-memory read-threshold sensitivity (write threshold kept
+//! at half the read threshold).
+//!
+//! Paper shape: very low thresholds overestimate the hot set; 6-20 works;
+//! beyond ~20 the hot set is underestimated and GUPS falls.
+
+use hemem_bench::{ExpArgs, Report};
+use hemem_core::hemem::{HeMem, HeMemConfig};
+use hemem_core::runtime::Sim;
+use hemem_sim::Ns;
+use hemem_workloads::{run_gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let mut rep = Report::new(
+        "fig11",
+        "Figure 11: hot read-threshold sensitivity",
+        &["read threshold", "write threshold", "GUPS"],
+    );
+    for thresh in [1u32, 2, 4, 6, 8, 12, 16, 20, 32, 48, 64] {
+        let mc = args.machine();
+        let mut hc = HeMemConfig::scaled_for(&mc);
+        hc.tracker.hot_read_threshold = thresh;
+        hc.tracker.hot_write_threshold = (thresh / 2).max(1);
+        let mut sim = Sim::new(mc, HeMem::new(hc));
+        let mut cfg = GupsConfig::paper(args.gib(512), args.gib(16));
+        cfg.warmup = Ns::secs(25);
+        cfg.duration = Ns::secs(args.seconds.unwrap_or(5));
+        let r = run_gups(&mut sim, cfg);
+        rep.row(&[
+            thresh.to_string(),
+            ((thresh / 2).max(1)).to_string(),
+            format!("{:.4}", r.gups),
+        ]);
+    }
+    rep.emit();
+}

@@ -1,0 +1,47 @@
+//! Figure 12: memory cooling-threshold sensitivity under the dynamic
+//! hot-set shift.
+//!
+//! Paper shape: cooling at the hot threshold (8) cools too aggressively;
+//! 10-18 adapt well; 30 considers too many pages hot and loses GUPS.
+
+use hemem_bench::{ExpArgs, Report};
+use hemem_core::hemem::{HeMem, HeMemConfig};
+use hemem_core::runtime::Sim;
+use hemem_sim::Ns;
+use hemem_workloads::{Gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let secs = args.seconds.unwrap_or(20);
+    let mut rep = Report::new(
+        "fig12",
+        "Figure 12: cooling-threshold sensitivity (dynamic hot set)",
+        &["cooling threshold", "GUPS avg", "GUPS final-third"],
+    );
+    for cool in [8u32, 10, 14, 18, 24, 30] {
+        let mc = args.machine();
+        let mut hc = HeMemConfig::scaled_for(&mc);
+        hc.tracker.cooling_threshold = cool;
+        let mut sim = Sim::new(mc, HeMem::new(hc));
+        let mut cfg = GupsConfig::paper(args.gib(512), args.gib(16));
+        cfg.warmup = Ns::secs(25);
+        cfg.duration = Ns::secs(secs);
+        cfg.rate_window = Ns::secs(1);
+        let shift = args.gib(4);
+        let mut g = Gups::setup(&mut sim, cfg);
+        let at = Ns::secs(secs * 2 / 5);
+        let res = g.run_with_events(&mut sim, &[(1, at)], |g, _| g.shift_hot_set(shift));
+        let n = res.timeseries.len();
+        let tail: f64 = if n >= 3 {
+            res.timeseries[n - n / 3..].iter().map(|p| p.1).sum::<f64>() / (n / 3) as f64
+        } else {
+            0.0
+        };
+        rep.row(&[
+            cool.to_string(),
+            format!("{:.4}", res.gups),
+            format!("{:.4}", tail / 1e9),
+        ]);
+    }
+    rep.emit();
+}

@@ -1,0 +1,46 @@
+//! Figure 13: Silo TPC-C throughput vs warehouse count (16 threads);
+//! 864 warehouses is the DRAM-capacity knee.
+//!
+//! Paper shape: below the knee HeMem leads MM by up to 13% and Nimble by
+//! 82%; beyond it MM wins by ~17% (TPC-C is uniform with little reuse, so
+//! cache-line-granularity caching beats page migration); all-NVM runs at
+//! ~32% of HeMem.
+
+use hemem_baselines::BackendKind;
+use hemem_bench::{ExpArgs, Report};
+use hemem_sim::Ns;
+use hemem_workloads::{run_silo, SiloConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let backends = args.backends_or(&[
+        BackendKind::MemoryMode,
+        BackendKind::Nimble,
+        BackendKind::HeMem,
+        BackendKind::NvmOnly,
+    ]);
+    // Paper warehouse counts, scaled so the knee stays at DRAM capacity.
+    let paper_wh = [16u64, 64, 216, 432, 648, 864, 1080, 1296, 1728];
+    let mut headers = vec!["warehouses (paper)".to_string()];
+    headers.extend(backends.iter().map(|b| format!("{} (txn/s)", b.label())));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new(
+        "fig13",
+        "Figure 13: Silo TPC-C warehouse scalability",
+        &hdr_refs,
+    );
+    for &wh in &paper_wh {
+        let scaled = ((wh / args.scale).max(2)) as u32;
+        let mut cells = vec![wh.to_string()];
+        for &kind in &backends {
+            let mut sim = args.sim(kind);
+            let mut cfg = SiloConfig::paper(scaled);
+            cfg.warmup = Ns::secs(args.seconds.unwrap_or(4));
+            cfg.duration = Ns::secs(args.seconds.unwrap_or(4));
+            let r = run_silo(&mut sim, cfg);
+            cells.push(format!("{:.0}", r.tps));
+        }
+        rep.row(&cells);
+    }
+    rep.emit();
+}

@@ -1,0 +1,29 @@
+//! Figure 14: betweenness centrality per-iteration runtime, graph fits in
+//! DRAM (paper: 2^28 vertices on 192 GB).
+//!
+//! Paper shape: HeMem keeps everything in DRAM and beats MM by ~93% on
+//! average (MM pays conflict misses + NVM's small-access penalty);
+//! Nimble sits between (up to 47% over HeMem, still 32% better than MM).
+
+use hemem_baselines::BackendKind;
+use hemem_bench::{bc::run_bc, ExpArgs};
+
+fn main() {
+    let args = ExpArgs::parse();
+    // Scale 28 at full machine size; shrink the graph with the machine.
+    // Keep the graph *inside* the scaled DRAM: shrink at least as
+    // fast as the machine.
+    let scale = 28 - (args.scale as f64).log2().ceil() as u32;
+    run_bc(
+        &args,
+        scale,
+        "fig14",
+        "Figure 14: BC, graph fits in DRAM",
+        &[
+            BackendKind::DramOnly,
+            BackendKind::HeMem,
+            BackendKind::Nimble,
+            BackendKind::MemoryMode,
+        ],
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 16: NVM writes per BC iteration (wear), graph exceeding DRAM.
+//!
+//! Paper shape: MM writes NVM at a constant high rate (dirty cache-line
+//! evictions); HeMem-PEBS finds the few write-hot pages quickly and makes
+//! ~10x fewer NVM writes per iteration; HeMem-PT starts three orders of
+//! magnitude above PEBS and converges once the write-hot set has been
+//! migrated.
+
+use hemem_baselines::BackendKind;
+use hemem_bench::{ExpArgs, Report};
+use hemem_sim::Ns;
+use hemem_workloads::{Bc, GraphConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    // Keep the graph *larger than* the scaled DRAM: shrink no faster
+    // than the machine.
+    let scale = 29 - (args.scale as f64).log2().floor() as u32;
+    let backends = args.backends_or(&[
+        BackendKind::HeMem,
+        BackendKind::PtAsync,
+        BackendKind::MemoryMode,
+    ]);
+    let mut series = Vec::new();
+    for &kind in &backends {
+        let mut sim = args.sim(kind);
+        let mut cfg = GraphConfig::paper(scale);
+        cfg.iterations = 15;
+        let bc = Bc::setup(&mut sim, cfg);
+        // Let the backend settle after the load phase.
+        sim.advance(Ns::secs(1));
+        let res = bc.run(&mut sim);
+        series.push((kind.label(), res));
+    }
+    let mut headers = vec!["iteration".to_string()];
+    headers.extend(series.iter().map(|(l, _)| format!("{l} (NVM MiB written)")));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new("fig16", "Figure 16: NVM writes per BC iteration", &hdr_refs);
+    let n = series
+        .iter()
+        .map(|(_, r)| r.iterations.len())
+        .min()
+        .unwrap_or(0);
+    for i in 0..n {
+        let mut cells = vec![(i + 1).to_string()];
+        for (_, r) in &series {
+            cells.push(format!(
+                "{:.1}",
+                r.iterations[i].nvm_writes as f64 / (1 << 20) as f64
+            ));
+        }
+        rep.row(&cells);
+    }
+    rep.emit();
+}

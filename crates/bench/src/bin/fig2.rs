@@ -1,0 +1,43 @@
+//! Figure 2: DRAM and Optane throughput at 16 threads, varying access
+//! size (64 B - 16 KB), sequential and random, reads and writes.
+
+use hemem_bench::{f3, ExpArgs, Report};
+use hemem_memdev::{DeviceConfig, MemOp, Pattern, GIB};
+use hemem_workloads::{run_stream, StreamConfig};
+
+fn main() {
+    let _args = ExpArgs::parse();
+    let devices = [
+        ("DRAM", DeviceConfig::ddr4_dram(192 * GIB)),
+        ("NVM", DeviceConfig::optane_dc(768 * GIB)),
+    ];
+    let mut rep = Report::new(
+        "fig2",
+        "Figure 2: throughput vs access size, 16 threads (GB/s)",
+        &[
+            "size (B)",
+            "DRAM seq R",
+            "DRAM rand R",
+            "DRAM seq W",
+            "DRAM rand W",
+            "NVM seq R",
+            "NVM rand R",
+            "NVM seq W",
+            "NVM rand W",
+        ],
+    );
+    for size in [64u64, 128, 256, 512, 1024, 4096, 16384] {
+        let mut cells = vec![size.to_string()];
+        for (_, dev) in &devices {
+            for op in [MemOp::Read, MemOp::Write] {
+                for pat in [Pattern::Sequential, Pattern::Random] {
+                    let mut cfg = StreamConfig::paper_default(dev.clone(), 16, op, pat);
+                    cfg.access_size = size;
+                    cells.push(f3(run_stream(&cfg).gb_per_sec()));
+                }
+            }
+        }
+        rep.row(&cells);
+    }
+    rep.emit();
+}

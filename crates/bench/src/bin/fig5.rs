@@ -1,0 +1,49 @@
+//! Figure 5: uniform-random GUPS over working-set sizes, 16 and 24
+//! threads, for DRAM / NVM (X-Mem) / MM / Nimble / HeMem.
+//!
+//! Paper shape: HeMem == MM == DRAM while the set fits in DRAM; MM decays
+//! from conflict misses as the set approaches DRAM capacity (HeMem up to
+//! 3.2x better at 2/3 capacity); everything converges to NVM speed beyond
+//! capacity; Nimble trails throughout.
+
+use hemem_baselines::BackendKind;
+use hemem_bench::{ExpArgs, Report};
+use hemem_sim::Ns;
+use hemem_workloads::{run_gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let backends = args.backends_or(&[
+        BackendKind::DramOnly,
+        BackendKind::NvmOnly,
+        BackendKind::MemoryMode,
+        BackendKind::Nimble,
+        BackendKind::HeMem,
+    ]);
+    // Paper sweep: 1-256 GB working sets on a 192 GB-DRAM machine.
+    let paper_ws = [8u64, 16, 32, 64, 96, 128, 160, 192, 256];
+    for threads in [16u32, 24] {
+        let mut headers = vec!["WSS (paper GiB)".to_string()];
+        headers.extend(backends.iter().map(|b| format!("{} (GUPS)", b.label())));
+        let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut rep = Report::new(
+            &format!("fig5_{threads}threads"),
+            &format!("Figure 5: uniform GUPS, {threads} threads"),
+            &hdr_refs,
+        );
+        for &ws in &paper_ws {
+            let mut cells = vec![ws.to_string()];
+            for &kind in &backends {
+                let mut sim = args.sim(kind);
+                let mut cfg = GupsConfig::paper(args.gib(ws), 0);
+                cfg.threads = threads;
+                cfg.warmup = Ns::secs(25);
+                cfg.duration = Ns::secs(args.seconds.unwrap_or(4));
+                let r = run_gups(&mut sim, cfg);
+                cells.push(format!("{:.4}", r.gups));
+            }
+            rep.row(&cells);
+        }
+        rep.emit();
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 6: GUPS with a 512 GB working set and hot sets from 1-256 GB
+//! (90% of operations hit the hot set).
+//!
+//! Paper shape: HeMem keeps the hot set in DRAM and leads while it fits;
+//! MM decays as the hot set approaches DRAM capacity (HeMem up to 2x
+//! better); Nimble reaches only ~25% of MM; all converge once the hot set
+//! exceeds DRAM.
+
+use hemem_baselines::BackendKind;
+use hemem_bench::{ExpArgs, Report};
+use hemem_sim::Ns;
+use hemem_workloads::{run_gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let backends = args.backends_or(&[
+        BackendKind::MemoryMode,
+        BackendKind::Nimble,
+        BackendKind::HeMem,
+    ]);
+    let paper_hot = [1u64, 4, 16, 64, 128, 192, 256];
+    let mut headers = vec!["hot set (paper GiB)".to_string()];
+    headers.extend(backends.iter().map(|b| format!("{} (GUPS)", b.label())));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new(
+        "fig6",
+        "Figure 6: GUPS vs hot set size (512 GB WSS)",
+        &hdr_refs,
+    );
+    for &hot in &paper_hot {
+        let mut cells = vec![hot.to_string()];
+        for &kind in &backends {
+            let mut sim = args.sim(kind);
+            let mut cfg = GupsConfig::paper(args.gib(512), args.gib(hot));
+            // Classification time grows with hot-set page count (samples
+            // per page shrink); warm up proportionally, as the paper's
+            // multi-minute runs do implicitly.
+            cfg.warmup = Ns::secs(60 * hot.div_ceil(32).clamp(1, 10));
+            cfg.duration = Ns::secs(args.seconds.unwrap_or(6));
+            let r = run_gups(&mut sim, cfg);
+            cells.push(format!("{:.4}", r.gups));
+        }
+        rep.row(&cells);
+    }
+    rep.emit();
+}

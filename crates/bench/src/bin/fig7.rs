@@ -1,0 +1,42 @@
+//! Figure 7: GUPS scalability vs thread count (512 GB working set, 16 GB
+//! hot set) for HeMem (DMA), MM, and HeMem with copy threads.
+//!
+//! Paper shape: HeMem and MM scale together until ~21 threads, where
+//! HeMem's background threads start contending for cores (~10% below
+//! MM); the thread-copy variant loses a further ~14%.
+
+use hemem_baselines::BackendKind;
+use hemem_bench::{ExpArgs, Report};
+use hemem_sim::Ns;
+use hemem_workloads::{run_gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let backends = args.backends_or(&[
+        BackendKind::MemoryMode,
+        BackendKind::HeMem,
+        BackendKind::HeMemThreads,
+    ]);
+    let mut headers = vec!["threads".to_string()];
+    headers.extend(backends.iter().map(|b| format!("{} (GUPS)", b.label())));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new(
+        "fig7",
+        "Figure 7: GUPS scalability (512 GB WSS, 16 GB hot)",
+        &hdr_refs,
+    );
+    for threads in [1u32, 4, 8, 12, 16, 20, 21, 22, 24] {
+        let mut cells = vec![threads.to_string()];
+        for &kind in &backends {
+            let mut sim = args.sim(kind);
+            let mut cfg = GupsConfig::paper(args.gib(512), args.gib(16));
+            cfg.threads = threads;
+            cfg.warmup = Ns::secs(30);
+            cfg.duration = Ns::secs(args.seconds.unwrap_or(5));
+            let r = run_gups(&mut sim, cfg);
+            cells.push(format!("{:.4}", r.gups));
+        }
+        rep.row(&cells);
+    }
+    rep.emit();
+}

@@ -1,0 +1,50 @@
+//! Figure 9: instantaneous GUPS over time; after 150 s (scaled: 40% of
+//! the run) 4 GB of the 16 GB hot set shifts.
+//!
+//! Paper shape: HeMem and MM dip at the shift and recover within ~20 s;
+//! HeMem-PT-Async never tracks the hot set and stays at ~54% of HeMem.
+
+use hemem_baselines::BackendKind;
+use hemem_bench::{ExpArgs, Report};
+use hemem_sim::Ns;
+use hemem_workloads::{Gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let backends = args.backends_or(&[
+        BackendKind::HeMem,
+        BackendKind::MemoryMode,
+        BackendKind::PtAsync,
+    ]);
+    let secs = args.seconds.unwrap_or(30);
+    let mut series = Vec::new();
+    for &kind in &backends {
+        let mut sim = args.sim(kind);
+        let mut cfg = GupsConfig::paper(args.gib(512), args.gib(16));
+        cfg.warmup = Ns::secs(25);
+        cfg.duration = Ns::secs(secs);
+        cfg.rate_window = Ns::secs(1);
+        let shift = args.gib(4);
+        let mut g = Gups::setup(&mut sim, cfg);
+        let at = Ns::secs(secs * 2 / 5);
+        let res = g.run_with_events(&mut sim, &[(1, at)], |g, _| g.shift_hot_set(shift));
+        series.push((kind.label(), res.timeseries));
+    }
+    let mut headers = vec!["t (s)".to_string()];
+    headers.extend(series.iter().map(|(l, _)| format!("{l} (GUPS)")));
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new(
+        "fig9",
+        "Figure 9: instantaneous GUPS (hot-set shift at 40%)",
+        &hdr_refs,
+    );
+    let n = series.iter().map(|(_, s)| s.len()).min().unwrap_or(0);
+    for i in 0..n {
+        let mut cells = vec![format!("{:.1}", series[0].1[i].0.as_secs_f64())];
+        for (_, s) in &series {
+            cells.push(format!("{:.4}", s[i].1 / 1e9));
+        }
+        rep.row(&cells);
+    }
+    rep.emit();
+}

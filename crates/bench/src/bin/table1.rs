@@ -1,0 +1,49 @@
+//! Table 1: main memory technology comparison — the device model's
+//! latency/bandwidth/capacity constants plus measured peak throughputs.
+
+use hemem_bench::{f3, ExpArgs, Report};
+use hemem_memdev::{DeviceConfig, MemOp, Pattern, GIB};
+use hemem_workloads::{run_stream, StreamConfig};
+
+fn main() {
+    let _args = ExpArgs::parse();
+    let dram = DeviceConfig::ddr4_dram(192 * GIB);
+    let nvm = DeviceConfig::optane_dc(768 * GIB);
+    let mut rep = Report::new(
+        "table1",
+        "Table 1: main memory technology comparison",
+        &[
+            "Memory",
+            "R/W latency (ns)",
+            "measured R/W GB/s (seq, 24 thr)",
+            "capacity",
+        ],
+    );
+    for (dev, cap) in [(&dram, "1x"), (&nvm, "8x (per module)")] {
+        let r = run_stream(&StreamConfig::paper_default(
+            dev.clone(),
+            24,
+            MemOp::Read,
+            Pattern::Sequential,
+        ))
+        .gb_per_sec();
+        let w = run_stream(&StreamConfig::paper_default(
+            dev.clone(),
+            24,
+            MemOp::Write,
+            Pattern::Sequential,
+        ))
+        .gb_per_sec();
+        rep.row(&[
+            dev.name.clone(),
+            format!(
+                "{} / {}",
+                dev.read_latency.as_nanos(),
+                dev.write_latency.as_nanos()
+            ),
+            format!("{} / {}", f3(r), f3(w)),
+            cap.to_string(),
+        ]);
+    }
+    rep.emit();
+}

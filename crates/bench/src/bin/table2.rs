@@ -1,0 +1,43 @@
+//! Table 2: GUPS with a skewed read/write pattern — 512 GB working set,
+//! 256 GB hot set of which 128 GB is write-only, remainder read-only.
+//!
+//! Paper: HeMem 0.056 GUPS; MM 0.86x; Nimble 0.36x. HeMem recognizes the
+//! write-only portion and keeps it in DRAM.
+
+use hemem_baselines::BackendKind;
+use hemem_bench::{ExpArgs, Report};
+use hemem_sim::Ns;
+use hemem_workloads::{run_gups, GupsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let backends = args.backends_or(&[
+        BackendKind::Nimble,
+        BackendKind::MemoryMode,
+        BackendKind::HeMem,
+    ]);
+    let mut rep = Report::new(
+        "table2",
+        "Table 2: GUPS write skew (256 GB hot / 128 GB write-only)",
+        &["system", "GUPS", "x vs HeMem"],
+    );
+    let mut rows = Vec::new();
+    let mut hemem_gups = None;
+    for &kind in &backends {
+        let mut sim = args.sim(kind);
+        let mut cfg = GupsConfig::paper(args.gib(512), args.gib(256));
+        cfg.write_only_bytes = args.gib(128);
+        cfg.warmup = Ns::secs(300);
+        cfg.duration = Ns::secs(args.seconds.unwrap_or(6));
+        let r = run_gups(&mut sim, cfg);
+        if kind == BackendKind::HeMem {
+            hemem_gups = Some(r.gups);
+        }
+        rows.push((kind.label().to_string(), r.gups));
+    }
+    let base = hemem_gups.unwrap_or_else(|| rows.last().map(|r| r.1).unwrap_or(1.0));
+    for (name, gups) in rows {
+        rep.row(&[name, format!("{gups:.4}"), format!("{:.2}", gups / base)]);
+    }
+    rep.emit();
+}

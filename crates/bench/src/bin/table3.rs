@@ -1,0 +1,52 @@
+//! Table 3: FlexKVS throughput (Mops/s) at 16/128/700 GB working sets and
+//! latency percentiles at the 700 GB point (30% load).
+//!
+//! Paper shape: all systems comparable while the set fits in DRAM; at
+//! 700 GB HeMem leads MM/Nimble by ~14-15% and all-NVM by ~18%, with 75%
+//! / 28% better median / p90 latency than MM.
+
+use hemem_baselines::BackendKind;
+use hemem_bench::{ExpArgs, Report};
+use hemem_sim::Ns;
+use hemem_workloads::{run_kvs, KvsConfig};
+
+fn main() {
+    let args = ExpArgs::parse();
+    let backends = args.backends_or(&[
+        BackendKind::MemoryMode,
+        BackendKind::HeMem,
+        BackendKind::Nimble,
+        BackendKind::NvmOnly,
+    ]);
+    let sizes = [16u64, 128, 700];
+    let mut headers = vec!["system".to_string()];
+    headers.extend(sizes.iter().map(|s| format!("{s} GB (Mops/s)")));
+    for p in ["50p", "90p", "99p", "99.9p"] {
+        headers.push(format!("{p} (us, 700 GB @30% load)"));
+    }
+    let hdr_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rep = Report::new("table3", "Table 3: FlexKVS throughput & latency", &hdr_refs);
+    for &kind in &backends {
+        let mut cells = vec![kind.label().to_string()];
+        for &gb in &sizes {
+            let mut sim = args.sim(kind);
+            let mut cfg = KvsConfig::paper(args.gib(gb));
+            cfg.warmup = Ns::secs(30 + gb / 4);
+            cfg.duration = Ns::secs(args.seconds.unwrap_or(8));
+            let r = run_kvs(&mut sim, cfg);
+            cells.push(format!("{:.3}", r.ops_per_sec / 1e6));
+        }
+        // Latency run: 700 GB working set at 30% load.
+        let mut sim = args.sim(kind);
+        let mut cfg = KvsConfig::paper(args.gib(700));
+        cfg.load = 0.3;
+        cfg.warmup = Ns::secs(120);
+        cfg.duration = Ns::secs(args.seconds.unwrap_or(8));
+        let r = run_kvs(&mut sim, cfg);
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            cells.push(format!("{:.1}", r.latency_us(q)));
+        }
+        rep.row(&cells);
+    }
+    rep.emit();
+}

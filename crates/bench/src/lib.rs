@@ -1,0 +1,306 @@
+//! # hemem-bench
+//!
+//! Experiment harness regenerating every table and figure in the HeMem
+//! paper's evaluation (§5). Each binary (`fig1` … `fig16`, `table1` …
+//! `table4`, `ablate_*`) sweeps the same parameters as the corresponding
+//! paper result, prints a markdown table, and writes a CSV under
+//! `results/`.
+//!
+//! Experiments default to a 1/8-scale machine (24 GB DRAM + 96 GB NVM,
+//! all ratios preserved) so a full sweep completes in seconds; pass
+//! `--full` for the paper's 192 GB + 768 GB socket or `--scale N` for any
+//! other divisor. EXPERIMENTS.md records measured-vs-paper shapes.
+
+#![warn(missing_docs)]
+
+pub mod bc;
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use hemem_baselines::{AnyBackend, BackendKind};
+use hemem_core::machine::MachineConfig;
+use hemem_core::runtime::Sim;
+use hemem_memdev::GIB;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Machine scale divisor: 1 = the paper's socket.
+    pub scale: u64,
+    /// Restrict to these backends (empty = the experiment's default set).
+    pub backends: Vec<BackendKind>,
+    /// Random seed override.
+    pub seed: Option<u64>,
+    /// Virtual measurement seconds override.
+    pub seconds: Option<u64>,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        ExpArgs {
+            scale: 8,
+            backends: Vec::new(),
+            seed: None,
+            seconds: None,
+        }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`; exits with usage text on error.
+    pub fn parse() -> ExpArgs {
+        let mut out = ExpArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => out.scale = 1,
+                "--scale" => {
+                    out.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("missing value for --scale"));
+                }
+                "--backend" | "--backends" => {
+                    let v = args.next().unwrap_or_else(|| usage("missing backend list"));
+                    for name in v.split(',') {
+                        match BackendKind::parse(name) {
+                            Some(k) => out.backends.push(k),
+                            None => usage(&format!("unknown backend {name:?}")),
+                        }
+                    }
+                }
+                "--seed" => {
+                    out.seed = args.next().and_then(|v| v.parse().ok());
+                }
+                "--seconds" => {
+                    out.seconds = args.next().and_then(|v| v.parse().ok());
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument {other:?}")),
+            }
+        }
+        if out.scale == 0 {
+            usage("--scale must be >= 1");
+        }
+        out
+    }
+
+    /// The machine for this scale: the paper testbed divided by `scale`.
+    ///
+    /// The PEBS sample period is multiplied by the scale so the *per-page*
+    /// sampling rate matches the paper's: a 1/N machine has N-times fewer
+    /// pages under the same access rates, and an unscaled period would
+    /// make every page look N-times hotter than on the real testbed.
+    pub fn machine(&self) -> MachineConfig {
+        let mut mc = MachineConfig::paper_testbed();
+        if self.scale > 1 {
+            mc = MachineConfig::small((192 / self.scale).max(1), (768 / self.scale).max(1));
+            mc.pebs.sample_period *= self.scale;
+        }
+        if let Some(seed) = self.seed {
+            mc.seed = seed;
+        }
+        mc
+    }
+
+    /// Scales a paper-quoted byte size down by the machine scale.
+    pub fn bytes(&self, paper_bytes: u64) -> u64 {
+        (paper_bytes / self.scale).max(64 << 20)
+    }
+
+    /// Scales a paper-quoted GiB figure.
+    pub fn gib(&self, paper_gib: u64) -> u64 {
+        self.bytes(paper_gib * GIB)
+    }
+
+    /// Backends to run: the given default set unless `--backend` narrowed
+    /// it.
+    pub fn backends_or(&self, default: &[BackendKind]) -> Vec<BackendKind> {
+        if self.backends.is_empty() {
+            default.to_vec()
+        } else {
+            self.backends.clone()
+        }
+    }
+
+    /// Builds a simulation with the chosen backend on this machine.
+    pub fn sim(&self, kind: BackendKind) -> Sim<AnyBackend> {
+        let mc = self.machine();
+        let backend = kind.build(&mc);
+        Sim::new(mc, backend)
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: <experiment> [--full | --scale N] [--backends a,b,..] [--seed S] [--seconds T]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// A result table that renders as markdown and CSV.
+#[derive(Debug, Clone)]
+pub struct Report {
+    name: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates a report; `name` becomes the CSV filename.
+    pub fn new(name: &str, title: &str, headers: &[&str]) -> Report {
+        Report {
+            name: name.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders a markdown table.
+    pub fn markdown(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "## {}", self.title);
+        let _ = writeln!(s, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            s,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for r in &self.rows {
+            let _ = writeln!(s, "| {} |", r.join(" | "));
+        }
+        s
+    }
+
+    /// Renders CSV.
+    pub fn csv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.headers.join(","));
+        for r in &self.rows {
+            let _ = writeln!(s, "{}", r.join(","));
+        }
+        s
+    }
+
+    /// Prints markdown to stdout and writes `results/<name>.csv`.
+    pub fn emit(&self) {
+        println!("{}", self.markdown());
+        let dir = Path::new("results");
+        if fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{}.csv", self.name));
+            if let Err(e) = fs::write(&path, self.csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                eprintln!("(csv written to {})", path.display());
+            }
+        }
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn f3(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_scales_capacities() {
+        let a = ExpArgs {
+            scale: 8,
+            ..ExpArgs::default()
+        };
+        let mc = a.machine();
+        assert_eq!(mc.dram.capacity, 24 * GIB);
+        assert_eq!(mc.nvm.capacity, 96 * GIB);
+        let full = ExpArgs {
+            scale: 1,
+            ..ExpArgs::default()
+        };
+        assert_eq!(full.machine().dram.capacity, 192 * GIB);
+    }
+
+    #[test]
+    fn bytes_scaling_has_floor() {
+        let a = ExpArgs {
+            scale: 8,
+            ..ExpArgs::default()
+        };
+        assert_eq!(a.gib(512), 64 * GIB);
+        assert_eq!(a.bytes(1 << 20), 64 << 20, "floor applies");
+    }
+
+    #[test]
+    fn report_renders_markdown_and_csv() {
+        let mut r = Report::new("t", "Title", &["a", "b"]);
+        r.row(&["1".into(), "2".into()]);
+        let md = r.markdown();
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let csv = r.csv();
+        assert!(csv.starts_with("a,b\n1,2"));
+    }
+
+    #[test]
+    fn backends_default_and_override() {
+        let a = ExpArgs::default();
+        let d = a.backends_or(&[BackendKind::HeMem, BackendKind::MemoryMode]);
+        assert_eq!(d.len(), 2);
+        let b = ExpArgs {
+            backends: vec![BackendKind::Nimble],
+            ..ExpArgs::default()
+        };
+        assert_eq!(b.backends_or(&d), vec![BackendKind::Nimble]);
+    }
+
+    #[test]
+    fn f3_formats() {
+        assert_eq!(f3(0.0), "0");
+        assert_eq!(f3(0.1234), "0.1234");
+        assert_eq!(f3(3.25159), "3.25");
+        assert_eq!(f3(123.4), "123");
+    }
+
+    #[test]
+    fn sim_builds_each_backend() {
+        let a = ExpArgs {
+            scale: 96,
+            ..ExpArgs::default()
+        };
+        for kind in [
+            BackendKind::HeMem,
+            BackendKind::MemoryMode,
+            BackendKind::Nimble,
+        ] {
+            let s = a.sim(kind);
+            assert!(s.m.cfg.dram.capacity >= GIB);
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! The HeMem tiered-memory manager (§3) — the paper's contribution.
+//!
+//! HeMem is a user-level library: it intercepts `mmap`, forwards small
+//! allocations to the kernel (so ephemeral structures stay in DRAM),
+//! manages large heap ranges itself on huge pages, tracks hotness with
+//! PEBS samples processed by a dedicated thread, and migrates pages
+//! asynchronously under the 10 ms policy thread using DMA offload.
+
+use hemem_pebs::SampleRecord;
+use hemem_sim::Ns;
+use hemem_vmm::{PageId, RegionId, Tier, VirtAddr};
+
+use crate::backend::{TickOutput, TieredBackend};
+use crate::hemem::policy::{run_policy, PolicyConfig};
+use crate::hemem::tracker::{PageTracker, TrackerConfig};
+use crate::machine::MachineCore;
+
+/// Full HeMem configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct HeMemConfig {
+    /// Classification thresholds.
+    pub tracker: TrackerConfig,
+    /// Migration policy parameters.
+    pub policy: PolicyConfig,
+    /// Allocations at or above this size are managed; smaller ones are
+    /// forwarded to the kernel (§3.3; 1 GB default).
+    pub manage_threshold: u64,
+    /// Disables migration entirely (tracking-only configurations in the
+    /// Figure 8 overhead breakdown). `false` only in ablations.
+    pub enable_migration: bool,
+    /// Swap cold NVM pages to the machine's disk once NVM free space falls
+    /// below this watermark (§3.4's third tier); 0 disables swapping.
+    pub swap_watermark: u64,
+}
+
+impl Default for HeMemConfig {
+    fn default() -> Self {
+        HeMemConfig::paper()
+    }
+}
+
+impl HeMemConfig {
+    /// Paper defaults.
+    pub fn paper() -> HeMemConfig {
+        HeMemConfig {
+            tracker: TrackerConfig::default(),
+            policy: PolicyConfig::default(),
+            manage_threshold: 1 << 30,
+            enable_migration: true,
+            swap_watermark: 0,
+        }
+    }
+
+    /// Paper defaults with the DRAM watermark and manage threshold scaled
+    /// down proportionally for machines smaller than the 192 GB testbed
+    /// (the paper's 1 GB watermark is ~0.5% of DRAM).
+    pub fn scaled_for(m: &crate::machine::MachineConfig) -> HeMemConfig {
+        let mut cfg = HeMemConfig::paper();
+        let dram = m.dram.capacity;
+        cfg.policy.dram_watermark = cfg.policy.dram_watermark.min(dram / 128).max(4 << 20);
+        cfg.manage_threshold = cfg.manage_threshold.min(dram / 32).max(16 << 20);
+        cfg
+    }
+}
+
+/// HeMem manager statistics.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct HeMemStats {
+    /// PEBS samples applied to tracked pages.
+    pub samples_applied: u64,
+    /// Policy passes executed.
+    pub policy_runs: u64,
+    /// Regions under management.
+    pub managed_regions: u64,
+    /// Small allocations forwarded to the kernel.
+    pub forwarded_allocs: u64,
+}
+
+/// The HeMem backend.
+pub struct HeMem {
+    cfg: HeMemConfig,
+    tracker: PageTracker,
+    stats: HeMemStats,
+    /// Cumulative bytes of forwarded small allocations: once a growing
+    /// region family crosses the manage threshold, HeMem starts managing
+    /// further growth (§3.3).
+    small_growth: u64,
+    /// While set, newly created regions are pinned to DRAM and excluded
+    /// from tiering (the per-application priority policy of §5.2.2: a
+    /// high-priority instance keeps all its data in fast memory).
+    pin_new_regions: bool,
+    pinned: std::collections::HashSet<RegionId>,
+}
+
+impl HeMem {
+    /// Creates a HeMem instance with the given configuration.
+    pub fn new(cfg: HeMemConfig) -> HeMem {
+        HeMem {
+            tracker: PageTracker::new(cfg.tracker.clone()),
+            cfg,
+            stats: HeMemStats::default(),
+            small_growth: 0,
+            pin_new_regions: false,
+            pinned: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Toggles priority mode: regions mapped while enabled are pinned to
+    /// DRAM and never demoted (per-application policy flexibility, §5.2.2
+    /// / Table 4).
+    pub fn set_priority(&mut self, enabled: bool) {
+        self.pin_new_regions = enabled;
+    }
+
+    /// Whether `region` is pinned to DRAM.
+    pub fn is_pinned(&self, region: RegionId) -> bool {
+        self.pinned.contains(&region)
+    }
+
+    /// Paper-default HeMem.
+    pub fn paper() -> HeMem {
+        HeMem::new(HeMemConfig::paper())
+    }
+
+    /// Manager statistics.
+    pub fn stats(&self) -> &HeMemStats {
+        &self.stats
+    }
+
+    /// The hotness tracker (for experiment introspection).
+    pub fn tracker(&self) -> &PageTracker {
+        &self.tracker
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &HeMemConfig {
+        &self.cfg
+    }
+}
+
+impl TieredBackend for HeMem {
+    fn name(&self) -> &'static str {
+        if self.cfg.policy.use_dma {
+            "HeMem"
+        } else {
+            "HeMem-threads"
+        }
+    }
+
+    fn wants_to_manage(&self, len: u64) -> bool {
+        // Manage big allocations, and keep managing once cumulative small
+        // growth has crossed the threshold (a region growing via small
+        // mmaps is adopted after 1 GB).
+        len >= self.cfg.manage_threshold || self.small_growth >= self.cfg.manage_threshold
+    }
+
+    fn on_mmap(&mut self, m: &mut MachineCore, region: RegionId) {
+        let r = m.space.region(region);
+        if r.kind() == hemem_vmm::RegionKind::ManagedHeap {
+            if self.pin_new_regions {
+                // Pinned regions are invisible to the tracker: never
+                // sampled into the queues, never demoted.
+                self.pinned.insert(region);
+                self.stats.managed_regions += 1;
+                return;
+            }
+            self.tracker.add_region(region, r.page_count());
+            self.stats.managed_regions += 1;
+        } else {
+            self.small_growth += r.range().len;
+            self.stats.forwarded_allocs += 1;
+        }
+    }
+
+    fn on_munmap(&mut self, _m: &mut MachineCore, region: RegionId) {
+        self.pinned.remove(&region);
+        self.tracker.remove_region(region);
+    }
+
+    fn place(&mut self, m: &mut MachineCore, page: PageId, _is_write: bool) -> Tier {
+        if self.pinned.contains(&page.region) {
+            return Tier::Dram;
+        }
+        // Allocate DRAM while any is free; the policy thread keeps a
+        // watermark free asynchronously. Otherwise spill to NVM and rely
+        // on sampling to promote hot pages later (§3.3).
+        if m.dram_pool.free_pages() > 0 {
+            Tier::Dram
+        } else {
+            Tier::Nvm
+        }
+    }
+
+    fn placed(&mut self, _m: &mut MachineCore, page: PageId, tier: Tier) {
+        self.tracker.placed(page, tier);
+    }
+
+    fn uses_pebs(&self) -> bool {
+        true
+    }
+
+    fn on_samples(&mut self, m: &mut MachineCore, samples: &[SampleRecord], now: Ns) {
+        for s in samples {
+            if let Some(page) = m.space.page_at(VirtAddr(s.vaddr)) {
+                if self.tracker.tracks(page.region) {
+                    self.tracker.record(page, s.kind.is_store(), now);
+                    self.stats.samples_applied += 1;
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, m: &mut MachineCore, now: Ns) -> TickOutput {
+        self.stats.policy_runs += 1;
+        let migrations = if self.cfg.enable_migration {
+            run_policy(&self.cfg.policy, &mut self.tracker, m, now)
+        } else {
+            Vec::new()
+        };
+        // Third tier (§3.4): when NVM itself runs low, page the coldest
+        // NVM pages out to the swap device.
+        let mut swap_outs = Vec::new();
+        if self.cfg.swap_watermark > 0 && m.disk.is_some() {
+            let page_bytes = m.cfg.managed_page.bytes();
+            let mut need = self
+                .cfg
+                .swap_watermark
+                .saturating_sub(m.nvm_pool.free_bytes());
+            while need > 0 && swap_outs.len() < 64 {
+                let Some(victim) = self.tracker.pop_swap_victim() else {
+                    break;
+                };
+                swap_outs.push(victim);
+                need = need.saturating_sub(page_bytes);
+            }
+        }
+        TickOutput {
+            next_wake: Some(now + self.cfg.policy.period),
+            migrations,
+            swap_outs,
+            cpu_time: Ns::micros(20),
+        }
+    }
+
+    fn swapped_out(&mut self, _m: &mut MachineCore, page: PageId) {
+        self.tracker.evicted(page);
+    }
+
+    fn reclaim_victim(&mut self, m: &mut MachineCore) -> Option<PageId> {
+        m.disk.as_ref()?;
+        // Coldest NVM page first; fall back to cold DRAM under extreme
+        // pressure (kernel direct reclaim walks the inactive lists).
+        self.tracker
+            .pop_swap_victim()
+            .or_else(|| self.tracker.pop_demotion(false))
+    }
+
+    fn migration_done(&mut self, _m: &mut MachineCore, page: PageId, dst: Tier) {
+        self.tracker.placed(page, dst);
+    }
+
+    fn migration_aborted(&mut self, _m: &mut MachineCore, page: PageId, current: Tier) {
+        // The page never left `current`; put it back on the right queue.
+        self.tracker.placed(page, current);
+    }
+
+    fn background_threads(&self) -> u32 {
+        // Page-fault thread + PEBS thread + policy thread; the fault
+        // thread is idle at steady state so we count the two busy ones.
+        // Without DMA the copy threads are also busy.
+        2 + if self.cfg.policy.use_dma {
+            0
+        } else {
+            self.cfg.policy.copy_threads as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AccessBatch;
+    use crate::machine::MachineConfig;
+    use crate::runtime::Sim;
+    use hemem_memdev::GIB;
+
+    fn sim(dram_gib: u64, nvm_gib: u64) -> Sim<HeMem> {
+        let mc = MachineConfig::small(dram_gib, nvm_gib);
+        let hc = HeMemConfig::scaled_for(&mc);
+        Sim::new(mc, HeMem::new(hc))
+    }
+
+    #[test]
+    fn small_allocations_forwarded_to_kernel() {
+        let mut s = sim(2, 8);
+        let id = s.mmap(4 << 20);
+        assert_eq!(
+            s.m.space.region(id).kind(),
+            hemem_vmm::RegionKind::SmallAnon
+        );
+        assert_eq!(s.backend.stats().forwarded_allocs, 1);
+        assert_eq!(s.backend.stats().managed_regions, 0);
+    }
+
+    #[test]
+    fn large_allocations_managed_on_huge_pages() {
+        let mut s = sim(2, 8);
+        let id = s.mmap(GIB);
+        let r = s.m.space.region(id);
+        assert_eq!(r.kind(), hemem_vmm::RegionKind::ManagedHeap);
+        assert_eq!(r.page_size(), hemem_vmm::PageSize::Huge2M);
+        assert_eq!(s.backend.stats().managed_regions, 1);
+    }
+
+    #[test]
+    fn growth_adoption_after_threshold() {
+        let mut s = sim(2, 8);
+        // 1 GiB of small allocations crosses the growth threshold...
+        for _ in 0..256 {
+            s.mmap(4 << 20);
+        }
+        // ...so the next small allocation is adopted as managed.
+        let id = s.mmap(4 << 20);
+        assert_eq!(
+            s.m.space.region(id).kind(),
+            hemem_vmm::RegionKind::ManagedHeap
+        );
+    }
+
+    #[test]
+    fn first_touch_fills_dram_then_spills_to_nvm() {
+        let mut s = sim(1, 8);
+        let id = s.mmap(2 * GIB); // 2x DRAM capacity
+        s.populate(id, true);
+        let r = s.m.space.region(id);
+        assert_eq!(r.mapped_pages(), 1024);
+        assert_eq!(r.dram_pages(), 512, "DRAM filled first");
+        assert_eq!(s.m.dram_pool.free_pages(), 0);
+    }
+
+    #[test]
+    fn pebs_samples_promote_hot_pages_and_policy_migrates() {
+        let mut s = sim(1, 8);
+        s.set_app_threads(1);
+        let id = s.mmap(4 * GIB);
+        s.populate(id, true);
+        // Hammer a small NVM-resident slice: pages 1536..1544 (well past
+        // the DRAM-resident first 512 pages).
+        let dram0 = s.m.space.region(id).dram_pages();
+        assert!(
+            dram0 >= 450,
+            "DRAM filled first (minus mid-fill demotions): {dram0}"
+        );
+        let batch = AccessBatch::uniform(id, 1536, 1544, 2_000_000, 8, 0.0, 4 * GIB);
+        for _ in 0..40 {
+            let tid = 0;
+            s.submit_batch(tid, &batch);
+            // Pump until the thread is ready again.
+            while let Some((_, ev)) = s.step() {
+                if matches!(ev, crate::runtime::Event::ThreadReady(_)) {
+                    break;
+                }
+            }
+        }
+        // Let the policy thread catch up.
+        s.advance(Ns::millis(100));
+        assert!(s.backend.stats().samples_applied > 0, "samples flowed");
+        assert!(s.m.stats.migrations_done > 0, "hot pages migrated");
+        let r = s.m.space.region(id);
+        let hot_in_dram = r.dram_pages_in(1536, 1544);
+        assert!(
+            hot_in_dram >= 6,
+            "hot slice promoted: {hot_in_dram}/8 in DRAM"
+        );
+    }
+
+    #[test]
+    fn watermark_keeps_dram_free() {
+        let mut s = sim(1, 8);
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        assert_eq!(s.m.dram_free_bytes(), 0);
+        // Policy period is 10 ms; give it time to demote ~1 GiB at the
+        // 100 MB-per-period cap.
+        s.advance(Ns::secs(2));
+        assert!(
+            s.m.dram_free_bytes() >= s.backend.config().policy.dram_watermark,
+            "watermark restored: {} free",
+            s.m.dram_free_bytes()
+        );
+    }
+
+    #[test]
+    fn migration_preserves_page_population() {
+        let mut s = sim(1, 8);
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        s.advance(Ns::secs(2));
+        let r = s.m.space.region(id);
+        assert_eq!(r.mapped_pages(), 1024, "no page lost in migration");
+        let dram = r.dram_pages();
+        let alloc_d = s.m.dram_pool.allocated_pages();
+        assert_eq!(dram, alloc_d, "pool accounting consistent");
+    }
+
+    #[test]
+    fn background_threads_counted() {
+        let h = HeMem::paper();
+        assert_eq!(h.background_threads(), 2);
+        let mut cfg = HeMemConfig::paper();
+        cfg.policy.use_dma = false;
+        let h = HeMem::new(cfg);
+        assert_eq!(h.background_threads(), 6);
+    }
+}
+
+#[cfg(test)]
+mod swap_tests {
+    use super::*;
+    use crate::backend::AccessBatch;
+    use crate::machine::MachineConfig;
+    use crate::runtime::{Event, Sim};
+    use hemem_memdev::GIB;
+
+    fn swap_sim() -> Sim<HeMem> {
+        let mc = MachineConfig::small(1, 2).with_swap(16 * GIB);
+        let mut hc = HeMemConfig::scaled_for(&mc);
+        hc.swap_watermark = 256 << 20; // keep 128 NVM pages free
+        Sim::new(mc, HeMem::new(hc))
+    }
+
+    #[test]
+    fn cold_nvm_pages_swap_out_under_pressure() {
+        let mut s = swap_sim();
+        // 3 GiB over 1 GiB DRAM + 2 GiB NVM: NVM fills completely.
+        let id = s.mmap(3 * GIB);
+        s.populate(id, true);
+        s.advance(Ns::secs(5));
+        assert!(s.m.stats.swap_outs > 0, "cold NVM pages paged out");
+        assert!(
+            s.m.nvm_pool.free_bytes() > 0,
+            "swap restored NVM headroom: {} free",
+            s.m.nvm_pool.free_bytes()
+        );
+        let r = s.m.space.region(id);
+        assert_eq!(r.swapped_pages(), s.m.stats.swap_outs - s.m.stats.swap_ins);
+    }
+
+    #[test]
+    fn swapped_pages_fault_back_in_on_access() {
+        let mut s = swap_sim();
+        let id = s.mmap(3 * GIB);
+        s.populate(id, true);
+        s.advance(Ns::secs(5));
+        let swapped_before = s.m.space.region(id).swapped_pages();
+        assert!(swapped_before > 0);
+        // Touch the whole region: swapped pages must fault back in.
+        let pages = s.m.space.region(id).page_count();
+        let batch = AccessBatch::uniform(id, 0, pages, 5_000_000, 8, 0.2, 3 * GIB);
+        for _ in 0..5 {
+            s.submit_batch(0, &batch);
+            loop {
+                match s.step() {
+                    Some((_, Event::ThreadReady(_))) | None => break,
+                    Some(_) => {}
+                }
+            }
+        }
+        assert!(s.m.stats.swap_ins > 0, "accesses paged data back in");
+        // Disk read traffic flowed.
+        let disk = s.m.disk.as_ref().expect("swap device");
+        assert!(disk.stats().bytes_read > 0);
+        assert!(disk.stats().bytes_written > 0);
+    }
+
+    #[test]
+    fn no_swap_without_device() {
+        let mc = MachineConfig::small(1, 2);
+        let mut hc = HeMemConfig::scaled_for(&mc);
+        hc.swap_watermark = 256 << 20;
+        let mut s = Sim::new(mc, HeMem::new(hc));
+        let id = s.mmap(3 * GIB);
+        s.populate(id, true);
+        s.advance(Ns::secs(2));
+        assert_eq!(s.m.stats.swap_outs, 0, "no device, no swapping");
+    }
+
+    #[test]
+    fn swap_file_capacity_is_respected() {
+        let mc = MachineConfig::small(1, 2).with_swap(64 << 20); // 32 slots
+        let mut hc = HeMemConfig::scaled_for(&mc);
+        hc.swap_watermark = GIB; // wants far more than the file holds
+        let mut s = Sim::new(mc, HeMem::new(hc));
+        let id = s.mmap(3 * GIB);
+        s.populate(id, true);
+        s.advance(Ns::secs(5));
+        assert!(
+            s.m.stats.swap_outs <= 32,
+            "bounded by the swap file: {}",
+            s.m.stats.swap_outs
+        );
+    }
+}
+
+#[cfg(test)]
+mod oversubscribe_tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::runtime::Sim;
+    use hemem_memdev::GIB;
+
+    #[test]
+    fn working_set_larger_than_all_memory_populates_via_swap() {
+        // 1 GiB DRAM + 2 GiB NVM + 16 GiB swap: a 4 GiB region does not
+        // fit in memory at all; direct reclaim and the swap watermark
+        // must carry the fill (§3.4's third tier).
+        let mc = MachineConfig::small(1, 2).with_swap(16 * GIB);
+        let mut hc = HeMemConfig::scaled_for(&mc);
+        hc.swap_watermark = 128 << 20;
+        let mut s = Sim::new(mc, HeMem::new(hc));
+        let id = s.mmap(4 * GIB);
+        s.populate(id, true);
+        let r = s.m.space.region(id);
+        assert_eq!(
+            r.mapped_pages() + r.swapped_pages(),
+            2048,
+            "every page accounted"
+        );
+        assert!(r.swapped_pages() >= 512, "at least 1 GiB had to go to disk");
+        assert!(s.m.stats.swap_outs > 0);
+        // The machine survives further background churn.
+        s.advance(Ns::secs(2));
+        let r = s.m.space.region(id);
+        assert_eq!(r.mapped_pages() + r.swapped_pages(), 2048);
+    }
+}

@@ -1,0 +1,15 @@
+//! HeMem: the paper's tiered-memory manager.
+//!
+//! Split into the hotness [`tracker`] (counters, FIFO queues, cooling
+//! clock), the migration [`policy`], and the [`manager`] wiring them to
+//! PEBS and the machine. The page-table-scanning variants in
+//! `hemem-baselines` reuse the tracker and policy with a different
+//! hotness source.
+
+pub mod manager;
+pub mod policy;
+pub mod tracker;
+
+pub use manager::{HeMem, HeMemConfig, HeMemStats};
+pub use policy::{run_policy, PolicyConfig};
+pub use tracker::{PageTracker, Queue, TrackerConfig, TrackerStats};

@@ -1,0 +1,359 @@
+//! HeMem's migration policy (§3.3).
+//!
+//! The policy thread runs every 10 ms. It (1) keeps a watermark of DRAM
+//! free so allocations can always be served from fast memory — demoting
+//! cold (or, failing that, arbitrary) DRAM pages to NVM; and (2) promotes
+//! hot NVM pages to DRAM, swapping against cold DRAM pages, write-heavy
+//! pages first. If nothing in DRAM is cold (the hot set exceeds DRAM),
+//! promotion stops rather than thrash. Total migration traffic per period
+//! is capped so the application is not disturbed (10 GB/s).
+
+use hemem_sim::Ns;
+use hemem_vmm::Tier;
+
+use crate::backend::{CopyMechanism, MigrationJob};
+use crate::hemem::tracker::PageTracker;
+use crate::machine::MachineCore;
+
+/// Policy parameters (§3.2-3.3 defaults).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PolicyConfig {
+    /// Policy thread period.
+    pub period: Ns,
+    /// DRAM kept free for new allocations.
+    pub dram_watermark: u64,
+    /// Migration bandwidth cap, bytes/second.
+    pub migration_rate: f64,
+    /// Offload copies to the DMA engine (`false` = 4 copy threads).
+    pub use_dma: bool,
+    /// DMA channels used concurrently.
+    pub dma_channels: usize,
+    /// Copy threads when DMA is unavailable.
+    pub copy_threads: usize,
+    /// Maximum pages concurrently in flight (write-protected). HeMem's
+    /// policy thread issues DMA ioctl batches of 4 and waits, so very few
+    /// pages are ever protected at once — this is what keeps write-
+    /// protection stalls "exceedingly rare" (§3.2). Kernel-style managers
+    /// (Nimble) migrate whole lists synchronously and set this high.
+    pub max_inflight_pages: u64,
+    /// Whether promotions may evict *hot* DRAM pages when nothing cold is
+    /// left. HeMem refuses (hot set exceeds DRAM => stop migrating, §3.3);
+    /// kernel NUMA balancing swaps anyway and thrashes when page-table
+    /// scans overestimate the hot set.
+    pub swap_allows_hot: bool,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        PolicyConfig {
+            period: Ns::millis(10),
+            dram_watermark: 1 << 30,
+            migration_rate: 10.0e9,
+            use_dma: true,
+            dma_channels: 2,
+            copy_threads: 4,
+            max_inflight_pages: 24,
+            swap_allows_hot: false,
+        }
+    }
+}
+
+impl PolicyConfig {
+    /// Migration byte budget for one policy period.
+    pub fn budget_per_period(&self) -> u64 {
+        (self.migration_rate * self.period.as_secs_f64()) as u64
+    }
+
+    /// The copy mechanism jobs should use.
+    pub fn mechanism(&self) -> CopyMechanism {
+        if self.use_dma {
+            CopyMechanism::Dma {
+                channels: self.dma_channels,
+            }
+        } else {
+            CopyMechanism::Threads(self.copy_threads)
+        }
+    }
+}
+
+/// Runs one policy pass, returning the migrations to start.
+pub fn run_policy(
+    cfg: &PolicyConfig,
+    tracker: &mut PageTracker,
+    m: &mut MachineCore,
+    now: Ns,
+) -> Vec<MigrationJob> {
+    let page_bytes = m.cfg.managed_page.bytes();
+    let mechanism = cfg.mechanism();
+    let mut budget = cfg.budget_per_period();
+    let mut jobs = Vec::new();
+
+    // Backpressure: NVM write bandwidth is far below the migration rate
+    // cap; if several periods' worth of migrations are still in flight,
+    // issuing more would grow the device backlog without bound and starve
+    // application stores. Real HeMem self-throttles because the policy
+    // thread waits for its DMA batches.
+    let _ = now;
+    let in_flight = m
+        .stats
+        .migrations_started
+        .saturating_sub(m.stats.migrations_done);
+    if in_flight >= cfg.max_inflight_pages {
+        return jobs;
+    }
+    budget = budget.min((cfg.max_inflight_pages - in_flight) * page_bytes);
+
+    // Phase 1: replenish the DRAM free watermark by demoting pages.
+    // In-flight demotions will also free DRAM; account started migrations
+    // optimistically so we do not over-demote across periods.
+    let free = m.dram_free_bytes();
+    if free < cfg.dram_watermark {
+        let mut need = cfg.dram_watermark - free;
+        while need > 0 && budget >= page_bytes {
+            // Prefer cold pages; fall back to arbitrary (oldest hot) DRAM
+            // pages, as the paper demotes random data when nothing is cold.
+            let Some(victim) = tracker.pop_demotion(true) else {
+                break;
+            };
+            jobs.push(MigrationJob {
+                page: victim,
+                dst: Tier::Nvm,
+                mechanism,
+            });
+            need = need.saturating_sub(page_bytes);
+            budget -= page_bytes;
+        }
+    }
+
+    // Phase 2: promote hot NVM pages. A promotion allocates a free DRAM
+    // page immediately, so it may only start while free DRAM (beyond what
+    // this pass already claimed) remains; when DRAM is exhausted we demote
+    // a *cold* victim instead and retry the promotion next period, once
+    // the demotion has completed and freed its frame. If nothing in DRAM
+    // is cold, the hot set exceeds DRAM and migration stops (§3.3).
+    let mut claimed = 0u64;
+    // Demote at most one victim frame per waiting hot page.
+    let mut deferrals_left = tracker.queue_len(crate::hemem::tracker::Queue::NvmHot) as u64;
+    while budget >= page_bytes {
+        let Some(hot) = tracker.pop_promotion() else {
+            break;
+        };
+        let have_free = m.dram_free_bytes() >= page_bytes + claimed;
+        if have_free {
+            jobs.push(MigrationJob {
+                page: hot,
+                dst: Tier::Dram,
+                mechanism,
+            });
+            claimed += page_bytes;
+            budget -= page_bytes;
+        } else if deferrals_left > 0 {
+            let Some(victim) = tracker.pop_demotion(cfg.swap_allows_hot) else {
+                // Hot set exceeds DRAM: stop migrating (§3.3).
+                tracker.restore(hot);
+                break;
+            };
+            jobs.push(MigrationJob {
+                page: victim,
+                dst: Tier::Nvm,
+                mechanism,
+            });
+            budget -= page_bytes;
+            deferrals_left -= 1;
+            // The hot page returns to the *front* of its queue so it is
+            // first in line once the victim's frame is free.
+            tracker.restore_front(hot);
+        } else {
+            tracker.restore_front(hot);
+            break;
+        }
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hemem::tracker::{Queue, TrackerConfig};
+    use crate::machine::MachineConfig;
+    use hemem_vmm::{PageId, RegionId, RegionKind};
+
+    /// Builds a machine with one managed region of `pages` pages, the
+    /// first `dram` of them resident in DRAM, the rest in NVM.
+    fn setup(dram_cap_gib: u64, pages: u64, dram: u64) -> (MachineCore, PageTracker, RegionId) {
+        let mut m = MachineCore::new(MachineConfig::small(dram_cap_gib, 32));
+        let ps = m.cfg.managed_page;
+        let id = m
+            .space
+            .mmap(pages * ps.bytes(), ps, RegionKind::ManagedHeap);
+        let tcfg = TrackerConfig {
+            cooling_min_interval: Ns::ZERO,
+            ..TrackerConfig::default()
+        };
+        let mut t = PageTracker::new(tcfg);
+        t.add_region(id, pages);
+        for i in 0..pages {
+            let tier = if i < dram { Tier::Dram } else { Tier::Nvm };
+            let phys = m.pool_mut(tier).alloc().expect("capacity");
+            m.space.region_mut(id).map_page(i, tier, phys);
+            t.placed(
+                PageId {
+                    region: id,
+                    index: i,
+                },
+                tier,
+            );
+        }
+        (m, t, id)
+    }
+
+    #[test]
+    fn watermark_triggers_demotions() {
+        // 1 GiB DRAM = 512 pages, all allocated -> free = 0 < watermark.
+        let (mut m, mut t, _) = setup(1, 600, 512);
+        let cfg = PolicyConfig::default();
+        let jobs = run_policy(&cfg, &mut t, &mut m, Ns::ZERO);
+        assert!(!jobs.is_empty());
+        assert!(jobs.iter().all(|j| j.dst == Tier::Nvm), "only demotions");
+        // Budget cap: 10 GB/s * 10 ms = 100 MB = 50 pages.
+        assert!(jobs.len() <= 50, "rate-capped: {} jobs", jobs.len());
+    }
+
+    #[test]
+    fn hot_nvm_pages_promoted_when_dram_free() {
+        let (mut m, mut t, id) = setup(4, 100, 10);
+        // Make 5 NVM pages hot.
+        for i in 10..15 {
+            for _ in 0..8 {
+                t.record(
+                    PageId {
+                        region: id,
+                        index: i,
+                    },
+                    false,
+                    Ns::ZERO,
+                );
+            }
+        }
+        let cfg = PolicyConfig::default();
+        let jobs = run_policy(&cfg, &mut t, &mut m, Ns::ZERO);
+        let promos: Vec<_> = jobs.iter().filter(|j| j.dst == Tier::Dram).collect();
+        assert_eq!(promos.len(), 5);
+    }
+
+    #[test]
+    fn promotion_swaps_against_cold_dram_across_periods() {
+        // DRAM pool: 1 GiB = 512 pages, all taken by the region. With no
+        // free DRAM the first pass demotes one cold victim per waiting hot
+        // page; the promotion itself runs the next period, once the
+        // victim's frame is actually free.
+        let (mut m, mut t, id) = setup(1, 1024, 512);
+        for _ in 0..8 {
+            t.record(
+                PageId {
+                    region: id,
+                    index: 600,
+                },
+                false,
+                Ns::ZERO,
+            );
+        }
+        let cfg = PolicyConfig {
+            dram_watermark: 0,
+            ..PolicyConfig::default()
+        };
+        let jobs = run_policy(&cfg, &mut t, &mut m, Ns::ZERO);
+        let demos: Vec<_> = jobs.iter().filter(|j| j.dst == Tier::Nvm).collect();
+        assert_eq!(jobs.iter().filter(|j| j.dst == Tier::Dram).count(), 0);
+        assert_eq!(demos.len(), 1, "one victim per waiting hot page");
+        // Simulate the demotion completing: remap victim to NVM, free the
+        // DRAM frame.
+        let victim = demos[0].page;
+        let nphys = m.pool_mut(Tier::Nvm).alloc().expect("nvm space");
+        let (ot, op) = m
+            .space
+            .region_mut(id)
+            .remap_page(victim.index, Tier::Nvm, nphys);
+        m.pool_mut(ot).free(op);
+        t.placed(victim, Tier::Nvm);
+        let jobs = run_policy(&cfg, &mut t, &mut m, Ns::ZERO);
+        let promos: Vec<_> = jobs.iter().filter(|j| j.dst == Tier::Dram).collect();
+        assert_eq!(
+            promos.len(),
+            1,
+            "deferred promotion runs once a frame is free"
+        );
+        assert_eq!(promos[0].page.index, 600);
+    }
+
+    #[test]
+    fn no_migration_when_hot_set_exceeds_dram() {
+        // Everything in DRAM is hot; a hot NVM page must NOT displace it.
+        let (mut m, mut t, id) = setup(1, 1024, 512);
+        for i in 0..512 {
+            for _ in 0..8 {
+                t.record(
+                    PageId {
+                        region: id,
+                        index: i,
+                    },
+                    false,
+                    Ns::ZERO,
+                );
+            }
+        }
+        for _ in 0..8 {
+            t.record(
+                PageId {
+                    region: id,
+                    index: 700,
+                },
+                false,
+                Ns::ZERO,
+            );
+        }
+        let cfg = PolicyConfig {
+            dram_watermark: 0,
+            ..PolicyConfig::default()
+        };
+        let jobs = run_policy(&cfg, &mut t, &mut m, Ns::ZERO);
+        assert!(
+            jobs.is_empty(),
+            "hot set exceeds DRAM: no migration, got {jobs:?}"
+        );
+        // The popped hot page must have been restored.
+        assert_eq!(t.queue_len(Queue::NvmHot), 1);
+    }
+
+    #[test]
+    fn budget_is_respected_across_phases() {
+        let (mut m, mut t, id) = setup(1, 2048, 512);
+        for i in 512..1024 {
+            for _ in 0..8 {
+                t.record(
+                    PageId {
+                        region: id,
+                        index: i,
+                    },
+                    false,
+                    Ns::ZERO,
+                );
+            }
+        }
+        let cfg = PolicyConfig::default();
+        let jobs = run_policy(&cfg, &mut t, &mut m, Ns::ZERO);
+        let bytes: u64 = jobs.len() as u64 * m.cfg.managed_page.bytes();
+        assert!(bytes <= cfg.budget_per_period(), "{bytes} over budget");
+    }
+
+    #[test]
+    fn mechanism_follows_config() {
+        let dma = PolicyConfig::default();
+        assert_eq!(dma.mechanism(), CopyMechanism::Dma { channels: 2 });
+        let threads = PolicyConfig {
+            use_dma: false,
+            ..PolicyConfig::default()
+        };
+        assert_eq!(threads.mechanism(), CopyMechanism::Threads(4));
+    }
+}

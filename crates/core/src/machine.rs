@@ -1,0 +1,311 @@
+//! The simulated machine: devices, caches, TLB, page pools, PEBS, DMA,
+//! cores, and a process address space.
+//!
+//! [`MachineCore`] holds all hardware/OS state shared between the event
+//! loop ([`crate::runtime::Sim`]) and the tiered backend. It corresponds
+//! to one socket of the paper's evaluation platform (§5): 24 cores,
+//! 192 GB DDR4, 768 GB Optane DC, a 100 GbE NIC we do not model, and an
+//! I/OAT DMA engine.
+
+use hemem_memdev::{Device, DeviceConfig, DmaConfig, DmaEngine, Llc, MemOp, Reservation, GIB};
+use hemem_pebs::{Pebs, PebsConfig};
+use hemem_sim::{CoreModel, Ns, Rng};
+use hemem_vmm::{
+    AddressSpace, FaultConfig, FaultStats, FaultThread, PageSize, PhysPool, ScanConfig, Tier, Tlb,
+    TlbConfig,
+};
+
+use crate::backend::Traffic;
+
+/// Full machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Cores on the socket.
+    pub cores: u32,
+    /// DRAM device parameters.
+    pub dram: DeviceConfig,
+    /// NVM device parameters.
+    pub nvm: DeviceConfig,
+    /// Shared LLC capacity in bytes.
+    pub llc_bytes: u64,
+    /// Page size for managed (large heap) regions.
+    pub managed_page: PageSize,
+    /// TLB cost parameters.
+    pub tlb: TlbConfig,
+    /// Page-table scan cost parameters.
+    pub scan: ScanConfig,
+    /// Fault-path cost parameters.
+    pub fault: FaultConfig,
+    /// PEBS parameters.
+    pub pebs: PebsConfig,
+    /// DMA engine parameters.
+    pub dma: DmaConfig,
+    /// Optional swap device behind the memory tiers (§3.4); `None`
+    /// disables swapping.
+    pub disk: Option<DeviceConfig>,
+    /// RNG seed; two runs with the same seed are identical.
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The paper's evaluation socket: 24-core Cascade Lake, 192 GB DRAM,
+    /// 768 GB Optane DC.
+    pub fn paper_testbed() -> MachineConfig {
+        MachineConfig {
+            cores: 24,
+            dram: DeviceConfig::ddr4_dram(192 * GIB),
+            nvm: DeviceConfig::optane_dc(768 * GIB),
+            llc_bytes: 33 * 1024 * 1024,
+            managed_page: PageSize::Huge2M,
+            tlb: TlbConfig::default(),
+            scan: ScanConfig::default(),
+            fault: FaultConfig::default(),
+            pebs: PebsConfig::default(),
+            dma: DmaConfig::ioat(),
+            disk: None,
+            seed: 0x4E564D_48454D45, // "NVM HEME"
+        }
+    }
+
+    /// Adds an NVMe swap device of `capacity` bytes behind the tiers.
+    pub fn with_swap(mut self, capacity: u64) -> MachineConfig {
+        self.disk = Some(DeviceConfig::nvme_ssd(capacity));
+        self
+    }
+
+    /// A smaller machine (capacities in GiB) for fast tests; all ratios
+    /// preserved.
+    pub fn small(dram_gib: u64, nvm_gib: u64) -> MachineConfig {
+        let mut c = MachineConfig::paper_testbed();
+        c.dram = DeviceConfig::ddr4_dram(dram_gib * GIB);
+        c.nvm = DeviceConfig::optane_dc(nvm_gib * GIB);
+        c
+    }
+}
+
+/// Machine-level cumulative counters.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct MachineStats {
+    /// Pages swapped out to disk.
+    pub swap_outs: u64,
+    /// Pages faulted back in from disk.
+    pub swap_ins: u64,
+    /// Application accesses completed.
+    pub ops: u64,
+    /// Writes that stalled on a write-protected (migrating) page.
+    pub wp_stalls: u64,
+    /// Page migrations started.
+    pub migrations_started: u64,
+    /// Page migrations completed.
+    pub migrations_done: u64,
+    /// Bytes moved by completed migrations.
+    pub migrated_bytes: u64,
+    /// Migrations aborted (no free page on the destination tier).
+    pub migrations_aborted: u64,
+}
+
+/// All hardware and OS state of the simulated machine.
+pub struct MachineCore {
+    /// Static configuration.
+    pub cfg: MachineConfig,
+    /// DRAM device.
+    pub dram: Device,
+    /// NVM device.
+    pub nvm: Device,
+    /// Shared last-level cache.
+    pub llc: Llc,
+    /// TLB and shootdown model.
+    pub tlb: Tlb,
+    /// I/OAT DMA engine.
+    pub dma: DmaEngine,
+    /// DRAM physical page pool (managed-page granularity).
+    pub dram_pool: PhysPool,
+    /// NVM physical page pool.
+    pub nvm_pool: PhysPool,
+    /// The process address space under management.
+    pub space: AddressSpace,
+    /// PEBS unit.
+    pub pebs: Pebs,
+    /// Core occupancy model.
+    pub cores: CoreModel,
+    /// Deterministic random stream.
+    pub rng: Rng,
+    /// Fault-path costs.
+    pub fault_cfg: FaultConfig,
+    /// Fault counters.
+    pub fault_stats: FaultStats,
+    /// The single userfaultfd handler thread (faults queue behind it).
+    pub fault_thread: FaultThread,
+    /// Machine counters.
+    pub stats: MachineStats,
+    /// Optional swap device.
+    pub disk: Option<Device>,
+    /// Next free swap slot (slots are never recycled in this model; the
+    /// swap file is sized for the worst case).
+    pub next_swap_slot: u64,
+}
+
+impl MachineCore {
+    /// Builds an idle machine from `cfg`.
+    pub fn new(cfg: MachineConfig) -> MachineCore {
+        let mut rng = Rng::new(cfg.seed);
+        MachineCore {
+            dram: Device::new(cfg.dram.clone()),
+            nvm: Device::new(cfg.nvm.clone()),
+            llc: Llc::new(cfg.llc_bytes, Ns::nanos(20)),
+            tlb: Tlb::new(cfg.tlb.clone()),
+            dma: DmaEngine::new(cfg.dma.clone()),
+            dram_pool: PhysPool::new(Tier::Dram, cfg.dram.capacity, cfg.managed_page),
+            nvm_pool: PhysPool::new(Tier::Nvm, cfg.nvm.capacity, cfg.managed_page),
+            space: AddressSpace::new(),
+            pebs: Pebs::new(cfg.pebs.clone()),
+            cores: CoreModel::new(cfg.cores),
+            rng: rng.fork(1),
+            fault_cfg: cfg.fault.clone(),
+            fault_stats: FaultStats::default(),
+            fault_thread: FaultThread::new(),
+            stats: MachineStats::default(),
+            disk: cfg.disk.clone().map(Device::new),
+            next_swap_slot: 0,
+            cfg,
+        }
+    }
+
+    /// Device for a tier.
+    pub fn device(&self, tier: Tier) -> &Device {
+        match tier {
+            Tier::Dram => &self.dram,
+            Tier::Nvm => &self.nvm,
+        }
+    }
+
+    /// Mutable device for a tier.
+    pub fn device_mut(&mut self, tier: Tier) -> &mut Device {
+        match tier {
+            Tier::Dram => &mut self.dram,
+            Tier::Nvm => &mut self.nvm,
+        }
+    }
+
+    /// Pool for a tier.
+    pub fn pool(&self, tier: Tier) -> &PhysPool {
+        match tier {
+            Tier::Dram => &self.dram_pool,
+            Tier::Nvm => &self.nvm_pool,
+        }
+    }
+
+    /// Mutable pool for a tier.
+    pub fn pool_mut(&mut self, tier: Tier) -> &mut PhysPool {
+        match tier {
+            Tier::Dram => &mut self.dram_pool,
+            Tier::Nvm => &mut self.nvm_pool,
+        }
+    }
+
+    /// Reserves device service for one traffic class; returns the
+    /// reservation (zero-length when the rounded count is zero).
+    pub fn reserve_traffic(&mut self, now: Ns, t: &Traffic) -> Reservation {
+        let count = self.rng.round_stochastic(t.count);
+        self.device_mut(t.tier)
+            .reserve(now, t.op, t.pattern, t.size as u64, count)
+    }
+
+    /// Mean access latency of one traffic class including current queueing.
+    pub fn traffic_latency(&self, now: Ns, t: &Traffic) -> Ns {
+        let dev = self.device(t.tier);
+        dev.latency(t.op) + dev.queue_delay(now, t.op)
+    }
+
+    /// NVM media-level write counter (the wear metric of Figure 16).
+    pub fn nvm_wear_bytes(&self) -> u64 {
+        self.nvm.stats().media_bytes_written
+    }
+
+    /// Bytes free in the DRAM pool.
+    pub fn dram_free_bytes(&self) -> u64 {
+        self.dram_pool.free_bytes()
+    }
+}
+
+/// Charge helper: zero-fill cost when a fresh page is mapped.
+pub fn zero_fill(m: &mut MachineCore, now: Ns, tier: Tier, page_bytes: u64) -> Reservation {
+    m.device_mut(tier)
+        .reserve_bulk(now, MemOp::Write, page_bytes, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemem_memdev::Pattern;
+
+    #[test]
+    fn paper_testbed_matches_evaluation_platform() {
+        let c = MachineConfig::paper_testbed();
+        assert_eq!(c.cores, 24);
+        assert_eq!(c.dram.capacity, 192 * GIB);
+        assert_eq!(c.nvm.capacity, 768 * GIB);
+        assert_eq!(c.managed_page, PageSize::Huge2M);
+    }
+
+    #[test]
+    fn machine_construction_sizes_pools() {
+        let m = MachineCore::new(MachineConfig::small(4, 16));
+        assert_eq!(m.dram_pool.total_pages(), 4 * 512, "4 GiB of 2 MiB pages");
+        assert_eq!(m.nvm_pool.total_pages(), 16 * 512);
+        assert_eq!(m.dram_free_bytes(), 4 * GIB);
+    }
+
+    #[test]
+    fn reserve_traffic_rounds_and_charges() {
+        let mut m = MachineCore::new(MachineConfig::small(1, 4));
+        let t = Traffic {
+            tier: Tier::Nvm,
+            op: MemOp::Write,
+            pattern: Pattern::Random,
+            size: 64,
+            count: 1000.0,
+        };
+        let r = m.reserve_traffic(Ns::ZERO, &t);
+        assert!(r.finish > Ns::ZERO);
+        assert_eq!(m.nvm.stats().writes, 1000);
+        assert_eq!(
+            m.nvm_wear_bytes(),
+            256_000,
+            "amplified to media granularity"
+        );
+    }
+
+    #[test]
+    fn traffic_latency_includes_queueing() {
+        let mut m = MachineCore::new(MachineConfig::small(1, 4));
+        let t = Traffic {
+            tier: Tier::Nvm,
+            op: MemOp::Read,
+            pattern: Pattern::Random,
+            size: 4096,
+            count: 100_000.0,
+        };
+        let idle = m.traffic_latency(Ns::ZERO, &t);
+        m.reserve_traffic(Ns::ZERO, &t);
+        let queued = m.traffic_latency(Ns::ZERO, &t);
+        assert!(queued > idle);
+        assert_eq!(idle, Ns::nanos(175));
+    }
+
+    #[test]
+    fn zero_fill_charges_destination_device() {
+        let mut m = MachineCore::new(MachineConfig::small(1, 4));
+        zero_fill(&mut m, Ns::ZERO, Tier::Dram, 2 << 20);
+        assert_eq!(m.dram.stats().bytes_written, 2 << 20);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = MachineCore::new(MachineConfig::small(1, 1));
+        let mut b = MachineCore::new(MachineConfig::small(1, 1));
+        for _ in 0..10 {
+            assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+        }
+    }
+}

@@ -1,0 +1,1197 @@
+//! Deterministic event-loop runtime driving a [`TieredBackend`] under a
+//! workload.
+//!
+//! Workloads own the outer loop: they create regions with [`Sim::mmap`],
+//! warm them with [`Sim::populate`], submit [`AccessBatch`]es per
+//! simulated thread, and pump [`Sim::step`] — which returns
+//! [`Event::ThreadReady`] / [`Event::Custom`] to the workload while
+//! handling backend ticks, PEBS drains, and migration completions
+//! internally.
+
+use std::collections::HashMap;
+
+use hemem_memdev::{MemOp, Pattern};
+use hemem_pebs::{SampleRecord, SampleType};
+use hemem_sim::{EventQueue, Ns};
+use hemem_vmm::{FaultKind, PageId, PageSize, PhysPage, RegionId, RegionKind, Tier};
+
+use crate::backend::{AccessBatch, CopyMechanism, MigrationJob, TieredBackend};
+use crate::machine::{zero_fill, MachineConfig, MachineCore};
+
+/// Events visible to (or scheduled by) workload drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A workload thread finished its batch and can submit the next one.
+    ThreadReady(u32),
+    /// Backend background wake-up (policy thread, scanner).
+    BackendTick,
+    /// PEBS-thread buffer drain.
+    PebsDrain,
+    /// A page migration completed.
+    MigrationDone(u64),
+    /// A page finished swapping out to disk.
+    SwapOutDone(u64),
+    /// Workload-defined timer.
+    Custom(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingMigration {
+    page: PageId,
+    dst: Tier,
+    dst_phys: PhysPage,
+}
+
+/// Outcome of submitting a batch, for latency accounting.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchReceipt {
+    /// When the thread resumes.
+    pub complete_at: Ns,
+    /// Mean per-access latency (device + translation + stalls), before
+    /// MLP overlap.
+    pub mean_access_latency: Ns,
+}
+
+/// The simulation: machine + backend + event queue.
+pub struct Sim<B: TieredBackend> {
+    /// Machine state (public: workloads and experiments read counters).
+    pub m: MachineCore,
+    /// The tiered memory manager under test.
+    pub backend: B,
+    queue: EventQueue<Event>,
+    pending: HashMap<u64, PendingMigration>,
+    pending_swaps: HashMap<u64, (PageId, u64)>,
+    next_mig: u64,
+    app_threads: u32,
+    /// Per-thread TLB shootdown stall already charged (shootdowns stall
+    /// every core, so each thread pays each shootdown once).
+    shootdown_charged: HashMap<u32, Ns>,
+}
+
+impl<B: TieredBackend> Sim<B> {
+    /// Creates a simulation and schedules the backend's first tick (and
+    /// PEBS drains if the backend samples).
+    pub fn new(cfg: MachineConfig, backend: B) -> Sim<B> {
+        let mut sim = Sim {
+            m: MachineCore::new(cfg),
+            backend,
+            queue: EventQueue::new(),
+            pending: HashMap::new(),
+            pending_swaps: HashMap::new(),
+            next_mig: 0,
+            app_threads: 0,
+            shootdown_charged: HashMap::new(),
+        };
+        sim.queue.push_at(Ns::ZERO, Event::BackendTick);
+        if sim.backend.uses_pebs() {
+            let iv = sim.m.pebs.config().drain_interval;
+            sim.queue.push_at(iv, Event::PebsDrain);
+        }
+        sim
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Ns {
+        self.queue.now()
+    }
+
+    /// Declares `n` application threads (for core-contention accounting).
+    pub fn set_app_threads(&mut self, n: u32) {
+        self.app_threads = n;
+    }
+
+    /// Time-dilation factor from core oversubscription: application plus
+    /// backend helper threads versus physical cores.
+    pub fn dilation(&self) -> f64 {
+        let runnable = self.app_threads + self.backend.background_threads();
+        if runnable <= self.m.cores.cores() {
+            1.0
+        } else {
+            runnable as f64 / self.m.cores.cores() as f64
+        }
+    }
+
+    /// Creates a region of `len` bytes. The backend chooses whether to
+    /// manage it (huge pages, tiered) or forward it to the kernel (base
+    /// pages, plain DRAM).
+    pub fn mmap(&mut self, len: u64) -> RegionId {
+        let managed = self.backend.wants_to_manage(len);
+        let (ps, kind) = if managed {
+            (self.m.cfg.managed_page, RegionKind::ManagedHeap)
+        } else {
+            (PageSize::Base4K, RegionKind::SmallAnon)
+        };
+        let id = self.m.space.mmap(len, ps, kind);
+        self.backend.on_mmap(&mut self.m, id);
+        id
+    }
+
+    /// Destroys a region, returning its physical pages to the pools.
+    pub fn munmap(&mut self, id: RegionId) {
+        self.backend.on_munmap(&mut self.m, id);
+        let region = self.m.space.munmap(id);
+        if region.kind() == RegionKind::ManagedHeap {
+            for i in 0..region.page_count() {
+                if let hemem_vmm::PageState::Mapped { tier, phys, .. } = region.state(i) {
+                    self.m.pool_mut(tier).free(phys);
+                }
+            }
+        }
+    }
+
+    /// First-touches every unmapped page of `region` sequentially (the
+    /// warm-up fill from disk in the paper's workloads), then advances
+    /// virtual time past the fill: the zero-fill device traffic of a
+    /// multi-hundred-gigabyte region takes real (virtual) minutes, and
+    /// leaving it as backlog would stall every later bulk transfer.
+    /// Returns the total warm-up cost.
+    pub fn populate(&mut self, region: RegionId, is_write: bool) -> Ns {
+        let now = self.now();
+        let pages = self.m.space.region(region).page_count();
+        let mut total = Ns::ZERO;
+        for i in 0..pages {
+            if matches!(
+                self.m.space.region(region).state(i),
+                hemem_vmm::PageState::Unmapped
+            ) {
+                total += self.fault_page(PageId { region, index: i }, is_write, now + total);
+            }
+            if i % 2048 == 2047 {
+                // Yield to background work mid-fill (policy/swap keep up
+                // with the fill instead of facing it all at once).
+                total = self.pace_fill(now, total);
+            }
+        }
+        self.drain_fill_backlog(now, total)
+    }
+
+    /// Advances the clock to the current fill frontier (faults plus bulk
+    /// backlog) so background events interleave with a long fill.
+    fn pace_fill(&mut self, start: Ns, fault_cost: Ns) -> Ns {
+        let at = Ns(start.as_nanos() + fault_cost.as_nanos());
+        let mut drain = Ns::ZERO;
+        for tier in [Tier::Dram, Tier::Nvm] {
+            drain = drain.max(self.m.device(tier).bulk_queue_delay(at, MemOp::Write));
+        }
+        let total = fault_cost + drain;
+        self.run_until(Ns(start.as_nanos() + total.as_nanos()));
+        total
+    }
+
+    /// Advances past any outstanding zero-fill backlog left by a fault
+    /// storm; returns the total elapsed warm-up time.
+    fn drain_fill_backlog(&mut self, start: Ns, fault_cost: Ns) -> Ns {
+        let after = Ns(start.as_nanos() + fault_cost.as_nanos());
+        let mut drain = Ns::ZERO;
+        for tier in [Tier::Dram, Tier::Nvm] {
+            let d = self.m.device(tier).bulk_queue_delay(after, MemOp::Write);
+            drain = drain.max(d);
+        }
+        let total = fault_cost + drain;
+        self.run_until(Ns(start.as_nanos() + total.as_nanos()));
+        total
+    }
+
+    /// Like [`Sim::populate`], but first-touches pages in random order —
+    /// the placement a parallel multi-threaded load phase produces, where
+    /// no address range monopolizes the DRAM that fills up first.
+    pub fn populate_shuffled(&mut self, region: RegionId, is_write: bool) -> Ns {
+        let now = self.now();
+        let pages = self.m.space.region(region).page_count();
+        let mut order: Vec<u64> = (0..pages).collect();
+        let mut rng = self.m.rng.fork(0x504f50); // "POP"
+        rng.shuffle(&mut order);
+        let mut total = Ns::ZERO;
+        for (n, i) in order.into_iter().enumerate() {
+            if matches!(
+                self.m.space.region(region).state(i),
+                hemem_vmm::PageState::Unmapped
+            ) {
+                total += self.fault_page(PageId { region, index: i }, is_write, now + total);
+            }
+            if n % 2048 == 2047 {
+                total = self.pace_fill(now, total);
+            }
+        }
+        self.drain_fill_backlog(now, total)
+    }
+
+    /// Advances virtual time by `delay`, processing any internal events
+    /// that fall inside the window.
+    pub fn advance(&mut self, delay: Ns) {
+        let target = Ns(self.now().as_nanos() + delay.as_nanos());
+        self.run_until(target);
+    }
+
+    /// Processes internal events until `target`; the clock lands on
+    /// `target` exactly. Workload events (`ThreadReady` / `Custom`)
+    /// encountered in the window are dropped — use [`Sim::step`] when
+    /// workload threads are live.
+    pub fn run_until(&mut self, target: Ns) {
+        loop {
+            match self.queue.peek_time() {
+                Some(t) if t <= target => {
+                    if let Some((now, ev)) = self.queue.pop() {
+                        self.dispatch_internal(now, ev);
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.queue.push_at(target, Event::Custom(u64::MAX));
+        self.queue.pop();
+    }
+
+    /// Schedules a workload timer.
+    pub fn schedule_custom(&mut self, at: Ns, tag: u64) {
+        self.queue.push_at(at, Event::Custom(tag));
+    }
+
+    /// Schedules a thread to become ready at `at` (initial kick-off).
+    pub fn schedule_thread(&mut self, at: Ns, tid: u32) {
+        self.queue.push_at(at, Event::ThreadReady(tid));
+    }
+
+    /// Pops events, handling internal ones, until a workload-visible event
+    /// (or queue exhaustion).
+    pub fn step(&mut self) -> Option<(Ns, Event)> {
+        loop {
+            let (now, ev) = self.queue.pop()?;
+            match ev {
+                Event::ThreadReady(_) | Event::Custom(_) => return Some((now, ev)),
+                other => self.dispatch_internal(now, other),
+            }
+        }
+    }
+
+    fn dispatch_internal(&mut self, now: Ns, ev: Event) {
+        match ev {
+            Event::BackendTick => {
+                let out = self.backend.tick(&mut self.m, now);
+                self.start_migrations(now, &out.migrations);
+                self.start_swap_outs(now, &out.swap_outs);
+                if let Some(next) = out.next_wake {
+                    self.queue
+                        .push_at(next.max(Ns(now.as_nanos() + 1)), Event::BackendTick);
+                }
+            }
+            Event::PebsDrain => {
+                let budget = self.m.pebs.drain_budget();
+                let samples = self.m.pebs.drain(budget);
+                if !samples.is_empty() {
+                    self.backend.on_samples(&mut self.m, &samples, now);
+                }
+                let iv = self.m.pebs.config().drain_interval;
+                self.queue.push_after(iv, Event::PebsDrain);
+            }
+            Event::MigrationDone(id) => self.finish_migration(now, id),
+            Event::SwapOutDone(id) => self.finish_swap_out(now, id),
+            Event::ThreadReady(_) | Event::Custom(_) => {
+                // Dropped: run_until discards workload events in its window.
+            }
+        }
+    }
+
+    /// Starts migration jobs; batches DMA jobs into ioctl groups.
+    pub fn start_migrations(&mut self, now: Ns, jobs: &[MigrationJob]) {
+        // Group DMA jobs per (channels) for batched ioctls of up to the
+        // paper's best batch size of 4.
+        const DMA_BATCH: usize = 4;
+        let mut dma_group: Vec<(u64, u64, usize)> = Vec::new(); // (mig id, bytes, channels)
+        for job in jobs {
+            let Some(prep) = self.prepare_migration(now, job) else {
+                continue;
+            };
+            let (id, bytes) = prep;
+            match job.mechanism {
+                CopyMechanism::Dma { channels } => {
+                    dma_group.push((id, bytes, channels));
+                    if dma_group.len() == DMA_BATCH {
+                        self.flush_dma_group(now, &mut dma_group);
+                    }
+                }
+                CopyMechanism::Threads(n) => {
+                    let rate = 3.0e9 * n.max(1) as f64;
+                    let service = Ns::from_secs_f64(bytes as f64 / rate);
+                    let p = self.pending[&id];
+                    let src = p.dst.other();
+                    let cap = Some(10.0e9);
+                    let r1 = self
+                        .m
+                        .device_mut(src)
+                        .reserve_bulk(now, MemOp::Read, bytes, cap);
+                    let r2 = self
+                        .m
+                        .device_mut(p.dst)
+                        .reserve_bulk(now, MemOp::Write, bytes, cap);
+                    let done = (now + service).max(r1.finish).max(r2.finish);
+                    self.queue.push_at(done, Event::MigrationDone(id));
+                }
+            }
+        }
+        if !dma_group.is_empty() {
+            self.flush_dma_group(now, &mut dma_group);
+        }
+    }
+
+    fn flush_dma_group(&mut self, now: Ns, group: &mut Vec<(u64, u64, usize)>) {
+        let sizes: Vec<u64> = group.iter().map(|&(_, b, _)| b).collect();
+        let channels = group.iter().map(|&(_, _, c)| c).max().unwrap_or(1).max(1);
+        let dma_done = self.m.dma.submit(now, &sizes, channels);
+        let cap = Some(10.0e9);
+        let mut done = dma_done;
+        for &(id, bytes, _) in group.iter() {
+            let p = self.pending[&id];
+            let src = p.dst.other();
+            let r1 = self
+                .m
+                .device_mut(src)
+                .reserve_bulk(now, MemOp::Read, bytes, cap);
+            let r2 = self
+                .m
+                .device_mut(p.dst)
+                .reserve_bulk(now, MemOp::Write, bytes, cap);
+            done = done.max(r1.finish).max(r2.finish);
+        }
+        for &(id, _, _) in group.iter() {
+            self.queue.push_at(done, Event::MigrationDone(id));
+        }
+        group.clear();
+    }
+
+    /// Validates a job, allocates the destination page, write-protects the
+    /// source. Returns `(migration id, bytes)`.
+    fn prepare_migration(&mut self, _now: Ns, job: &MigrationJob) -> Option<(u64, u64)> {
+        let region = self.m.space.region(job.page.region);
+        let bytes = region.page_size().bytes();
+        let src_tier = match region.state(job.page.index) {
+            hemem_vmm::PageState::Mapped { tier, wp, .. } => {
+                if tier == job.dst || wp {
+                    return None; // already there / already migrating
+                }
+                tier
+            }
+            _ => return None, // unmapped or swapped: nothing to migrate
+        };
+        let Some(dst_phys) = self.m.pool_mut(job.dst).alloc() else {
+            self.m.stats.migrations_aborted += 1;
+            self.backend
+                .migration_aborted(&mut self.m, job.page, src_tier);
+            return None;
+        };
+        self.m
+            .space
+            .region_mut(job.page.region)
+            .set_wp(job.page.index, true);
+        let id = self.next_mig;
+        self.next_mig += 1;
+        self.pending.insert(
+            id,
+            PendingMigration {
+                page: job.page,
+                dst: job.dst,
+                dst_phys,
+            },
+        );
+        self.m.stats.migrations_started += 1;
+        Some((id, bytes))
+    }
+
+    fn finish_migration(&mut self, _now: Ns, id: u64) {
+        let Some(p) = self.pending.remove(&id) else {
+            return;
+        };
+        let region = self.m.space.region_mut(p.page.region);
+        let bytes = region.page_size().bytes();
+        let (old_tier, old_phys) = region.remap_page(p.page.index, p.dst, p.dst_phys);
+        region.set_wp(p.page.index, false);
+        self.m.pool_mut(old_tier).free(old_phys);
+        let cores = self.m.cores.cores();
+        self.m.tlb.shootdown(cores);
+        self.m.stats.migrations_done += 1;
+        self.m.stats.migrated_bytes += bytes;
+        self.backend.migration_done(&mut self.m, p.page, p.dst);
+    }
+
+    /// Starts paging `pages` out to the swap device (no-op without one).
+    pub fn start_swap_outs(&mut self, now: Ns, pages: &[PageId]) {
+        if self.m.disk.is_none() || pages.is_empty() {
+            return;
+        }
+        for &page in pages {
+            let region = self.m.space.region(page.region);
+            let bytes = region.page_size().bytes();
+            let src_tier = match region.state(page.index) {
+                hemem_vmm::PageState::Mapped {
+                    tier, wp: false, ..
+                } => tier,
+                _ => continue, // migrating, swapped, or gone
+            };
+            let disk_cap = self.m.disk.as_ref().map_or(0, |d| d.config().capacity);
+            if (self.m.next_swap_slot + 1) * bytes > disk_cap {
+                continue; // swap file full
+            }
+            let slot = self.m.next_swap_slot;
+            self.m.next_swap_slot += 1;
+            // Lock the page (blocks concurrent migration) for the copy.
+            self.m
+                .space
+                .region_mut(page.region)
+                .set_wp(page.index, true);
+            let r1 = self
+                .m
+                .device_mut(src_tier)
+                .reserve_bulk(now, MemOp::Read, bytes, None);
+            let disk = self.m.disk.as_mut().expect("checked above");
+            let r2 = disk.reserve_bulk(now, MemOp::Write, bytes, None);
+            let done = r1.finish.max(r2.finish);
+            let id = self.next_mig;
+            self.next_mig += 1;
+            self.pending_swaps.insert(id, (page, slot));
+            self.queue.push_at(done, Event::SwapOutDone(id));
+        }
+    }
+
+    fn finish_swap_out(&mut self, _now: Ns, id: u64) {
+        let Some((page, slot)) = self.pending_swaps.remove(&id) else {
+            return;
+        };
+        let region = self.m.space.region_mut(page.region);
+        region.set_wp(page.index, false);
+        let (tier, phys) = region.swap_out_page(page.index, slot);
+        self.m.pool_mut(tier).free(phys);
+        let cores = self.m.cores.cores();
+        self.m.tlb.shootdown(cores);
+        self.m.stats.swap_outs += 1;
+        self.backend.swapped_out(&mut self.m, page);
+    }
+
+    /// Handles a first-touch fault; returns the faulting thread's stall.
+    pub fn fault_page(&mut self, page: PageId, is_write: bool, now: Ns) -> Ns {
+        let region = self.m.space.region(page.region);
+        let kind = region.kind();
+        let page_bytes = region.page_size().bytes();
+        // Managed-region faults funnel through HeMem's single fault
+        // thread; storms queue behind it.
+        let queue = if kind == RegionKind::ManagedHeap {
+            let cfg = self.m.fault_cfg.clone();
+            self.m.fault_thread.admit(now, &cfg)
+        } else {
+            Ns::ZERO
+        };
+        let stall = self.m.fault_cfg.round_trip() + queue;
+        // Swapped pages fault back in synchronously: the thread waits for
+        // the disk read (swapping is the slowest tier, §3.4).
+        if let hemem_vmm::PageState::Swapped { .. } = region.state(page.index) {
+            let desired = self.backend.place(&mut self.m, page, is_write);
+            let mut extra = Ns::ZERO;
+            let (tier, phys) = match self.m.pool_mut(desired).alloc() {
+                Some(p) => (desired, p),
+                None => {
+                    let other = desired.other();
+                    match self.m.pool_mut(other).alloc() {
+                        Some(p) => (other, p),
+                        None => {
+                            // Both tiers full: direct-reclaim a victim to
+                            // make room for the page coming in.
+                            extra = self.direct_reclaim(now);
+                            let p = self
+                                .m
+                                .pool_mut(desired)
+                                .alloc()
+                                .or_else(|| self.m.pool_mut(desired.other()).alloc())
+                                .expect("direct reclaim failed during swap-in");
+                            (desired, p)
+                        }
+                    }
+                }
+            };
+            let disk = self
+                .m
+                .disk
+                .as_mut()
+                .expect("swapped page without a swap device");
+            let r = disk.reserve_bulk(now, MemOp::Read, page_bytes, None);
+            self.m
+                .space
+                .region_mut(page.region)
+                .swap_in_page(page.index, tier, phys);
+            self.backend.placed(&mut self.m, page, tier);
+            self.m.stats.swap_ins += 1;
+            self.m.fault_stats.record(FaultKind::Missing, stall);
+            return stall
+                + extra
+                + r.service
+                + self.m.disk.as_ref().expect("device").latency(MemOp::Read);
+        }
+        if kind == RegionKind::SmallAnon {
+            // Kernel-managed anonymous memory: always DRAM, outside the
+            // tiered pools (the kernel keeps its own reserve).
+            self.m.space.region_mut(page.region).map_page(
+                page.index,
+                Tier::Dram,
+                PhysPage(page.index),
+            );
+            self.m.fault_stats.record(FaultKind::Missing, stall);
+            return stall;
+        }
+        let desired = self.backend.place(&mut self.m, page, is_write);
+        let mut extra = Ns::ZERO;
+        let (tier, phys) = match self.m.pool_mut(desired).alloc() {
+            Some(p) => (desired, p),
+            None => {
+                let other = desired.other();
+                match self.m.pool_mut(other).alloc() {
+                    Some(p) => (other, p),
+                    None => {
+                        // Direct reclaim: synchronously page a victim out
+                        // to disk and reuse its frame; the faulting thread
+                        // eats the disk write (kernel direct reclaim).
+                        extra = self.direct_reclaim(now);
+                        let p = self
+                            .m
+                            .pool_mut(desired)
+                            .alloc()
+                            .or_else(|| self.m.pool_mut(desired.other()).alloc())
+                            .expect("direct reclaim failed: memory exhausted");
+                        (desired, p)
+                    }
+                }
+            }
+        };
+        self.m
+            .space
+            .region_mut(page.region)
+            .map_page(page.index, tier, phys);
+        zero_fill(&mut self.m, now, tier, page_bytes);
+        self.backend.placed(&mut self.m, page, tier);
+        self.m.fault_stats.record(FaultKind::Missing, stall);
+        stall + extra
+    }
+
+    /// Synchronously swaps one victim out to free a frame; returns the
+    /// stall the faulting thread pays.
+    fn direct_reclaim(&mut self, now: Ns) -> Ns {
+        let victim = self
+            .backend
+            .reclaim_victim(&mut self.m)
+            .expect("both memory tiers exhausted and backend cannot reclaim");
+        let region = self.m.space.region(victim.region);
+        let bytes = region.page_size().bytes();
+        let src_tier = match region.state(victim.index) {
+            hemem_vmm::PageState::Mapped {
+                tier, wp: false, ..
+            } => tier,
+            other => panic!("reclaim victim {victim:?} in state {other:?}"),
+        };
+        let disk_cap = self
+            .m
+            .disk
+            .as_ref()
+            .map(|d| d.config().capacity)
+            .expect("direct reclaim without a swap device");
+        assert!(
+            (self.m.next_swap_slot + 1) * bytes <= disk_cap,
+            "swap file exhausted during direct reclaim"
+        );
+        let slot = self.m.next_swap_slot;
+        self.m.next_swap_slot += 1;
+        self.m
+            .device_mut(src_tier)
+            .reserve_bulk(now, MemOp::Read, bytes, None);
+        let disk = self.m.disk.as_mut().expect("checked above");
+        let r = disk.reserve_bulk(now, MemOp::Write, bytes, None);
+        let (tier, phys) = self
+            .m
+            .space
+            .region_mut(victim.region)
+            .swap_out_page(victim.index, slot);
+        debug_assert_eq!(tier, src_tier);
+        self.m.pool_mut(tier).free(phys);
+        self.m.stats.swap_outs += 1;
+        self.backend.swapped_out(&mut self.m, victim);
+        r.service
+    }
+
+    /// Submits one access batch on behalf of thread `tid`; schedules its
+    /// [`Event::ThreadReady`] and returns timing details.
+    pub fn submit_batch(&mut self, tid: u32, batch: &AccessBatch) -> BatchReceipt {
+        let now = self.now();
+        let mut device_finish = now;
+        let mut stall = Ns::ZERO;
+        // Accumulated (latency * accesses) for the mean-latency estimate.
+        let mut lat_weighted: f64 = 0.0;
+        let mut pages_touched: u64 = 0;
+        let page_size = batch
+            .segments
+            .first()
+            .map(|s| self.m.space.region(s.region).page_size())
+            .unwrap_or(PageSize::Huge2M);
+
+        for seg in &batch.segments {
+            let count = batch.count as f64 * seg.weight;
+            if count <= 0.0 || seg.hi_page <= seg.lo_page {
+                continue;
+            }
+            pages_touched += seg.pages();
+            let wf = seg.write_fraction.unwrap_or(batch.write_fraction);
+            let writes = count * wf;
+            let reads = count - writes;
+
+            stall += self.fault_unmapped(seg, count, now);
+
+            // LLC filtering.
+            let hit = match batch.pattern {
+                Pattern::Random => self.m.llc.hit_fraction(seg.llc_footprint),
+                Pattern::Sequential => self.m.llc.streaming_hit_fraction(),
+            };
+            let mem_reads = reads * (1.0 - hit);
+            let mem_writes = writes * (1.0 - hit);
+            lat_weighted += (reads + writes) * hit * self.m.llc.hit_latency().as_nanos() as f64;
+
+            // Deposit accessed/dirty-bit evidence for scanning backends.
+            // Random accesses each land on an independent page; a
+            // sequential stream touches consecutive addresses, so its
+            // page-touch count is bytes/page_size — depositing raw access
+            // counts would make a slow scan over a huge array set every
+            // accessed bit, when in reality only the pages the stream
+            // passed since the last scan are referenced.
+            let single_touch = batch.sweep || batch.pattern == Pattern::Sequential;
+            let (led_r, led_w) = if single_touch {
+                let per_page = page_size.bytes() as f64 / batch.object_size.max(1) as f64;
+                (
+                    mem_reads / per_page.max(1.0),
+                    mem_writes / per_page.max(1.0),
+                )
+            } else {
+                (mem_reads, mem_writes)
+            };
+            self.m
+                .space
+                .region_mut(seg.region)
+                .ledger
+                .add(seg.lo_page, seg.hi_page, led_r, led_w);
+
+            // Tier split and device reservations.
+            let split = self.backend.split(
+                &mut self.m,
+                seg,
+                batch.object_size,
+                batch.pattern,
+                mem_reads,
+                mem_writes,
+            );
+            for t in &split.traffic {
+                // Base device latency only: bandwidth queueing is captured
+                // by `device_finish` (accesses pipeline through the
+                // backlog; charging it per access would double-count).
+                let lat = self.m.device(t.tier).latency(t.op);
+                lat_weighted += t.count * (lat + split.extra_latency).as_nanos() as f64;
+                let res = self.m.reserve_traffic(now, t);
+                device_finish = device_finish.max(res.finish);
+            }
+
+            // Write-protection stalls: writes landing on migrating pages.
+            stall += self.wp_stall(seg, mem_writes);
+
+            // PEBS sampling. The batch's samples are generated over its
+            // whole service window; estimate that window for burst-drop
+            // accounting. PEBS counts *retired instructions*: an access of
+            // `object_size` bytes executes one load/store per cache line,
+            // so large objects fire proportionally more events.
+            if self.backend.uses_pebs() {
+                let window = device_finish.saturating_sub(now).max(Ns::micros(10));
+                let lines = (batch.object_size as f64 / 64.0).max(1.0);
+                self.fire_pebs(
+                    seg,
+                    mem_reads * lines,
+                    split.nvm_load_fraction,
+                    writes * lines,
+                    window,
+                );
+            }
+        }
+
+        // Translation overhead per access over the touched page set.
+        let trans = self.m.tlb.translation_overhead(pages_touched, page_size);
+        lat_weighted += batch.count as f64 * trans.as_nanos() as f64;
+
+        // TLB shootdowns since this thread's last batch stalled its core.
+        let total_sd = self.m.tlb.stats().shootdown_stall;
+        let charged = self.shootdown_charged.entry(tid).or_insert(Ns::ZERO);
+        stall += total_sd.saturating_sub(*charged);
+        *charged = total_sd;
+
+        let cpu_ns = batch.count as f64 * batch.cpu_ns_per_access;
+        let mem_ns = lat_weighted / batch.mlp.max(1.0);
+        let thread_time = Ns::from_nanos_f64((cpu_ns + mem_ns) * self.dilation()) + stall;
+        let complete_at = (now + thread_time).max(device_finish);
+        self.queue.push_at(complete_at, Event::ThreadReady(tid));
+        self.m.stats.ops += batch.count;
+        let mean = if batch.count > 0 {
+            Ns::from_nanos_f64(lat_weighted / batch.count as f64)
+        } else {
+            Ns::ZERO
+        };
+        BatchReceipt {
+            complete_at,
+            mean_access_latency: mean,
+        }
+    }
+
+    /// Faults the expected number of distinct unmapped pages a batch
+    /// touches in `seg`.
+    fn fault_unmapped(&mut self, seg: &crate::backend::SegmentAccess, count: f64, now: Ns) -> Ns {
+        let region = self.m.space.region(seg.region);
+        let pages = seg.pages();
+        let unmapped = pages - region.mapped_pages_in(seg.lo_page, seg.hi_page);
+        if unmapped == 0 {
+            return Ns::ZERO;
+        }
+        // Expected distinct unmapped pages touched by `count` uniform
+        // accesses over `pages` pages.
+        let lam = count / pages as f64;
+        let expect = unmapped as f64 * (1.0 - (-lam).exp());
+        let n = self.m.rng.round_stochastic(expect).min(unmapped);
+        let mut stall = Ns::ZERO;
+        for _ in 0..n {
+            let region = self.m.space.region(seg.region);
+            let left = region.page_count() - region.mapped_pages_in(seg.lo_page, seg.hi_page);
+            let _ = left;
+            let remaining = seg.pages() - region.mapped_pages_in(seg.lo_page, seg.hi_page);
+            if remaining == 0 {
+                break;
+            }
+            let k = self.m.rng.gen_range(remaining);
+            let Some(idx) = region.kth_unmapped_page_in(seg.lo_page, seg.hi_page, k) else {
+                break;
+            };
+            stall += self.fault_page(
+                PageId {
+                    region: seg.region,
+                    index: idx,
+                },
+                true,
+                now,
+            );
+        }
+        stall
+    }
+
+    fn wp_stall(&mut self, seg: &crate::backend::SegmentAccess, writes: f64) -> Ns {
+        let region = self.m.space.region(seg.region);
+        if region.wp_pages() == 0 || writes <= 0.0 {
+            return Ns::ZERO;
+        }
+        // Only WP pages inside this segment's span stall this segment's
+        // writes (a demoting cold page does not slow hot-segment stores).
+        let wp_in = region.wp_pages_in(seg.lo_page, seg.hi_page);
+        if wp_in == 0 {
+            return Ns::ZERO;
+        }
+        let frac = wp_in as f64 / seg.pages().max(1) as f64;
+        let hits = self.m.rng.round_stochastic(writes * frac);
+        if hits == 0 {
+            return Ns::ZERO;
+        }
+        self.m.stats.wp_stalls += hits;
+        // Each stalled write waits a fault round trip plus (on average)
+        // half a page-copy time at the migration rate cap.
+        let half_copy = Ns::from_secs_f64(region.page_size().bytes() as f64 / 10.0e9 / 2.0);
+        let per = self.m.fault_cfg.round_trip() + half_copy;
+        self.m
+            .fault_stats
+            .record(FaultKind::WriteProtect, per.scale(hits as f64));
+        per.scale(hits as f64)
+    }
+
+    /// Generates PEBS records for one segment's traffic.
+    fn fire_pebs(
+        &mut self,
+        seg: &crate::backend::SegmentAccess,
+        mem_reads: f64,
+        nvm_load_fraction: f64,
+        all_stores: f64,
+        window: Ns,
+    ) {
+        // CPU-cost bound on simulated record construction per batch; a
+        // batch producing more is thinned (its residual drops are counted,
+        // matching a PEBS thread that cannot keep up with the burst).
+        const MAX_RECORDS: u64 = 32_768;
+        let nvm_loads = mem_reads * nvm_load_fraction;
+        let dram_loads = mem_reads - nvm_loads;
+        let plan = [
+            (SampleType::NvmLoad, nvm_loads),
+            (SampleType::DramLoad, dram_loads),
+            (SampleType::Store, all_stores),
+        ];
+        let mut direct = Vec::new();
+        for (ty, expect) in plan {
+            let events = self.m.rng.round_stochastic(expect);
+            let fired = self.m.pebs.events(ty, events);
+            let room = self.m.pebs.burst_room(window);
+            let kept = fired.min(room).min(MAX_RECORDS);
+            self.m.pebs.drop_n(fired - kept);
+            // The records are produced across the batch's whole service
+            // window. What fits in the buffer right now is queued for the
+            // PEBS thread; the remainder — justified by the drain rate
+            // over the window — is handed to it directly, as it would be
+            // consumed while the batch is still running.
+            let buffered = kept.min(self.m.pebs.free_space());
+            for _ in 0..buffered {
+                if let Some(vaddr) = self.draw_sample_addr(seg, ty) {
+                    self.m.pebs.push(SampleRecord { vaddr, kind: ty });
+                }
+            }
+            for _ in 0..kept - buffered {
+                if let Some(vaddr) = self.draw_sample_addr(seg, ty) {
+                    direct.push(SampleRecord { vaddr, kind: ty });
+                }
+            }
+        }
+        if !direct.is_empty() {
+            self.m.pebs.record_direct(direct.len() as u64);
+            let now = self.now();
+            self.backend.on_samples(&mut self.m, &direct, now);
+        }
+    }
+
+    /// Picks a concrete virtual address within `seg` whose page residency
+    /// matches the sample type.
+    fn draw_sample_addr(
+        &mut self,
+        seg: &crate::backend::SegmentAccess,
+        ty: SampleType,
+    ) -> Option<u64> {
+        let region = self.m.space.region(seg.region);
+        let (lo, hi) = (seg.lo_page, seg.hi_page);
+        let dram = region.dram_pages_in(lo, hi);
+        let mapped = region.mapped_pages_in(lo, hi);
+        let idx = match ty {
+            SampleType::NvmLoad => {
+                let nvm = mapped - dram;
+                if nvm == 0 {
+                    return None;
+                }
+                let k = self.m.rng.gen_range(nvm);
+                region.kth_nvm_page_in(lo, hi, k)?
+            }
+            SampleType::DramLoad => {
+                if dram == 0 {
+                    return None;
+                }
+                let k = self.m.rng.gen_range(dram);
+                region.kth_dram_page_in(lo, hi, k)?
+            }
+            SampleType::Store => {
+                if mapped == 0 {
+                    return None;
+                }
+                // Any mapped page: pick proportionally among mapped.
+                let k = self.m.rng.gen_range(mapped);
+                let d = region.dram_pages_in(lo, hi);
+                if k < d {
+                    region.kth_dram_page_in(lo, hi, k)?
+                } else {
+                    region.kth_nvm_page_in(lo, hi, k - d)?
+                }
+            }
+        };
+        let region = self.m.space.region(seg.region);
+        let base = region.page_addr(idx).0;
+        let off = self.m.rng.gen_range(region.page_size().bytes());
+        Some(base + off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{TickOutput, TieredBackend};
+    use crate::machine::MachineConfig;
+    use hemem_memdev::GIB;
+
+    /// Minimal backend: everything managed, placed DRAM-first, no
+    /// background work, optional scripted migrations.
+    struct TestBackend {
+        jobs: Vec<MigrationJob>,
+        ticks: u32,
+        done: Vec<(PageId, Tier)>,
+    }
+
+    impl TestBackend {
+        fn new() -> TestBackend {
+            TestBackend {
+                jobs: Vec::new(),
+                ticks: 0,
+                done: Vec::new(),
+            }
+        }
+    }
+
+    impl TieredBackend for TestBackend {
+        fn name(&self) -> &'static str {
+            "test"
+        }
+        fn wants_to_manage(&self, _len: u64) -> bool {
+            true
+        }
+        fn on_mmap(&mut self, _m: &mut MachineCore, _r: RegionId) {}
+        fn on_munmap(&mut self, _m: &mut MachineCore, _r: RegionId) {}
+        fn place(&mut self, m: &mut MachineCore, _p: PageId, _w: bool) -> Tier {
+            if m.dram_pool.free_pages() > 0 {
+                Tier::Dram
+            } else {
+                Tier::Nvm
+            }
+        }
+        fn placed(&mut self, _m: &mut MachineCore, _p: PageId, _t: Tier) {}
+        fn tick(&mut self, _m: &mut MachineCore, now: Ns) -> TickOutput {
+            self.ticks += 1;
+            TickOutput {
+                next_wake: Some(now + Ns::millis(10)),
+                migrations: std::mem::take(&mut self.jobs),
+                swap_outs: Vec::new(),
+                cpu_time: Ns::ZERO,
+            }
+        }
+        fn migration_done(&mut self, _m: &mut MachineCore, page: PageId, dst: Tier) {
+            self.done.push((page, dst));
+        }
+    }
+
+    fn sim() -> Sim<TestBackend> {
+        Sim::new(MachineConfig::small(1, 4), TestBackend::new())
+    }
+
+    #[test]
+    fn mmap_populate_maps_every_page() {
+        let mut s = sim();
+        let id = s.mmap(GIB / 2);
+        let cost = s.populate(id, true);
+        assert!(cost > Ns::ZERO);
+        let r = s.m.space.region(id);
+        assert_eq!(r.mapped_pages(), 256);
+        assert_eq!(r.dram_pages(), 256, "fits in DRAM");
+    }
+
+    #[test]
+    fn populate_spills_to_nvm_when_dram_full() {
+        let mut s = sim();
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        let r = s.m.space.region(id);
+        assert_eq!(r.dram_pages(), 512);
+        assert_eq!(r.mapped_pages(), 1024);
+        assert_eq!(s.m.nvm_pool.allocated_pages(), 512);
+    }
+
+    #[test]
+    fn batch_schedules_thread_ready_and_counts_ops() {
+        let mut s = sim();
+        let id = s.mmap(GIB / 2);
+        s.populate(id, true);
+        let b = AccessBatch::uniform(id, 0, 256, 10_000, 8, 0.5, GIB / 2);
+        let receipt = s.submit_batch(3, &b);
+        assert!(receipt.complete_at > s.now());
+        let (t, ev) = s.step().expect("event");
+        assert_eq!(ev, Event::ThreadReady(3));
+        assert_eq!(t, receipt.complete_at);
+        assert_eq!(s.m.stats.ops, 10_000);
+    }
+
+    #[test]
+    fn batches_on_unmapped_pages_fault_them_in() {
+        let mut s = sim();
+        let id = s.mmap(GIB / 2);
+        // No populate: the batch itself must fault pages.
+        let b = AccessBatch::uniform(id, 0, 256, 500_000, 8, 0.5, GIB / 2);
+        s.submit_batch(0, &b);
+        while let Some((_, ev)) = s.step() {
+            if matches!(ev, Event::ThreadReady(_)) {
+                break;
+            }
+        }
+        let r = s.m.space.region(id);
+        assert!(
+            r.mapped_pages() > 200,
+            "most pages faulted: {}",
+            r.mapped_pages()
+        );
+        assert!(s.m.fault_stats.missing > 0);
+    }
+
+    #[test]
+    fn migration_moves_page_and_notifies_backend() {
+        let mut s = sim();
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        // Page 600 is NVM-resident; migrate it to DRAM (free a frame first).
+        let (t0, p0) = s.m.space.region_mut(id).unmap_page(0);
+        s.m.pool_mut(t0).free(p0);
+        let page = PageId {
+            region: id,
+            index: 600,
+        };
+        s.backend.jobs.push(MigrationJob {
+            page,
+            dst: Tier::Dram,
+            mechanism: crate::backend::CopyMechanism::Dma { channels: 2 },
+        });
+        s.advance(Ns::millis(50));
+        assert_eq!(s.m.stats.migrations_done, 1);
+        assert_eq!(s.backend.done, vec![(page, Tier::Dram)]);
+        match s.m.space.region(id).state(600) {
+            hemem_vmm::PageState::Mapped { tier, wp, .. } => {
+                assert_eq!(tier, Tier::Dram);
+                assert!(!wp, "write protection cleared");
+            }
+            other => panic!("page lost: {other:?}"),
+        }
+        assert_eq!(s.m.tlb.stats().shootdowns, 1, "remap shoots down the TLB");
+    }
+
+    #[test]
+    fn migration_to_full_tier_aborts_cleanly() {
+        let mut s = sim();
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true); // DRAM completely full
+        let page = PageId {
+            region: id,
+            index: 600,
+        };
+        s.backend.jobs.push(MigrationJob {
+            page,
+            dst: Tier::Dram,
+            mechanism: crate::backend::CopyMechanism::Threads(4),
+        });
+        s.advance(Ns::millis(50));
+        assert_eq!(s.m.stats.migrations_aborted, 1);
+        assert_eq!(s.m.stats.migrations_started, 0);
+        match s.m.space.region(id).state(600) {
+            hemem_vmm::PageState::Mapped { tier, .. } => assert_eq!(tier, Tier::Nvm),
+            other => panic!("page lost: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_migration_of_same_page_is_ignored() {
+        let mut s = sim();
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        let (t0, p0) = s.m.space.region_mut(id).unmap_page(0);
+        s.m.pool_mut(t0).free(p0);
+        let (t1, p1) = s.m.space.region_mut(id).unmap_page(1);
+        s.m.pool_mut(t1).free(p1);
+        let page = PageId {
+            region: id,
+            index: 700,
+        };
+        let job = MigrationJob {
+            page,
+            dst: Tier::Dram,
+            mechanism: crate::backend::CopyMechanism::Dma { channels: 1 },
+        };
+        s.backend.jobs.push(job);
+        s.backend.jobs.push(job); // duplicate in the same tick
+        s.advance(Ns::millis(50));
+        assert_eq!(
+            s.m.stats.migrations_done, 1,
+            "second job skipped (page was WP)"
+        );
+    }
+
+    #[test]
+    fn backend_ticks_fire_on_schedule() {
+        let mut s = sim();
+        s.advance(Ns::millis(105));
+        // Tick at t=0 plus one every 10 ms.
+        assert_eq!(s.backend.ticks, 11);
+    }
+
+    #[test]
+    fn dilation_counts_app_and_backend_threads() {
+        let mut s = sim();
+        assert_eq!(s.dilation(), 1.0);
+        s.set_app_threads(30);
+        assert!((s.dilation() - 30.0 / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn small_region_batches_stay_in_dram_without_pool() {
+        // SmallAnon regions are kernel-managed: mapped on fault without
+        // touching the tiered pools.
+        struct NoManage;
+        impl TieredBackend for NoManage {
+            fn name(&self) -> &'static str {
+                "nomanage"
+            }
+            fn wants_to_manage(&self, _len: u64) -> bool {
+                false
+            }
+            fn on_mmap(&mut self, _m: &mut MachineCore, _r: RegionId) {}
+            fn on_munmap(&mut self, _m: &mut MachineCore, _r: RegionId) {}
+            fn place(&mut self, _m: &mut MachineCore, _p: PageId, _w: bool) -> Tier {
+                Tier::Dram
+            }
+            fn placed(&mut self, _m: &mut MachineCore, _p: PageId, _t: Tier) {}
+            fn tick(&mut self, _m: &mut MachineCore, _now: Ns) -> TickOutput {
+                TickOutput::default()
+            }
+            fn migration_done(&mut self, _m: &mut MachineCore, _p: PageId, _d: Tier) {}
+        }
+        let mut s = Sim::new(MachineConfig::small(1, 4), NoManage);
+        let id = s.mmap(16 << 20);
+        s.populate(id, true);
+        let r = s.m.space.region(id);
+        assert_eq!(r.kind(), RegionKind::SmallAnon);
+        assert_eq!(r.dram_pages(), r.mapped_pages());
+        assert_eq!(
+            s.m.dram_pool.allocated_pages(),
+            0,
+            "kernel memory, not pool"
+        );
+    }
+
+    #[test]
+    fn wp_writes_stall_and_are_counted() {
+        let mut s = sim();
+        let id = s.mmap(GIB);
+        s.populate(id, true);
+        // Write-protect a slice of pages manually (migration in flight).
+        for i in 0..64 {
+            s.m.space.region_mut(id).set_wp(i, true);
+        }
+        let b = AccessBatch::uniform(id, 0, 64, 100_000, 8, 1.0, GIB);
+        s.submit_batch(0, &b);
+        while let Some((_, ev)) = s.step() {
+            if matches!(ev, Event::ThreadReady(_)) {
+                break;
+            }
+        }
+        assert!(s.m.stats.wp_stalls > 0);
+        assert!(s.m.fault_stats.wp > 0);
+    }
+
+    #[test]
+    fn run_until_lands_exactly_on_target() {
+        let mut s = sim();
+        s.run_until(Ns::millis(37));
+        assert_eq!(s.now(), Ns::millis(37));
+        s.advance(Ns::millis(3));
+        assert_eq!(s.now(), Ns::millis(40));
+    }
+
+    #[test]
+    fn munmap_after_population_frees_frames() {
+        let mut s = sim();
+        let free0 = (s.m.dram_pool.free_pages(), s.m.nvm_pool.free_pages());
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        s.munmap(id);
+        assert_eq!(
+            (s.m.dram_pool.free_pages(), s.m.nvm_pool.free_pages()),
+            free0
+        );
+    }
+}

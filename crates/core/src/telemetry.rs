@@ -1,0 +1,226 @@
+//! Time-series telemetry over a running simulation.
+//!
+//! Experiments like Figure 9 (instantaneous throughput) and Figure 16
+//! (per-iteration wear) need the machine's state sampled over virtual
+//! time. [`Telemetry`] snapshots counters on a fixed period driven by the
+//! workload loop (call [`Telemetry::maybe_sample`] whenever convenient —
+//! it only records when a full period has elapsed) and computes
+//! per-interval deltas for the cumulative counters.
+
+use hemem_sim::Ns;
+use hemem_vmm::RegionId;
+
+use crate::backend::TieredBackend;
+use crate::runtime::Sim;
+
+/// One snapshot of machine state.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct Snapshot {
+    /// Virtual time of the sample.
+    pub at: Ns,
+    /// DRAM-resident pages of the tracked region.
+    pub dram_pages: u64,
+    /// Mapped pages of the tracked region.
+    pub mapped_pages: u64,
+    /// Pages swapped to disk.
+    pub swapped_pages: u64,
+    /// Cumulative completed migrations.
+    pub migrations: u64,
+    /// Cumulative NVM media bytes written (wear).
+    pub nvm_wear: u64,
+    /// Cumulative application accesses.
+    pub ops: u64,
+    /// Cumulative write-protection stalls.
+    pub wp_stalls: u64,
+}
+
+/// Per-interval rates derived from consecutive snapshots.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct IntervalRates {
+    /// Interval end time.
+    pub at: Ns,
+    /// Accesses per second in the interval.
+    pub ops_per_sec: f64,
+    /// Migrations per second.
+    pub migrations_per_sec: f64,
+    /// NVM wear bytes per second.
+    pub wear_per_sec: f64,
+    /// DRAM residency fraction at interval end.
+    pub dram_fraction: f64,
+}
+
+/// Periodic sampler of one region's tiering state.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    region: RegionId,
+    period: Ns,
+    next_at: Ns,
+    samples: Vec<Snapshot>,
+}
+
+impl Telemetry {
+    /// Creates a sampler for `region` with the given period.
+    pub fn new(region: RegionId, period: Ns) -> Telemetry {
+        assert!(period > Ns::ZERO, "period must be positive");
+        Telemetry {
+            region,
+            period,
+            next_at: Ns::ZERO,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records a snapshot if at least one period elapsed since the last.
+    /// Returns `true` if a sample was taken.
+    pub fn maybe_sample<B: TieredBackend>(&mut self, sim: &Sim<B>) -> bool {
+        let now = sim.now();
+        if now < self.next_at {
+            return false;
+        }
+        self.next_at = now + self.period;
+        let r = sim.m.space.region(self.region);
+        self.samples.push(Snapshot {
+            at: now,
+            dram_pages: r.dram_pages(),
+            mapped_pages: r.mapped_pages(),
+            swapped_pages: r.swapped_pages(),
+            migrations: sim.m.stats.migrations_done,
+            nvm_wear: sim.m.nvm_wear_bytes(),
+            ops: sim.m.stats.ops,
+            wp_stalls: sim.m.stats.wp_stalls,
+        });
+        true
+    }
+
+    /// All snapshots taken so far.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.samples
+    }
+
+    /// Per-interval rates between consecutive snapshots.
+    pub fn rates(&self) -> Vec<IntervalRates> {
+        self.samples
+            .windows(2)
+            .map(|w| {
+                let (a, b) = (w[0], w[1]);
+                let dt = b.at.saturating_sub(a.at).as_secs_f64().max(1e-12);
+                IntervalRates {
+                    at: b.at,
+                    ops_per_sec: (b.ops - a.ops) as f64 / dt,
+                    migrations_per_sec: (b.migrations - a.migrations) as f64 / dt,
+                    wear_per_sec: (b.nvm_wear - a.nvm_wear) as f64 / dt,
+                    dram_fraction: if b.mapped_pages == 0 {
+                        0.0
+                    } else {
+                        b.dram_pages as f64 / b.mapped_pages as f64
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Renders snapshots as CSV (`time_s,dram_pages,mapped,swapped,
+    /// migrations,wear_bytes,ops,wp_stalls`).
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "time_s,dram_pages,mapped_pages,swapped_pages,migrations,nvm_wear,ops,wp_stalls\n",
+        );
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.3},{},{},{},{},{},{},{}\n",
+                s.at.as_secs_f64(),
+                s.dram_pages,
+                s.mapped_pages,
+                s.swapped_pages,
+                s.migrations,
+                s.nvm_wear,
+                s.ops,
+                s.wp_stalls
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::AccessBatch;
+    use crate::hemem::{HeMem, HeMemConfig};
+    use crate::machine::MachineConfig;
+    use crate::runtime::Event;
+
+    const GIB: u64 = 1 << 30;
+
+    fn setup() -> (Sim<HeMem>, RegionId) {
+        let mc = MachineConfig::small(1, 8);
+        let hc = HeMemConfig::scaled_for(&mc);
+        let mut sim = Sim::new(mc, HeMem::new(hc));
+        let id = sim.mmap(2 * GIB);
+        sim.populate(id, true);
+        (sim, id)
+    }
+
+    #[test]
+    fn samples_on_period_boundaries_only() {
+        let (mut sim, id) = setup();
+        let mut t = Telemetry::new(id, Ns::millis(100));
+        assert!(t.maybe_sample(&sim), "first call samples");
+        assert!(!t.maybe_sample(&sim), "no time passed");
+        sim.advance(Ns::millis(150));
+        assert!(t.maybe_sample(&sim));
+        assert_eq!(t.snapshots().len(), 2);
+    }
+
+    #[test]
+    fn rates_reflect_workload_progress() {
+        let (mut sim, id) = setup();
+        let mut t = Telemetry::new(id, Ns::millis(10));
+        t.maybe_sample(&sim);
+        let batch = AccessBatch::uniform(id, 0, 1024, 200_000, 8, 0.5, 2 * GIB);
+        for _ in 0..10 {
+            sim.submit_batch(0, &batch);
+            loop {
+                match sim.step() {
+                    Some((_, Event::ThreadReady(_))) | None => break,
+                    Some(_) => {}
+                }
+            }
+            t.maybe_sample(&sim);
+        }
+        let rates = t.rates();
+        assert!(!rates.is_empty());
+        assert!(rates.iter().any(|r| r.ops_per_sec > 0.0));
+        let last = rates.last().expect("rates");
+        assert!(last.dram_fraction > 0.0 && last.dram_fraction <= 1.0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let (mut sim, id) = setup();
+        let mut t = Telemetry::new(id, Ns::millis(50));
+        t.maybe_sample(&sim);
+        sim.advance(Ns::millis(60));
+        t.maybe_sample(&sim);
+        let csv = t.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("time_s,dram_pages"));
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn wear_and_migration_counters_are_monotone() {
+        let (mut sim, id) = setup();
+        let mut t = Telemetry::new(id, Ns::millis(20));
+        for _ in 0..20 {
+            sim.advance(Ns::millis(25));
+            t.maybe_sample(&sim);
+        }
+        let snaps = t.snapshots();
+        for w in snaps.windows(2) {
+            assert!(w[1].migrations >= w[0].migrations);
+            assert!(w[1].nvm_wear >= w[0].nvm_wear);
+            assert!(w[1].at > w[0].at);
+        }
+    }
+}

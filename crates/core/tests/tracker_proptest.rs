@@ -1,0 +1,117 @@
+//! Property tests on HeMem's page tracker: under arbitrary sample
+//! streams, every placed page is on exactly one queue (or legitimately
+//! in flight), counters never underflow, and pop/restore round-trips
+//! conserve pages.
+
+use proptest::prelude::*;
+
+use hemem_core::hemem::{PageTracker, Queue, TrackerConfig};
+use hemem_sim::Ns;
+use hemem_vmm::{PageId, RegionId, Tier};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Record { page: u64, write: bool, at_ms: u64 },
+    MarkHot { page: u64, wh: bool },
+    MarkCold { page: u64 },
+    PopPromotion,
+    PopDemotion { allow_hot: bool },
+    Replace { page: u64, tier_dram: bool },
+}
+
+fn op_strategy(pages: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..pages, any::<bool>(), 0u64..60_000).prop_map(|(page, write, at_ms)| Op::Record {
+            page,
+            write,
+            at_ms
+        }),
+        (0..pages, any::<bool>()).prop_map(|(page, wh)| Op::MarkHot { page, wh }),
+        (0..pages).prop_map(|page| Op::MarkCold { page }),
+        Just(Op::PopPromotion),
+        any::<bool>().prop_map(|allow_hot| Op::PopDemotion { allow_hot }),
+        (0..pages, any::<bool>()).prop_map(|(page, tier_dram)| Op::Replace { page, tier_dram }),
+    ]
+}
+
+const PAGES: u64 = 48;
+
+fn queue_total(t: &PageTracker) -> usize {
+    t.queue_len(Queue::DramHot)
+        + t.queue_len(Queue::DramCold)
+        + t.queue_len(Queue::NvmHot)
+        + t.queue_len(Queue::NvmCold)
+}
+
+proptest! {
+    #[test]
+    fn tracker_conserves_pages(ops in prop::collection::vec(op_strategy(PAGES), 1..300)) {
+        let region = RegionId(0);
+        let mut t = PageTracker::new(TrackerConfig::default());
+        t.add_region(region, PAGES);
+        for i in 0..PAGES {
+            t.placed(PageId { region, index: i }, if i % 2 == 0 { Tier::Dram } else { Tier::Nvm });
+        }
+        let mut popped: Vec<PageId> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Record { page, write, at_ms } => {
+                    t.record(PageId { region, index: page }, write, Ns::millis(at_ms));
+                }
+                Op::MarkHot { page, wh } => t.mark_hot(PageId { region, index: page }, wh),
+                Op::MarkCold { page } => t.mark_cold(PageId { region, index: page }),
+                Op::PopPromotion => {
+                    if let Some(p) = t.pop_promotion() {
+                        popped.push(p);
+                    }
+                }
+                Op::PopDemotion { allow_hot } => {
+                    if let Some(p) = t.pop_demotion(allow_hot) {
+                        popped.push(p);
+                    }
+                }
+                Op::Replace { page, tier_dram } => {
+                    // Simulate migration completion / abort restore.
+                    let p = PageId { region, index: page };
+                    if let Some(pos) = popped.iter().position(|&q| q == p) {
+                        popped.remove(pos);
+                        t.placed(p, if tier_dram { Tier::Dram } else { Tier::Nvm });
+                    }
+                }
+            }
+            // Conservation: queued + in-flight == total, always. (Record /
+            // mark operations on in-flight pages must not re-queue them...
+            // they may, which is why `placed` unlinks first; either way the
+            // total never exceeds PAGES.)
+            let total = queue_total(&t) + popped.len();
+            prop_assert!(total >= PAGES as usize, "lost pages: {total}");
+            prop_assert!(queue_total(&t) <= PAGES as usize, "duplicated pages");
+        }
+        // Drain everything back and verify exact conservation.
+        for p in popped.drain(..) {
+            t.placed(p, Tier::Dram);
+        }
+        prop_assert_eq!(queue_total(&t), PAGES as usize);
+    }
+
+    #[test]
+    fn counters_never_underflow_and_cooling_halves(
+        samples in prop::collection::vec((0u64..8, any::<bool>()), 1..500)
+    ) {
+        let region = RegionId(1);
+        let mut t = PageTracker::new(TrackerConfig {
+            cooling_min_interval: Ns::ZERO,
+            ..TrackerConfig::default()
+        });
+        t.add_region(region, 8);
+        for i in 0..8 {
+            t.placed(PageId { region, index: i }, Tier::Nvm);
+        }
+        for (i, (page, write)) in samples.into_iter().enumerate() {
+            t.record(PageId { region, index: page }, write, Ns::millis(i as u64));
+            let (r, w) = t.counters(PageId { region, index: page });
+            // Counters bounded by the cooling threshold + one increment.
+            prop_assert!(r + w <= 18 + 1, "counters ran away: {r}+{w}");
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Last-level cache filter.
+//!
+//! The machine model does not simulate the on-chip cache hierarchy in
+//! detail; it only needs to know what fraction of a workload's accesses
+//! reach memory at all. For the big-data access patterns the paper studies
+//! (random access over multi-gigabyte footprints) nearly everything
+//! misses; for footprints at or below LLC capacity nearly everything hits.
+//! We model the LLC as a fully-associative cache under independent random
+//! accesses, for which the steady-state hit ratio over a footprint `F`
+//! with capacity `C` is `min(1, C/F)`.
+
+use hemem_sim::Ns;
+
+/// Shared last-level cache model.
+#[derive(Debug, Clone)]
+pub struct Llc {
+    capacity: u64,
+    hit_latency: Ns,
+}
+
+impl Llc {
+    /// Creates an LLC of `capacity` bytes with the given hit latency.
+    pub fn new(capacity: u64, hit_latency: Ns) -> Llc {
+        assert!(capacity > 0, "LLC capacity must be positive");
+        Llc {
+            capacity,
+            hit_latency,
+        }
+    }
+
+    /// The 33 MB LLC of the evaluation's Cascade Lake socket.
+    pub fn cascade_lake() -> Llc {
+        Llc::new(33 * 1024 * 1024, Ns::nanos(20))
+    }
+
+    /// Cache capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Latency of an access served by the LLC.
+    pub fn hit_latency(&self) -> Ns {
+        self.hit_latency
+    }
+
+    /// Fraction of random accesses over a `footprint`-byte working set that
+    /// the LLC absorbs.
+    pub fn hit_fraction(&self, footprint: u64) -> f64 {
+        if footprint == 0 {
+            return 1.0;
+        }
+        (self.capacity as f64 / footprint as f64).min(1.0)
+    }
+
+    /// Hit fraction for a streaming (sequential, no-reuse) scan: the LLC
+    /// provides no reuse, only prefetch, which the device model already
+    /// accounts for in its sequential bandwidth.
+    pub fn streaming_hit_fraction(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_footprints_hit() {
+        let llc = Llc::cascade_lake();
+        assert_eq!(llc.hit_fraction(1024), 1.0);
+        assert_eq!(llc.hit_fraction(llc.capacity()), 1.0);
+        assert_eq!(llc.hit_fraction(0), 1.0);
+    }
+
+    #[test]
+    fn large_footprints_mostly_miss() {
+        let llc = Llc::cascade_lake();
+        let f = llc.hit_fraction(512 << 30);
+        assert!(f < 1e-3, "hit fraction {f}");
+    }
+
+    #[test]
+    fn hit_fraction_is_capacity_ratio() {
+        let llc = Llc::new(1000, Ns(10));
+        assert!((llc.hit_fraction(4000) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_never_hits() {
+        assert_eq!(Llc::cascade_lake().streaming_hit_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! # hemem-pebs
+//!
+//! Model of processor event-based sampling as HeMem uses it (§3.1). Three
+//! precise events are programmed:
+//!
+//! - `MEM_LOAD_RETIRED.LOCAL_PMM` — loads served from NVM,
+//! - `MEM_LOAD_L3_MISS_RETIRED.LOCAL_DRAM` — loads served from DRAM,
+//! - `MEM_INST_RETIRED.ALL_STORES` — all stores,
+//!
+//! each with a sample period (one record per `period` events). When a
+//! counter overflows the CPU appends a record carrying the instruction's
+//! virtual data address to a pre-allocated buffer; records arriving at a
+//! full buffer are lost. HeMem's PEBS thread drains the buffer at a
+//! bounded rate — the fidelity/overhead trade-off Figure 10 sweeps.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+
+use hemem_sim::Ns;
+
+/// Which programmed event produced a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SampleType {
+    /// `MEM_LOAD_RETIRED.LOCAL_PMM` — load served from NVM.
+    NvmLoad,
+    /// `MEM_LOAD_L3_MISS_RETIRED.LOCAL_DRAM` — load served from DRAM.
+    DramLoad,
+    /// `MEM_INST_RETIRED.ALL_STORES` — any store.
+    Store,
+}
+
+impl SampleType {
+    /// All sample types, indexable by [`SampleType::index`].
+    pub const ALL: [SampleType; 3] = [SampleType::NvmLoad, SampleType::DramLoad, SampleType::Store];
+
+    /// Dense index of this type.
+    pub fn index(self) -> usize {
+        match self {
+            SampleType::NvmLoad => 0,
+            SampleType::DramLoad => 1,
+            SampleType::Store => 2,
+        }
+    }
+
+    /// Whether this sample came from a store.
+    pub fn is_store(self) -> bool {
+        self == SampleType::Store
+    }
+}
+
+/// One PEBS record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRecord {
+    /// Virtual address targeted by the sampled instruction.
+    pub vaddr: u64,
+    /// Event that fired.
+    pub kind: SampleType,
+}
+
+/// PEBS configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PebsConfig {
+    /// Events per sample (the paper's default is ~5,000).
+    pub sample_period: u64,
+    /// Buffer capacity in records; overflow drops samples.
+    pub buffer_capacity: usize,
+    /// Records the PEBS thread can process per second of CPU time.
+    pub drain_rate: f64,
+    /// How often the PEBS thread wakes to read the buffer.
+    pub drain_interval: Ns,
+}
+
+impl Default for PebsConfig {
+    fn default() -> Self {
+        PebsConfig {
+            sample_period: 5_000,
+            buffer_capacity: 16_384,
+            drain_rate: 0.5e6,
+            drain_interval: Ns::millis(1),
+        }
+    }
+}
+
+/// Cumulative sampling counters.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct PebsStats {
+    /// Records the hardware generated.
+    pub generated: u64,
+    /// Records lost to buffer overflow.
+    pub dropped: u64,
+    /// Records consumed by the PEBS thread.
+    pub drained: u64,
+}
+
+impl PebsStats {
+    /// Fraction of generated samples that were lost.
+    pub fn drop_fraction(&self) -> f64 {
+        if self.generated == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.generated as f64
+        }
+    }
+}
+
+/// The PEBS unit: per-event residual counters plus the shared buffer.
+#[derive(Debug, Clone)]
+pub struct Pebs {
+    config: PebsConfig,
+    residual: [u64; 3],
+    buffer: VecDeque<SampleRecord>,
+    stats: PebsStats,
+}
+
+impl Pebs {
+    /// Creates an idle PEBS unit.
+    pub fn new(config: PebsConfig) -> Pebs {
+        assert!(config.sample_period > 0, "sample period must be positive");
+        assert!(
+            config.buffer_capacity > 0,
+            "buffer must hold at least one record"
+        );
+        Pebs {
+            config,
+            residual: [0; 3],
+            buffer: VecDeque::new(),
+            stats: PebsStats::default(),
+        }
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &PebsConfig {
+        &self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &PebsStats {
+        &self.stats
+    }
+
+    /// Records currently waiting in the buffer.
+    pub fn pending(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Advances the event counter for `kind` by `count` events and returns
+    /// how many samples fire. Deterministic: residual events carry over, so
+    /// exactly one sample fires per `sample_period` events of each type.
+    pub fn events(&mut self, kind: SampleType, count: u64) -> u64 {
+        let r = &mut self.residual[kind.index()];
+        *r += count;
+        let fired = *r / self.config.sample_period;
+        *r %= self.config.sample_period;
+        fired
+    }
+
+    /// Appends one record; returns `false` (and counts a drop) if the
+    /// buffer is full.
+    pub fn push(&mut self, rec: SampleRecord) -> bool {
+        self.stats.generated += 1;
+        if self.buffer.len() >= self.config.buffer_capacity {
+            self.stats.dropped += 1;
+            return false;
+        }
+        self.buffer.push_back(rec);
+        true
+    }
+
+    /// Counts `n` records as generated-and-dropped without touching the
+    /// buffer (burst overflow beyond what the PEBS thread can drain while
+    /// the burst is produced).
+    pub fn drop_n(&mut self, n: u64) {
+        self.stats.generated += n;
+        self.stats.dropped += n;
+    }
+
+    /// Counts `n` records as generated and immediately consumed (records
+    /// produced during a long batch window that the PEBS thread drains
+    /// concurrently, without ever accumulating in the buffer).
+    pub fn record_direct(&mut self, n: u64) {
+        self.stats.generated += n;
+        self.stats.drained += n;
+    }
+
+    /// Free buffer slots right now.
+    pub fn free_space(&self) -> u64 {
+        self.config
+            .buffer_capacity
+            .saturating_sub(self.buffer.len()) as u64
+    }
+
+    /// How many records a burst produced over `duration` can deliver
+    /// without loss: free buffer space plus what the PEBS thread drains
+    /// concurrently.
+    pub fn burst_room(&self, duration: Ns) -> u64 {
+        let free = self
+            .config
+            .buffer_capacity
+            .saturating_sub(self.buffer.len()) as u64;
+        let drained = (self.config.drain_rate * duration.as_secs_f64()) as u64;
+        free + drained
+    }
+
+    /// Removes up to `max` records in arrival order (the PEBS thread's
+    /// read).
+    pub fn drain(&mut self, max: usize) -> Vec<SampleRecord> {
+        let n = max.min(self.buffer.len());
+        let out: Vec<SampleRecord> = self.buffer.drain(..n).collect();
+        self.stats.drained += out.len() as u64;
+        out
+    }
+
+    /// How many records one drain pass may consume, given the PEBS
+    /// thread's processing rate and wake interval.
+    pub fn drain_budget(&self) -> usize {
+        (self.config.drain_rate * self.config.drain_interval.as_secs_f64()).ceil() as usize
+    }
+
+    /// CPU time the PEBS thread spends consuming `n` records.
+    pub fn drain_cpu_time(&self, n: usize) -> Ns {
+        Ns::from_secs_f64(n as f64 / self.config.drain_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(addr: u64) -> SampleRecord {
+        SampleRecord {
+            vaddr: addr,
+            kind: SampleType::Store,
+        }
+    }
+
+    #[test]
+    fn sampling_rate_is_exact_with_residual() {
+        let mut p = Pebs::new(PebsConfig {
+            sample_period: 5_000,
+            ..PebsConfig::default()
+        });
+        let mut fired = 0;
+        for _ in 0..100 {
+            fired += p.events(SampleType::NvmLoad, 1_234);
+        }
+        assert_eq!(fired, 100 * 1_234 / 5_000);
+    }
+
+    #[test]
+    fn per_type_counters_independent() {
+        let mut p = Pebs::new(PebsConfig {
+            sample_period: 10,
+            ..PebsConfig::default()
+        });
+        assert_eq!(p.events(SampleType::NvmLoad, 9), 0);
+        assert_eq!(p.events(SampleType::Store, 9), 0);
+        assert_eq!(p.events(SampleType::NvmLoad, 1), 1);
+        assert_eq!(p.events(SampleType::Store, 11), 2);
+    }
+
+    #[test]
+    fn buffer_overflow_drops() {
+        let mut p = Pebs::new(PebsConfig {
+            buffer_capacity: 2,
+            ..PebsConfig::default()
+        });
+        assert!(p.push(rec(1)));
+        assert!(p.push(rec(2)));
+        assert!(!p.push(rec(3)));
+        assert_eq!(p.stats().generated, 3);
+        assert_eq!(p.stats().dropped, 1);
+        assert!((p.stats().drop_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_is_fifo_and_bounded() {
+        let mut p = Pebs::new(PebsConfig::default());
+        for i in 0..10 {
+            p.push(rec(i));
+        }
+        let got = p.drain(4);
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].vaddr, 0);
+        assert_eq!(got[3].vaddr, 3);
+        assert_eq!(p.pending(), 6);
+        assert_eq!(p.stats().drained, 4);
+        let rest = p.drain(100);
+        assert_eq!(rest.len(), 6);
+    }
+
+    #[test]
+    fn drain_budget_matches_rate() {
+        let p = Pebs::new(PebsConfig {
+            drain_rate: 1.0e6,
+            drain_interval: Ns::millis(2),
+            ..PebsConfig::default()
+        });
+        assert_eq!(p.drain_budget(), 2_000);
+        assert_eq!(p.drain_cpu_time(1_000), Ns::millis(1));
+    }
+
+    #[test]
+    fn low_period_overflows_high_period_does_not() {
+        // Figure 10's mechanism: at small sample periods the hardware
+        // outpaces the drain budget and samples drop.
+        let mk = |period| {
+            Pebs::new(PebsConfig {
+                sample_period: period,
+                buffer_capacity: 1_000,
+                ..PebsConfig::default()
+            })
+        };
+        let mut fast = mk(10);
+        let mut slow = mk(10_000);
+        // 100k accesses between drains.
+        for p in [&mut fast, &mut slow] {
+            let fired = p.events(SampleType::Store, 100_000);
+            for i in 0..fired {
+                p.push(rec(i));
+            }
+            p.drain(p.drain_budget());
+        }
+        assert!(fast.stats().dropped > 0, "period 10 must overflow");
+        assert_eq!(slow.stats().dropped, 0, "period 10k must not overflow");
+    }
+
+    #[test]
+    fn sample_type_helpers() {
+        assert!(SampleType::Store.is_store());
+        assert!(!SampleType::NvmLoad.is_store());
+        for (i, t) in SampleType::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # hemem-sim
+//!
+//! Deterministic discrete-event simulation kernel underpinning the HeMem
+//! reproduction. Provides:
+//!
+//! - [`time::Ns`] — integer virtual time;
+//! - [`queue::EventQueue`] — time-ordered event queue with FIFO tie-break;
+//! - [`rng::Rng`] / [`rng::Zipf`] — reproducible random streams;
+//! - [`cores::CoreModel`] — proportional-share CPU contention;
+//! - [`stats`] — histograms, running moments, windowed rate series;
+//! - [`list`] — arena-backed intrusive FIFO queues (HeMem's page lists).
+//!
+//! Everything here is domain-agnostic; the machine model lives in
+//! `hemem-core` and the device models in `hemem-memdev`.
+
+#![warn(missing_docs)]
+
+pub mod cores;
+pub mod list;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use cores::CoreModel;
+pub use queue::EventQueue;
+pub use rng::{Rng, Zipf};
+pub use stats::{Histogram, RateSeries, Running};
+pub use time::Ns;

@@ -1,0 +1,188 @@
+//! Time-ordered event queue with deterministic FIFO tie-breaking.
+//!
+//! Events scheduled for the same instant fire in the order they were pushed
+//! (a monotone sequence number breaks ties), which keeps the simulation
+//! bit-exact regardless of heap internals.
+
+use core::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Ns;
+
+struct Entry<E> {
+    at: Ns,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of `(time, event)` pairs.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: Ns,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Ns::ZERO,
+        }
+    }
+
+    /// The instant of the most recently popped event.
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is in the past; the simulation never
+    /// rewinds time.
+    pub fn push_at(&mut self, at: Ns, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn push_after(&mut self, delay: Ns, event: E) {
+        self.push_at(Ns(self.now.0.saturating_add(delay.0)), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its instant.
+    pub fn pop(&mut self) -> Option<(Ns, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// The instant of the next pending event without popping it.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push_at(Ns(30), "c");
+        q.push_at(Ns(10), "a");
+        q.push_at(Ns(20), "b");
+        assert_eq!(q.pop(), Some((Ns(10), "a")));
+        assert_eq!(q.pop(), Some((Ns(20), "b")));
+        assert_eq!(q.pop(), Some((Ns(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push_at(Ns(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Ns(5), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.push_at(Ns(100), ());
+        assert_eq!(q.now(), Ns::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Ns(100));
+        q.push_after(Ns(50), ());
+        assert_eq!(q.peek_time(), Some(Ns(150)));
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push_at(Ns(10), 1u32);
+        q.push_at(Ns(40), 4);
+        assert_eq!(q.pop().expect("event").1, 1);
+        q.push_at(Ns(20), 2);
+        q.push_at(Ns(30), 3);
+        assert_eq!(q.pop().expect("event").1, 2);
+        assert_eq!(q.pop().expect("event").1, 3);
+        assert_eq!(q.pop().expect("event").1, 4);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduling into the past")]
+    fn rejects_past_events_in_debug() {
+        let mut q = EventQueue::new();
+        q.push_at(Ns(100), ());
+        q.pop();
+        q.push_at(Ns(50), ());
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push_at(Ns(1), ());
+        q.push_at(Ns(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

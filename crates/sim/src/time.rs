@@ -1,0 +1,182 @@
+//! Virtual time.
+//!
+//! All simulation time is expressed in integer nanoseconds wrapped in the
+//! [`Ns`] newtype. Using an integer keeps event ordering exact and the
+//! simulation deterministic; helper constructors keep call sites readable.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// The zero instant.
+    pub const ZERO: Ns = Ns(0);
+    /// The largest representable instant; used as "never".
+    pub const MAX: Ns = Ns(u64::MAX);
+
+    /// Creates a time span of `n` nanoseconds.
+    pub const fn nanos(n: u64) -> Ns {
+        Ns(n)
+    }
+
+    /// Creates a time span of `n` microseconds.
+    pub const fn micros(n: u64) -> Ns {
+        Ns(n * 1_000)
+    }
+
+    /// Creates a time span of `n` milliseconds.
+    pub const fn millis(n: u64) -> Ns {
+        Ns(n * 1_000_000)
+    }
+
+    /// Creates a time span of `n` seconds.
+    pub const fn secs(n: u64) -> Ns {
+        Ns(n * 1_000_000_000)
+    }
+
+    /// Creates a time span from a fractional second count, rounding down.
+    pub fn from_secs_f64(s: f64) -> Ns {
+        debug_assert!(s >= 0.0, "negative time span");
+        Ns((s * 1e9) as u64)
+    }
+
+    /// Creates a time span from fractional nanoseconds, rounding to nearest.
+    pub fn from_nanos_f64(n: f64) -> Ns {
+        debug_assert!(n >= 0.0, "negative time span");
+        Ns((n + 0.5) as u64)
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// This instant as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This instant as fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Raw nanosecond count.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction; returns [`Ns::ZERO`] on underflow.
+    pub fn saturating_sub(self, other: Ns) -> Ns {
+        Ns(self.0.saturating_sub(other.0))
+    }
+
+    /// Saturating addition; returns [`Ns::MAX`] on overflow.
+    pub fn saturating_add(self, other: Ns) -> Ns {
+        Ns(self.0.saturating_add(other.0))
+    }
+
+    /// Scales this span by a non-negative factor, saturating on overflow.
+    pub fn scale(self, factor: f64) -> Ns {
+        debug_assert!(factor >= 0.0, "negative scale factor");
+        let v = self.0 as f64 * factor;
+        if v >= u64::MAX as f64 {
+            Ns::MAX
+        } else {
+            Ns(v as u64)
+        }
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Ns {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(Ns::micros(1), Ns(1_000));
+        assert_eq!(Ns::millis(1), Ns(1_000_000));
+        assert_eq!(Ns::secs(1), Ns(1_000_000_000));
+        assert_eq!(Ns::secs(2) + Ns::millis(500), Ns(2_500_000_000));
+    }
+
+    #[test]
+    fn float_round_trips() {
+        assert_eq!(Ns::from_secs_f64(1.5), Ns(1_500_000_000));
+        assert!((Ns::secs(3).as_secs_f64() - 3.0).abs() < 1e-12);
+        assert_eq!(Ns::from_nanos_f64(10.6), Ns(11));
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Ns(5).saturating_sub(Ns(10)), Ns::ZERO);
+        assert_eq!(Ns::MAX.saturating_add(Ns(1)), Ns::MAX);
+        assert_eq!(Ns::MAX.scale(2.0), Ns::MAX);
+        assert_eq!(Ns(100).scale(0.5), Ns(50));
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", Ns(12)), "12ns");
+        assert_eq!(format!("{}", Ns::micros(3)), "3.000us");
+        assert_eq!(format!("{}", Ns::millis(3)), "3.000ms");
+        assert_eq!(format!("{}", Ns::secs(3)), "3.000s");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Ns(1) < Ns(2));
+        assert!(Ns::ZERO < Ns::MAX);
+    }
+}

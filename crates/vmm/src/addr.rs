@@ -1,0 +1,206 @@
+//! Address and page-size types shared across the virtual-memory substrate.
+
+use core::fmt;
+
+/// Memory tier a physical page lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Tier {
+    /// Fast, small DRAM.
+    Dram,
+    /// Slow, large NVM.
+    Nvm,
+}
+
+impl Tier {
+    /// The other tier.
+    pub fn other(self) -> Tier {
+        match self {
+            Tier::Dram => Tier::Nvm,
+            Tier::Nvm => Tier::Dram,
+        }
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tier::Dram => write!(f, "DRAM"),
+            Tier::Nvm => write!(f, "NVM"),
+        }
+    }
+}
+
+/// Hardware page sizes of x86-64.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum PageSize {
+    /// 4 KiB base pages.
+    Base4K,
+    /// 2 MiB huge pages (HeMem's tracking and migration granularity).
+    Huge2M,
+    /// 1 GiB giant pages.
+    Giga1G,
+}
+
+impl PageSize {
+    /// Size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            PageSize::Base4K => 4 << 10,
+            PageSize::Huge2M => 2 << 20,
+            PageSize::Giga1G => 1 << 30,
+        }
+    }
+
+    /// Page-table walk depth to reach a leaf entry of this size.
+    pub const fn walk_levels(self) -> u32 {
+        match self {
+            PageSize::Base4K => 4,
+            PageSize::Huge2M => 3,
+            PageSize::Giga1G => 2,
+        }
+    }
+
+    /// Number of pages of this size needed to back `bytes`, rounded up.
+    pub const fn pages_for(self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.bytes())
+    }
+}
+
+/// A virtual address (paper-style: within one process's address space).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub struct VirtAddr(pub u64);
+
+impl VirtAddr {
+    /// Index of the page of size `ps` containing this address, relative to
+    /// address zero.
+    pub fn page_index(self, ps: PageSize) -> u64 {
+        self.0 / ps.bytes()
+    }
+
+    /// Offset within its page.
+    pub fn page_offset(self, ps: PageSize) -> u64 {
+        self.0 % ps.bytes()
+    }
+}
+
+/// A half-open virtual address range `[base, base + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct VirtRange {
+    /// First address.
+    pub base: VirtAddr,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl VirtRange {
+    /// Creates a range.
+    pub fn new(base: u64, len: u64) -> VirtRange {
+        VirtRange {
+            base: VirtAddr(base),
+            len,
+        }
+    }
+
+    /// One past the last address.
+    pub fn end(&self) -> u64 {
+        self.base.0 + self.len
+    }
+
+    /// Whether `addr` falls inside the range.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr.0 >= self.base.0 && addr.0 < self.end()
+    }
+
+    /// Whether this range overlaps `other`.
+    pub fn overlaps(&self, other: &VirtRange) -> bool {
+        self.base.0 < other.end() && other.base.0 < self.end()
+    }
+
+    /// Number of pages of size `ps` covering the range.
+    pub fn page_count(&self, ps: PageSize) -> u64 {
+        if self.len == 0 {
+            return 0;
+        }
+        let first = self.base.0 / ps.bytes();
+        let last = (self.end() - 1) / ps.bytes();
+        last - first + 1
+    }
+}
+
+/// Identifier of a managed memory region (one `mmap`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct RegionId(pub u32);
+
+/// A page within a region: `(region, index-within-region)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct PageId {
+    /// Owning region.
+    pub region: RegionId,
+    /// Page index within the region.
+    pub index: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_bytes() {
+        assert_eq!(PageSize::Base4K.bytes(), 4096);
+        assert_eq!(PageSize::Huge2M.bytes(), 2 * 1024 * 1024);
+        assert_eq!(PageSize::Giga1G.bytes(), 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn walk_depth_shrinks_with_page_size() {
+        assert!(PageSize::Base4K.walk_levels() > PageSize::Huge2M.walk_levels());
+        assert!(PageSize::Huge2M.walk_levels() > PageSize::Giga1G.walk_levels());
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(PageSize::Base4K.pages_for(1), 1);
+        assert_eq!(PageSize::Base4K.pages_for(4096), 1);
+        assert_eq!(PageSize::Base4K.pages_for(4097), 2);
+        assert_eq!(PageSize::Huge2M.pages_for(0), 0);
+    }
+
+    #[test]
+    fn range_contains_and_overlaps() {
+        let r = VirtRange::new(0x1000, 0x1000);
+        assert!(r.contains(VirtAddr(0x1000)));
+        assert!(r.contains(VirtAddr(0x1FFF)));
+        assert!(!r.contains(VirtAddr(0x2000)));
+        assert!(r.overlaps(&VirtRange::new(0x1800, 0x1000)));
+        assert!(!r.overlaps(&VirtRange::new(0x2000, 0x1000)));
+        assert!(!r.overlaps(&VirtRange::new(0, 0x1000)));
+    }
+
+    #[test]
+    fn page_counting_spans_boundaries() {
+        let ps = PageSize::Base4K;
+        assert_eq!(VirtRange::new(0, 4096).page_count(ps), 1);
+        assert_eq!(VirtRange::new(100, 4096).page_count(ps), 2);
+        assert_eq!(VirtRange::new(0, 0).page_count(ps), 0);
+    }
+
+    #[test]
+    fn tier_other() {
+        assert_eq!(Tier::Dram.other(), Tier::Nvm);
+        assert_eq!(Tier::Nvm.other(), Tier::Dram);
+        assert_eq!(format!("{}/{}", Tier::Dram, Tier::Nvm), "DRAM/NVM");
+    }
+
+    #[test]
+    fn virt_addr_page_math() {
+        let a = VirtAddr(2 * 1024 * 1024 + 5);
+        assert_eq!(a.page_index(PageSize::Huge2M), 1);
+        assert_eq!(a.page_offset(PageSize::Huge2M), 5);
+    }
+}

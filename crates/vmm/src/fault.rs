@@ -1,0 +1,185 @@
+//! Userfaultfd-style fault channel model.
+//!
+//! HeMem registers managed ranges with `userfaultfd`; the kernel forwards
+//! page-missing and write-protection faults to a dedicated user-level
+//! fault-handling thread (§3.2). We model the costs of that round trip:
+//! the faulting thread stalls for kernel entry + event delivery + handler
+//! service + wakeup. Write-protection faults during migration additionally
+//! wait for the in-flight copy to finish.
+
+use hemem_sim::Ns;
+
+use crate::addr::PageId;
+
+/// Why a fault was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FaultKind {
+    /// First touch of an unmapped page.
+    Missing,
+    /// Store hit a write-protected (migrating) page.
+    WriteProtect,
+}
+
+/// A fault event delivered to the manager's fault thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// Faulting page.
+    pub page: PageId,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Whether the faulting access was a store.
+    pub is_write: bool,
+}
+
+/// Fault-path cost parameters.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FaultConfig {
+    /// Kernel fault entry + userfaultfd event delivery to the handler.
+    pub deliver: Ns,
+    /// Handler-side service (ioctl to map a zero page / adjust protection).
+    pub service: Ns,
+    /// Wakeup of the faulting thread.
+    pub wake: Ns,
+    /// Faults per second HeMem's single fault-handling thread sustains;
+    /// a fault storm queues behind it (§5: "userfaultfd can slow down
+    /// applications with frequent page faults").
+    pub thread_rate: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        // A userfaultfd round trip costs several microseconds; the paper
+        // notes this is irrelevant at steady state because big-memory
+        // applications fault only during warm-up (§5, "Overhead of
+        // userfaultfd").
+        FaultConfig {
+            deliver: Ns::micros(3),
+            service: Ns::micros(4),
+            wake: Ns::micros(2),
+            thread_rate: 250_000.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Total stall of a faulting thread, excluding any wait for migration.
+    pub fn round_trip(&self) -> Ns {
+        self.deliver + self.service + self.wake
+    }
+}
+
+/// The single fault-handling thread: a FIFO server with a fixed service
+/// rate. Faults arriving faster than [`FaultConfig::thread_rate`] queue,
+/// and every queued fault stalls its application thread for the backlog.
+#[derive(Debug, Clone, Default)]
+pub struct FaultThread {
+    free_at: Ns,
+}
+
+impl FaultThread {
+    /// Creates an idle fault thread.
+    pub fn new() -> FaultThread {
+        FaultThread::default()
+    }
+
+    /// Admits one fault at `now`; returns the extra stall beyond the base
+    /// round trip (queueing behind earlier faults).
+    pub fn admit(&mut self, now: Ns, cfg: &FaultConfig) -> Ns {
+        let service = Ns::from_secs_f64(1.0 / cfg.thread_rate.max(1.0));
+        let start = now.max(self.free_at);
+        self.free_at = start + service;
+        start.saturating_sub(now)
+    }
+
+    /// Current backlog at the handler.
+    pub fn backlog(&self, now: Ns) -> Ns {
+        self.free_at.saturating_sub(now)
+    }
+}
+
+/// Cumulative fault counters.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct FaultStats {
+    /// Page-missing faults handled.
+    pub missing: u64,
+    /// Write-protection faults handled.
+    pub wp: u64,
+    /// Total stall time inflicted on faulting threads.
+    pub stall: Ns,
+}
+
+impl FaultStats {
+    /// Records a handled fault.
+    pub fn record(&mut self, kind: FaultKind, stall: Ns) {
+        match kind {
+            FaultKind::Missing => self.missing += 1,
+            FaultKind::WriteProtect => self.wp += 1,
+        }
+        self.stall += stall;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::RegionId;
+
+    #[test]
+    fn round_trip_sums_components() {
+        let c = FaultConfig::default();
+        assert_eq!(c.round_trip(), Ns::micros(9));
+    }
+
+    #[test]
+    fn stats_record_by_kind() {
+        let mut s = FaultStats::default();
+        s.record(FaultKind::Missing, Ns::micros(9));
+        s.record(FaultKind::Missing, Ns::micros(9));
+        s.record(FaultKind::WriteProtect, Ns::micros(50));
+        assert_eq!(s.missing, 2);
+        assert_eq!(s.wp, 1);
+        assert_eq!(s.stall, Ns::micros(68));
+    }
+
+    #[test]
+    fn fault_thread_queues_storms() {
+        let cfg = FaultConfig::default();
+        let mut t = FaultThread::new();
+        // First fault: no queueing.
+        assert_eq!(t.admit(Ns::ZERO, &cfg), Ns::ZERO);
+        // A burst of 1000 faults at the same instant queues linearly.
+        let mut last = Ns::ZERO;
+        for _ in 0..1000 {
+            last = t.admit(Ns::ZERO, &cfg);
+        }
+        assert!(last >= Ns::micros(4_000), "1000 faults at 250k/s: {last}");
+        // After the backlog drains, admission is free again.
+        let after = Ns(t.backlog(Ns::ZERO).as_nanos() + 1);
+        assert_eq!(t.admit(after, &cfg), Ns::ZERO);
+    }
+
+    #[test]
+    fn fault_thread_keeps_up_with_slow_arrivals() {
+        let cfg = FaultConfig::default();
+        let mut t = FaultThread::new();
+        for i in 0..100u64 {
+            // One fault per 100 us: far below 250 k/s.
+            let stall = t.admit(Ns::micros(100 * i), &cfg);
+            assert_eq!(stall, Ns::ZERO, "fault {i} queued unexpectedly");
+        }
+    }
+
+    #[test]
+    fn fault_event_is_plain_data() {
+        let f = Fault {
+            page: PageId {
+                region: RegionId(0),
+                index: 3,
+            },
+            kind: FaultKind::WriteProtect,
+            is_write: true,
+        };
+        assert_eq!(f.kind, FaultKind::WriteProtect);
+        assert!(f.is_write);
+    }
+}

@@ -1,0 +1,132 @@
+//! Fenwick (binary indexed) tree over page flags.
+//!
+//! Access batches cover arbitrary virtual sub-ranges; to split a batch's
+//! traffic between tiers the machine needs "how many pages of `[lo, hi)`
+//! are DRAM-resident" in O(log n), with O(log n) updates as pages migrate.
+
+/// A Fenwick tree of 0/1 page flags with prefix-sum range queries.
+#[derive(Debug, Clone)]
+pub struct FlagTree {
+    tree: Vec<u32>,
+    flags: Vec<bool>,
+}
+
+impl FlagTree {
+    /// Creates a tree over `n` pages, all flags clear.
+    pub fn new(n: usize) -> FlagTree {
+        FlagTree {
+            tree: vec![0; n + 1],
+            flags: vec![false; n],
+        }
+    }
+
+    /// Number of pages tracked.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether the tree tracks zero pages.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// Current flag of page `i`.
+    pub fn get(&self, i: usize) -> bool {
+        self.flags[i]
+    }
+
+    /// Sets page `i`'s flag, updating sums; idempotent.
+    pub fn set(&mut self, i: usize, value: bool) {
+        if self.flags[i] == value {
+            return;
+        }
+        self.flags[i] = value;
+        let delta: i64 = if value { 1 } else { -1 };
+        let mut idx = i + 1;
+        while idx < self.tree.len() {
+            self.tree[idx] = (self.tree[idx] as i64 + delta) as u32;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    fn prefix(&self, mut idx: usize) -> u64 {
+        let mut s = 0u64;
+        while idx > 0 {
+            s += self.tree[idx] as u64;
+            idx -= idx & idx.wrapping_neg();
+        }
+        s
+    }
+
+    /// Number of set flags among pages `[lo, hi)`.
+    pub fn count_range(&self, lo: usize, hi: usize) -> u64 {
+        if hi <= lo {
+            return 0;
+        }
+        let hi = hi.min(self.flags.len());
+        self.prefix(hi) - self.prefix(lo)
+    }
+
+    /// Total set flags.
+    pub fn count(&self) -> u64 {
+        self.prefix(self.flags.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_count() {
+        let mut t = FlagTree::new(10);
+        t.set(2, true);
+        t.set(5, true);
+        t.set(9, true);
+        assert_eq!(t.count(), 3);
+        assert_eq!(t.count_range(0, 10), 3);
+        assert_eq!(t.count_range(3, 9), 1);
+        assert_eq!(t.count_range(2, 3), 1);
+        assert!(t.get(2));
+        assert!(!t.get(3));
+    }
+
+    #[test]
+    fn set_is_idempotent_and_reversible() {
+        let mut t = FlagTree::new(4);
+        t.set(1, true);
+        t.set(1, true);
+        assert_eq!(t.count(), 1);
+        t.set(1, false);
+        t.set(1, false);
+        assert_eq!(t.count(), 0);
+    }
+
+    #[test]
+    fn empty_ranges() {
+        let mut t = FlagTree::new(4);
+        t.set(0, true);
+        assert_eq!(t.count_range(2, 2), 0);
+        assert_eq!(t.count_range(3, 1), 0);
+        assert_eq!(t.count_range(0, 100), 1, "hi clamps to len");
+    }
+
+    #[test]
+    fn matches_naive_on_random_ops() {
+        use hemem_sim::Rng;
+        let mut rng = Rng::new(99);
+        let n = 257;
+        let mut t = FlagTree::new(n);
+        let mut naive = vec![false; n];
+        for _ in 0..2_000 {
+            let i = rng.gen_range(n as u64) as usize;
+            let v = rng.bernoulli(0.5);
+            t.set(i, v);
+            naive[i] = v;
+            let lo = rng.gen_range(n as u64) as usize;
+            let hi = lo + rng.gen_range((n - lo) as u64 + 1) as usize;
+            let expect = naive[lo..hi].iter().filter(|&&b| b).count() as u64;
+            assert_eq!(t.count_range(lo, hi), expect);
+        }
+    }
+}

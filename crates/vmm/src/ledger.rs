@@ -1,0 +1,187 @@
+//! Access ledger: expected per-page access densities since the last
+//! page-table scan.
+//!
+//! The simulator executes access *batches*, not individual loads and
+//! stores, so page-table accessed/dirty bits cannot be set eagerly.
+//! Instead every batch deposits its expected per-page access density here,
+//! and scanning backends (Nimble, the HeMem-PT variants) sample the bits
+//! lazily at scan time: a page with expected access count λ since the last
+//! clear has its accessed bit set with probability `1 - exp(-λ)` — exactly
+//! the probability a Poisson-distributed access stream touched it at
+//! least once. This reproduces the paper's key page-table pathology: the
+//! longer a scan interval (or the slower the scanner), the larger λ grows
+//! and the more of memory *looks* hot (§2.3, Figure 8).
+
+use std::collections::BTreeMap;
+
+/// Per-page expected access densities accumulated over an interval.
+#[derive(Debug, Clone, Default)]
+pub struct AccessLedger {
+    /// Difference map: at key `k`, the read/write density changes by the
+    /// stored deltas. Densities are expected accesses *per page*.
+    bounds: BTreeMap<u64, (f64, f64)>,
+}
+
+impl AccessLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> AccessLedger {
+        AccessLedger::default()
+    }
+
+    /// Adds `reads`/`writes` expected accesses spread uniformly over pages
+    /// `[lo, hi)`.
+    pub fn add(&mut self, lo: u64, hi: u64, reads: f64, writes: f64) {
+        if hi <= lo || (reads == 0.0 && writes == 0.0) {
+            return;
+        }
+        let pages = (hi - lo) as f64;
+        let (r, w) = (reads / pages, writes / pages);
+        let e = self.bounds.entry(lo).or_insert((0.0, 0.0));
+        e.0 += r;
+        e.1 += w;
+        let e = self.bounds.entry(hi).or_insert((0.0, 0.0));
+        e.0 -= r;
+        e.1 -= w;
+    }
+
+    /// Expected (reads, writes) deposited on one page.
+    pub fn probe(&self, page: u64) -> (f64, f64) {
+        let mut r = 0.0;
+        let mut w = 0.0;
+        for (_, &(dr, dw)) in self.bounds.range(..=page) {
+            r += dr;
+            w += dw;
+        }
+        (r.max(0.0), w.max(0.0))
+    }
+
+    /// Iterates maximal constant-density segments `(lo, hi, reads_per_page,
+    /// writes_per_page)` in address order, covering only non-zero spans.
+    pub fn segments(&self) -> Vec<(u64, u64, f64, f64)> {
+        let mut out = Vec::new();
+        let mut r = 0.0;
+        let mut w = 0.0;
+        let mut prev: Option<u64> = None;
+        for (&k, &(dr, dw)) in &self.bounds {
+            if let Some(p) = prev {
+                if k > p && (r > 1e-12 || w > 1e-12) {
+                    out.push((p, k, r, w));
+                }
+            }
+            r += dr;
+            w += dw;
+            prev = Some(k);
+        }
+        out
+    }
+
+    /// Total expected accesses recorded (reads, writes).
+    pub fn totals(&self) -> (f64, f64) {
+        self.segments()
+            .iter()
+            .fold((0.0, 0.0), |(ar, aw), &(lo, hi, r, w)| {
+                let pages = (hi - lo) as f64;
+                (ar + r * pages, aw + w * pages)
+            })
+    }
+
+    /// Forgets everything (a scan cleared the accessed/dirty bits).
+    pub fn clear(&mut self) {
+        self.bounds.clear();
+    }
+
+    /// Whether anything was recorded since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+}
+
+/// Probability that a Poisson stream with mean `lambda` produced at least
+/// one event — the chance an accessed/dirty bit is set.
+pub fn touched_probability(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        0.0
+    } else {
+        1.0 - (-lambda).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_range_uniform_density() {
+        let mut l = AccessLedger::new();
+        l.add(10, 20, 100.0, 50.0);
+        assert_eq!(l.probe(10), (10.0, 5.0));
+        assert_eq!(l.probe(19), (10.0, 5.0));
+        assert_eq!(l.probe(9), (0.0, 0.0));
+        assert_eq!(l.probe(20), (0.0, 0.0));
+    }
+
+    #[test]
+    fn overlapping_ranges_accumulate() {
+        let mut l = AccessLedger::new();
+        l.add(0, 10, 10.0, 0.0);
+        l.add(5, 15, 20.0, 10.0);
+        assert_eq!(l.probe(3), (1.0, 0.0));
+        assert_eq!(l.probe(7), (3.0, 1.0));
+        assert_eq!(l.probe(12), (2.0, 1.0));
+    }
+
+    #[test]
+    fn segments_partition_correctly() {
+        let mut l = AccessLedger::new();
+        l.add(0, 10, 10.0, 0.0);
+        l.add(5, 15, 10.0, 10.0);
+        let segs = l.segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].0..segs[0].1, 0..5);
+        assert_eq!(segs[1].0..segs[1].1, 5..10);
+        assert_eq!(segs[2].0..segs[2].1, 10..15);
+        let (r, w) = l.totals();
+        assert!((r - 20.0).abs() < 1e-9);
+        assert!((w - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = AccessLedger::new();
+        l.add(0, 4, 8.0, 8.0);
+        assert!(!l.is_empty());
+        l.clear();
+        assert!(l.is_empty());
+        assert_eq!(l.probe(1), (0.0, 0.0));
+    }
+
+    #[test]
+    fn empty_and_zero_adds_ignored() {
+        let mut l = AccessLedger::new();
+        l.add(5, 5, 100.0, 100.0);
+        l.add(7, 6, 100.0, 100.0);
+        l.add(0, 10, 0.0, 0.0);
+        assert!(l.is_empty());
+    }
+
+    #[test]
+    fn touched_probability_limits() {
+        assert_eq!(touched_probability(0.0), 0.0);
+        assert!(touched_probability(1e-9) < 1e-8);
+        assert!((touched_probability(1.0) - 0.632).abs() < 0.001);
+        assert!(touched_probability(100.0) > 0.999999);
+    }
+
+    #[test]
+    fn long_interval_makes_everything_look_hot() {
+        // The §2.3 pathology: double the interval, double λ, and the
+        // touched probability saturates toward 1 for the whole range.
+        let mut l = AccessLedger::new();
+        l.add(0, 1000, 200.0, 0.0); // short interval: λ=0.2 per page
+        let p_short = touched_probability(l.probe(0).0);
+        l.add(0, 1000, 1800.0, 0.0); // 10x longer interval: λ=2.0
+        let p_long = touched_probability(l.probe(0).0);
+        assert!(p_short < 0.2);
+        assert!(p_long > 0.85);
+    }
+}

@@ -1,0 +1,158 @@
+//! Physical page pools backed by per-tier DAX files.
+//!
+//! HeMem allocates both DRAM and NVM through DAX (direct-access) files
+//! mapped at process startup (§3.2); the pool hands out fixed-size
+//! physical pages from a file and takes them back on free. Allocation is
+//! LIFO over a free list, which matches the prototype's FIFO free queues
+//! closely enough for placement behaviour (what matters is *whether* a
+//! DRAM page is free, not which one).
+
+use crate::addr::{PageSize, Tier};
+
+/// Index of a physical page within its tier's DAX file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct PhysPage(pub u64);
+
+/// A fixed-capacity physical page allocator for one tier.
+#[derive(Debug, Clone)]
+pub struct PhysPool {
+    tier: Tier,
+    page_size: PageSize,
+    total: u64,
+    free: Vec<PhysPage>,
+    allocated: u64,
+}
+
+impl PhysPool {
+    /// Creates a pool over `capacity_bytes` of tier memory, split into
+    /// pages of `page_size`.
+    pub fn new(tier: Tier, capacity_bytes: u64, page_size: PageSize) -> PhysPool {
+        let total = capacity_bytes / page_size.bytes();
+        // Free list initially in address order; pop from the back so the
+        // first allocations get the lowest pages (deterministic layout).
+        let free = (0..total).rev().map(PhysPage).collect();
+        PhysPool {
+            tier,
+            page_size,
+            total,
+            free,
+            allocated: 0,
+        }
+    }
+
+    /// The tier this pool allocates from.
+    pub fn tier(&self) -> Tier {
+        self.tier
+    }
+
+    /// Page size of this pool.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Total pages in the pool.
+    pub fn total_pages(&self) -> u64 {
+        self.total
+    }
+
+    /// Currently free pages.
+    pub fn free_pages(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Currently allocated pages.
+    pub fn allocated_pages(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Free bytes remaining.
+    pub fn free_bytes(&self) -> u64 {
+        self.free_pages() * self.page_size.bytes()
+    }
+
+    /// Allocates one page, or `None` when the tier is exhausted.
+    pub fn alloc(&mut self) -> Option<PhysPage> {
+        let p = self.free.pop()?;
+        self.allocated += 1;
+        Some(p)
+    }
+
+    /// Returns a page to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is out of range or the pool would exceed its
+    /// capacity (double free).
+    pub fn free(&mut self, page: PhysPage) {
+        assert!(page.0 < self.total, "page {page:?} out of range");
+        assert!(self.allocated > 0, "free with nothing allocated");
+        debug_assert!(!self.free.contains(&page), "double free of {page:?}");
+        self.allocated -= 1;
+        self.free.push(page);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(pages: u64) -> PhysPool {
+        PhysPool::new(
+            Tier::Dram,
+            pages * PageSize::Huge2M.bytes(),
+            PageSize::Huge2M,
+        )
+    }
+
+    #[test]
+    fn alloc_until_exhausted() {
+        let mut p = pool(3);
+        assert_eq!(p.total_pages(), 3);
+        let a = p.alloc().expect("page");
+        let b = p.alloc().expect("page");
+        let c = p.alloc().expect("page");
+        assert_eq!(p.alloc(), None);
+        assert_eq!(p.free_pages(), 0);
+        assert_eq!(p.allocated_pages(), 3);
+        assert_eq!(
+            (a, b, c),
+            (PhysPage(0), PhysPage(1), PhysPage(2)),
+            "lowest pages first"
+        );
+    }
+
+    #[test]
+    fn free_makes_page_reusable() {
+        let mut p = pool(1);
+        let a = p.alloc().expect("page");
+        assert_eq!(p.alloc(), None);
+        p.free(a);
+        assert_eq!(p.alloc(), Some(a));
+    }
+
+    #[test]
+    fn free_bytes_tracks_page_size() {
+        let mut p = pool(4);
+        p.alloc();
+        assert_eq!(p.free_bytes(), 3 * PageSize::Huge2M.bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn freeing_foreign_page_panics() {
+        let mut p = pool(2);
+        p.alloc();
+        p.free(PhysPage(99));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics_in_debug() {
+        let mut p = pool(2);
+        let a = p.alloc().expect("page");
+        let _b = p.alloc().expect("page");
+        p.free(a);
+        p.free(a);
+    }
+}

@@ -1,0 +1,688 @@
+//! Process address spaces and managed memory regions.
+//!
+//! A [`Region`] corresponds to one intercepted `mmap`: a virtually
+//! contiguous range carved into fixed-size pages, each of which is
+//! unmapped or resident on one tier. Regions keep Fenwick-tree residency
+//! indices so the machine can split any sub-range's accesses between
+//! DRAM, NVM, and faults in logarithmic time, plus an [`AccessLedger`]
+//! for the page-table-scanning baselines.
+
+use crate::addr::{PageId, PageSize, RegionId, Tier, VirtAddr, VirtRange};
+use crate::fenwick::FlagTree;
+use crate::ledger::AccessLedger;
+use crate::pool::PhysPage;
+
+/// What kind of allocation created a region; drives placement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum RegionKind {
+    /// Large, long-lived heap range (HeMem manages these).
+    ManagedHeap,
+    /// Small allocation forwarded to the kernel (stays in DRAM).
+    SmallAnon,
+}
+
+/// Per-page mapping state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Never touched; first access faults.
+    Unmapped,
+    /// Backed by a physical page on `tier`.
+    Mapped {
+        /// Tier holding the data.
+        tier: Tier,
+        /// Physical page within the tier's DAX file.
+        phys: PhysPage,
+        /// Write-protected (underlying migration in flight).
+        wp: bool,
+    },
+    /// Paged out to the swap device (§3.4); access faults and pages the
+    /// data back in synchronously.
+    Swapped {
+        /// Slot within the swap file.
+        slot: u64,
+    },
+}
+
+/// One mmapped region.
+#[derive(Debug, Clone)]
+pub struct Region {
+    id: RegionId,
+    range: VirtRange,
+    page_size: PageSize,
+    kind: RegionKind,
+    states: Vec<PageState>,
+    dram_idx: FlagTree,
+    mapped_idx: FlagTree,
+    wp_idx: FlagTree,
+    wp_pages: u64,
+    swapped_pages: u64,
+    /// Expected access densities since the last page-table scan.
+    pub ledger: AccessLedger,
+}
+
+impl Region {
+    fn new(id: RegionId, range: VirtRange, page_size: PageSize, kind: RegionKind) -> Region {
+        let pages = range.page_count(page_size) as usize;
+        Region {
+            id,
+            range,
+            page_size,
+            kind,
+            states: vec![PageState::Unmapped; pages],
+            dram_idx: FlagTree::new(pages),
+            mapped_idx: FlagTree::new(pages),
+            wp_idx: FlagTree::new(pages),
+            wp_pages: 0,
+            swapped_pages: 0,
+            ledger: AccessLedger::new(),
+        }
+    }
+
+    /// Region identifier.
+    pub fn id(&self) -> RegionId {
+        self.id
+    }
+
+    /// Virtual range covered.
+    pub fn range(&self) -> VirtRange {
+        self.range
+    }
+
+    /// Page size backing the region.
+    pub fn page_size(&self) -> PageSize {
+        self.page_size
+    }
+
+    /// Allocation kind.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// Number of pages.
+    pub fn page_count(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    /// State of page `index`.
+    pub fn state(&self, index: u64) -> PageState {
+        self.states[index as usize]
+    }
+
+    /// Pages currently resident in DRAM.
+    pub fn dram_pages(&self) -> u64 {
+        self.dram_idx.count()
+    }
+
+    /// Pages currently mapped on either tier.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped_idx.count()
+    }
+
+    /// Pages currently write-protected.
+    pub fn wp_pages(&self) -> u64 {
+        self.wp_pages
+    }
+
+    /// Pages currently swapped out to disk.
+    pub fn swapped_pages(&self) -> u64 {
+        self.swapped_pages
+    }
+
+    /// Pages the region out to swap `slot`, returning the frame it held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not mapped or is write-protected (mid-
+    /// migration pages cannot be swapped).
+    pub fn swap_out_page(&mut self, index: u64, slot: u64) -> (Tier, PhysPage) {
+        let i = index as usize;
+        match self.states[i] {
+            PageState::Mapped { tier, phys, wp } => {
+                assert!(!wp, "page {index} is write-protected (migrating)");
+                self.states[i] = PageState::Swapped { slot };
+                self.mapped_idx.set(i, false);
+                self.dram_idx.set(i, false);
+                self.swapped_pages += 1;
+                (tier, phys)
+            }
+            other => panic!("swap_out of page {index} in state {other:?}"),
+        }
+    }
+
+    /// Pages a swapped page back in onto `tier`, returning its swap slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not swapped.
+    pub fn swap_in_page(&mut self, index: u64, tier: Tier, phys: PhysPage) -> u64 {
+        let i = index as usize;
+        match self.states[i] {
+            PageState::Swapped { slot } => {
+                self.states[i] = PageState::Mapped {
+                    tier,
+                    phys,
+                    wp: false,
+                };
+                self.mapped_idx.set(i, true);
+                self.dram_idx.set(i, tier == Tier::Dram);
+                self.swapped_pages -= 1;
+                slot
+            }
+            other => panic!("swap_in of page {index} in state {other:?}"),
+        }
+    }
+
+    /// DRAM-resident pages within `[lo, hi)` page indices.
+    pub fn dram_pages_in(&self, lo: u64, hi: u64) -> u64 {
+        self.dram_idx.count_range(lo as usize, hi as usize)
+    }
+
+    /// Mapped pages within `[lo, hi)` page indices.
+    pub fn mapped_pages_in(&self, lo: u64, hi: u64) -> u64 {
+        self.mapped_idx.count_range(lo as usize, hi as usize)
+    }
+
+    /// Write-protected pages within `[lo, hi)` page indices.
+    pub fn wp_pages_in(&self, lo: u64, hi: u64) -> u64 {
+        self.wp_idx.count_range(lo as usize, hi as usize)
+    }
+
+    /// Maps an unmapped page onto `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is already mapped.
+    pub fn map_page(&mut self, index: u64, tier: Tier, phys: PhysPage) {
+        let i = index as usize;
+        assert_eq!(
+            self.states[i],
+            PageState::Unmapped,
+            "page {index} already mapped"
+        );
+        self.states[i] = PageState::Mapped {
+            tier,
+            phys,
+            wp: false,
+        };
+        self.mapped_idx.set(i, true);
+        self.dram_idx.set(i, tier == Tier::Dram);
+    }
+
+    /// Unmaps a page, returning its backing `(tier, phys)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not mapped.
+    pub fn unmap_page(&mut self, index: u64) -> (Tier, PhysPage) {
+        let i = index as usize;
+        match self.states[i] {
+            PageState::Mapped { tier, phys, wp } => {
+                if wp {
+                    self.wp_pages -= 1;
+                    self.wp_idx.set(i, false);
+                }
+                self.states[i] = PageState::Unmapped;
+                self.mapped_idx.set(i, false);
+                self.dram_idx.set(i, false);
+                (tier, phys)
+            }
+            other => panic!("unmap of page {index} in state {other:?}"),
+        }
+    }
+
+    /// Re-homes a mapped page onto a new tier/physical page (migration
+    /// completion), returning the old backing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not mapped.
+    pub fn remap_page(&mut self, index: u64, tier: Tier, phys: PhysPage) -> (Tier, PhysPage) {
+        let i = index as usize;
+        match self.states[i] {
+            PageState::Mapped {
+                tier: old_tier,
+                phys: old_phys,
+                wp,
+            } => {
+                self.states[i] = PageState::Mapped { tier, phys, wp };
+                self.dram_idx.set(i, tier == Tier::Dram);
+                (old_tier, old_phys)
+            }
+            other => panic!("remap of page {index} in state {other:?}"),
+        }
+    }
+
+    /// Sets or clears write protection on a mapped page; returns whether
+    /// the flag changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is not mapped.
+    pub fn set_wp(&mut self, index: u64, value: bool) -> bool {
+        let i = index as usize;
+        match &mut self.states[i] {
+            PageState::Mapped { wp, .. } => {
+                if *wp == value {
+                    return false;
+                }
+                *wp = value;
+                if value {
+                    self.wp_pages += 1;
+                } else {
+                    self.wp_pages -= 1;
+                }
+                self.wp_idx.set(i, value);
+                true
+            }
+            other => panic!("set_wp of page {index} in state {other:?}"),
+        }
+    }
+
+    /// Index of the `k`-th (0-based) DRAM-resident page within `[lo, hi)`,
+    /// or `None` if fewer than `k + 1` exist.
+    pub fn kth_dram_page_in(&self, lo: u64, hi: u64, k: u64) -> Option<u64> {
+        self.kth_by(lo, hi, k, |r, l, h| {
+            r.dram_idx.count_range(l as usize, h as usize)
+        })
+    }
+
+    /// Index of the `k`-th NVM-resident page within `[lo, hi)`.
+    pub fn kth_nvm_page_in(&self, lo: u64, hi: u64, k: u64) -> Option<u64> {
+        self.kth_by(lo, hi, k, |r, l, h| {
+            r.mapped_idx.count_range(l as usize, h as usize)
+                - r.dram_idx.count_range(l as usize, h as usize)
+        })
+    }
+
+    /// Index of the `k`-th unmapped page within `[lo, hi)`.
+    pub fn kth_unmapped_page_in(&self, lo: u64, hi: u64, k: u64) -> Option<u64> {
+        self.kth_by(lo, hi, k, |r, l, h| {
+            (h - l) - r.mapped_idx.count_range(l as usize, h as usize)
+        })
+    }
+
+    /// Generic order-statistics search over a monotone range-count
+    /// function: smallest `p` such that `count(lo, p + 1) == k + 1`.
+    fn kth_by(
+        &self,
+        lo: u64,
+        hi: u64,
+        k: u64,
+        count: impl Fn(&Region, u64, u64) -> u64,
+    ) -> Option<u64> {
+        let hi = hi.min(self.page_count());
+        if hi <= lo || count(self, lo, hi) <= k {
+            return None;
+        }
+        let (mut a, mut b) = (lo, hi - 1);
+        // Invariant: count(lo, b + 1) >= k + 1.
+        while a < b {
+            let mid = a + (b - a) / 2;
+            if count(self, lo, mid + 1) > k {
+                b = mid;
+            } else {
+                a = mid + 1;
+            }
+        }
+        Some(a)
+    }
+
+    /// Virtual address of the start of page `index`.
+    pub fn page_addr(&self, index: u64) -> VirtAddr {
+        VirtAddr(self.range.base.0 + index * self.page_size.bytes())
+    }
+
+    /// Page index containing `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the region.
+    pub fn page_of(&self, addr: VirtAddr) -> u64 {
+        assert!(
+            self.range.contains(addr),
+            "{addr:?} outside region {:?}",
+            self.id
+        );
+        (addr.0 - self.range.base.0) / self.page_size.bytes()
+    }
+}
+
+/// A process's virtual address space: a set of non-overlapping regions.
+#[derive(Debug, Clone, Default)]
+pub struct AddressSpace {
+    regions: Vec<Option<Region>>,
+    next_base: u64,
+}
+
+/// Gap left between consecutively allocated regions.
+const GUARD: u64 = 1 << 30;
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> AddressSpace {
+        AddressSpace {
+            regions: Vec::new(),
+            next_base: 1 << 40,
+        }
+    }
+
+    /// Creates a region of `len` bytes (rounded up to the page size).
+    pub fn mmap(&mut self, len: u64, page_size: PageSize, kind: RegionKind) -> RegionId {
+        let pages = page_size.pages_for(len);
+        let len = pages * page_size.bytes();
+        let id = RegionId(self.regions.len() as u32);
+        let range = VirtRange::new(self.next_base, len);
+        self.next_base = range.end() + GUARD;
+        self.next_base = self.next_base.next_multiple_of(PageSize::Giga1G.bytes());
+        self.regions
+            .push(Some(Region::new(id, range, page_size, kind)));
+        id
+    }
+
+    /// Removes a region, returning it so the caller can free its physical
+    /// pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not exist (double unmap).
+    pub fn munmap(&mut self, id: RegionId) -> Region {
+        self.regions[id.0 as usize]
+            .take()
+            .expect("munmap of missing region")
+    }
+
+    /// Borrows a live region.
+    pub fn region(&self, id: RegionId) -> &Region {
+        self.regions[id.0 as usize]
+            .as_ref()
+            .expect("region was unmapped")
+    }
+
+    /// Mutably borrows a live region.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut Region {
+        self.regions[id.0 as usize]
+            .as_mut()
+            .expect("region was unmapped")
+    }
+
+    /// Iterates live regions.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter().flatten()
+    }
+
+    /// Iterates live regions mutably.
+    pub fn regions_mut(&mut self) -> impl Iterator<Item = &mut Region> {
+        self.regions.iter_mut().flatten()
+    }
+
+    /// Finds the region containing `addr`.
+    pub fn find(&self, addr: VirtAddr) -> Option<&Region> {
+        self.regions().find(|r| r.range().contains(addr))
+    }
+
+    /// The page containing `addr`, if it belongs to a region.
+    pub fn page_at(&self, addr: VirtAddr) -> Option<PageId> {
+        let r = self.find(addr)?;
+        Some(PageId {
+            region: r.id(),
+            index: r.page_of(addr),
+        })
+    }
+
+    /// Total mapped bytes across all regions.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.regions()
+            .map(|r| r.mapped_pages() * r.page_size().bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mmap_assigns_disjoint_ranges() {
+        let mut s = AddressSpace::new();
+        let a = s.mmap(10 << 20, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let b = s.mmap(10 << 20, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let ra = s.region(a).range();
+        let rb = s.region(b).range();
+        assert!(!ra.overlaps(&rb));
+        assert_eq!(s.region(a).page_count(), 5);
+    }
+
+    #[test]
+    fn size_rounds_up_to_page() {
+        let mut s = AddressSpace::new();
+        let a = s.mmap(1, PageSize::Huge2M, RegionKind::SmallAnon);
+        assert_eq!(s.region(a).page_count(), 1);
+        assert_eq!(s.region(a).range().len, PageSize::Huge2M.bytes());
+    }
+
+    #[test]
+    fn map_unmap_round_trip() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(4 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Dram, PhysPage(7));
+        r.map_page(1, Tier::Nvm, PhysPage(3));
+        assert_eq!(r.dram_pages(), 1);
+        assert_eq!(r.mapped_pages(), 2);
+        assert_eq!(r.dram_pages_in(0, 1), 1);
+        assert_eq!(r.dram_pages_in(1, 4), 0);
+        assert_eq!(r.unmap_page(0), (Tier::Dram, PhysPage(7)));
+        assert_eq!(r.mapped_pages(), 1);
+        assert_eq!(r.dram_pages(), 0);
+    }
+
+    #[test]
+    fn remap_moves_residency() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(2 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Nvm, PhysPage(0));
+        let old = r.remap_page(0, Tier::Dram, PhysPage(5));
+        assert_eq!(old, (Tier::Nvm, PhysPage(0)));
+        assert_eq!(r.dram_pages(), 1);
+        match r.state(0) {
+            PageState::Mapped { tier, phys, wp } => {
+                assert_eq!(tier, Tier::Dram);
+                assert_eq!(phys, PhysPage(5));
+                assert!(!wp);
+            }
+            other => panic!("should stay mapped, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wp_flag_counted() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(1 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Nvm, PhysPage(0));
+        assert!(r.set_wp(0, true));
+        assert!(!r.set_wp(0, true), "no change");
+        assert_eq!(r.wp_pages(), 1);
+        assert!(r.set_wp(0, false));
+        assert_eq!(r.wp_pages(), 0);
+    }
+
+    #[test]
+    fn wp_survives_remap_and_clears_on_unmap() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(1 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Nvm, PhysPage(0));
+        r.set_wp(0, true);
+        r.remap_page(0, Tier::Dram, PhysPage(1));
+        assert_eq!(r.wp_pages(), 1, "wp preserved across remap");
+        r.unmap_page(0);
+        assert_eq!(r.wp_pages(), 0);
+    }
+
+    #[test]
+    fn find_and_page_at() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(4 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let base = s.region(id).range().base;
+        let inside = VirtAddr(base.0 + 3 * PageSize::Huge2M.bytes() + 17);
+        let page = s.page_at(inside).expect("inside region");
+        assert_eq!(
+            page,
+            PageId {
+                region: id,
+                index: 3
+            }
+        );
+        assert!(s.page_at(VirtAddr(0)).is_none());
+    }
+
+    #[test]
+    fn kth_selection_matches_layout() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(8 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        // Layout: 0=D, 1=N, 2=unmapped, 3=D, 4=N, 5=N, 6=unmapped, 7=D.
+        r.map_page(0, Tier::Dram, PhysPage(0));
+        r.map_page(1, Tier::Nvm, PhysPage(0));
+        r.map_page(3, Tier::Dram, PhysPage(1));
+        r.map_page(4, Tier::Nvm, PhysPage(1));
+        r.map_page(5, Tier::Nvm, PhysPage(2));
+        r.map_page(7, Tier::Dram, PhysPage(3));
+        assert_eq!(r.kth_dram_page_in(0, 8, 0), Some(0));
+        assert_eq!(r.kth_dram_page_in(0, 8, 1), Some(3));
+        assert_eq!(r.kth_dram_page_in(0, 8, 2), Some(7));
+        assert_eq!(r.kth_dram_page_in(0, 8, 3), None);
+        assert_eq!(r.kth_dram_page_in(1, 7, 0), Some(3));
+        assert_eq!(r.kth_nvm_page_in(0, 8, 0), Some(1));
+        assert_eq!(r.kth_nvm_page_in(0, 8, 2), Some(5));
+        assert_eq!(r.kth_nvm_page_in(2, 5, 0), Some(4));
+        assert_eq!(r.kth_unmapped_page_in(0, 8, 0), Some(2));
+        assert_eq!(r.kth_unmapped_page_in(0, 8, 1), Some(6));
+        assert_eq!(r.kth_unmapped_page_in(0, 8, 2), None);
+        assert_eq!(r.kth_dram_page_in(4, 4, 0), None, "empty range");
+    }
+
+    #[test]
+    fn kth_selection_random_cross_check() {
+        use hemem_sim::Rng;
+        let mut s = AddressSpace::new();
+        let id = s.mmap(200 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        let mut rng = Rng::new(7);
+        let mut layout = [0u8; 200]; // 0=unmapped 1=dram 2=nvm
+        for i in 0..200u64 {
+            match rng.gen_range(3) {
+                1 => {
+                    r.map_page(i, Tier::Dram, PhysPage(i));
+                    layout[i as usize] = 1;
+                }
+                2 => {
+                    r.map_page(i, Tier::Nvm, PhysPage(i));
+                    layout[i as usize] = 2;
+                }
+                _ => {}
+            }
+        }
+        for _ in 0..200 {
+            let lo = rng.gen_range(200);
+            let hi = lo + rng.gen_range(200 - lo + 1);
+            let dram: Vec<u64> = (lo..hi).filter(|&i| layout[i as usize] == 1).collect();
+            if !dram.is_empty() {
+                let k = rng.gen_range(dram.len() as u64);
+                assert_eq!(r.kth_dram_page_in(lo, hi, k), Some(dram[k as usize]));
+            }
+            let nvm: Vec<u64> = (lo..hi).filter(|&i| layout[i as usize] == 2).collect();
+            if !nvm.is_empty() {
+                let k = rng.gen_range(nvm.len() as u64);
+                assert_eq!(r.kth_nvm_page_in(lo, hi, k), Some(nvm[k as usize]));
+            }
+        }
+    }
+
+    #[test]
+    fn munmap_removes_region() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(1 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.munmap(id);
+        assert_eq!(r.id(), id);
+        assert_eq!(s.regions().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn double_map_panics() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(1 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Dram, PhysPage(0));
+        r.map_page(0, Tier::Dram, PhysPage(1));
+    }
+
+    #[test]
+    fn mapped_bytes_sums_regions() {
+        let mut s = AddressSpace::new();
+        let a = s.mmap(4 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let b = s.mmap(2 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        s.region_mut(a).map_page(0, Tier::Dram, PhysPage(0));
+        s.region_mut(b).map_page(1, Tier::Nvm, PhysPage(0));
+        assert_eq!(s.mapped_bytes(), 2 * PageSize::Huge2M.bytes());
+    }
+}
+
+#[cfg(test)]
+mod swap_tests {
+    use super::*;
+
+    #[test]
+    fn swap_out_and_in_round_trip() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(2 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Nvm, PhysPage(7));
+        let (tier, phys) = r.swap_out_page(0, 42);
+        assert_eq!((tier, phys), (Tier::Nvm, PhysPage(7)));
+        assert_eq!(r.swapped_pages(), 1);
+        assert_eq!(r.mapped_pages(), 0);
+        assert_eq!(r.state(0), PageState::Swapped { slot: 42 });
+        let slot = r.swap_in_page(0, Tier::Dram, PhysPage(3));
+        assert_eq!(slot, 42);
+        assert_eq!(r.swapped_pages(), 0);
+        assert_eq!(r.dram_pages(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "write-protected")]
+    fn swapping_a_migrating_page_panics() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(1 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Nvm, PhysPage(0));
+        r.set_wp(0, true);
+        r.swap_out_page(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "swap_in of page")]
+    fn swap_in_of_mapped_page_panics() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(1 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Nvm, PhysPage(0));
+        r.swap_in_page(0, Tier::Dram, PhysPage(1));
+    }
+
+    #[test]
+    fn swapped_pages_count_as_unmapped_for_residency() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(4 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        for i in 0..4 {
+            r.map_page(i, Tier::Nvm, PhysPage(i));
+        }
+        r.swap_out_page(2, 0);
+        assert_eq!(r.mapped_pages_in(0, 4), 3);
+        assert_eq!(r.kth_unmapped_page_in(0, 4, 0), Some(2));
+    }
+}

@@ -1,0 +1,188 @@
+//! Raw memory-access microbenchmark (§2.2, Figures 1 and 2).
+//!
+//! Mirrors the paper's characterization tool: a configurable number of
+//! threads access one device in 256 B blocks (or a swept size), either
+//! sequentially or at random, reads or writes, and we report aggregate
+//! throughput. This exercises the device models directly — no tiering
+//! backend involved — and regenerates the curves that motivated HeMem's
+//! design (asymmetric NVM bandwidth, early write saturation, media-
+//! granularity penalties).
+
+use hemem_memdev::{Device, DeviceConfig, MemOp, Pattern};
+use hemem_sim::Ns;
+
+/// One microbenchmark configuration point.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Device under test.
+    pub device: DeviceConfig,
+    /// Concurrent threads.
+    pub threads: u32,
+    /// Read or write stream.
+    pub op: MemOp,
+    /// Sequential or random.
+    pub pattern: Pattern,
+    /// Bytes per access.
+    pub access_size: u64,
+    /// Virtual time to run for.
+    pub duration: Ns,
+    /// Per-thread memory-level parallelism (outstanding accesses).
+    pub mlp: f64,
+}
+
+impl StreamConfig {
+    /// The paper's default: 256 B cached accesses.
+    pub fn paper_default(device: DeviceConfig, threads: u32, op: MemOp, pattern: Pattern) -> Self {
+        StreamConfig {
+            device,
+            threads,
+            op,
+            pattern,
+            access_size: 256,
+            duration: Ns::millis(200),
+            mlp: 10.0,
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamResult {
+    /// Aggregate throughput in bytes/second.
+    pub bytes_per_sec: f64,
+    /// Accesses completed.
+    pub accesses: u64,
+}
+
+impl StreamResult {
+    /// Throughput in GB/s (decimal).
+    pub fn gb_per_sec(&self) -> f64 {
+        self.bytes_per_sec / 1e9
+    }
+}
+
+/// Runs the microbenchmark: `threads` simulated threads issue batches of
+/// accesses back to back until `duration` elapses.
+pub fn run_stream(cfg: &StreamConfig) -> StreamResult {
+    let mut dev = Device::new(cfg.device.clone());
+    let latency = dev.latency(cfg.op);
+    // Per-thread issue interval: bounded both by how much latency the
+    // thread's MLP can hide and by the single-thread bandwidth the device
+    // sustains (prefetch depth, fill buffers, write-combining).
+    let media = cfg.device.media_bytes(cfg.access_size, cfg.pattern) as f64;
+    let bw_limited = media / cfg.device.thread_bandwidth(cfg.op, cfg.pattern) * 1e9;
+    let lat_limited = latency.as_nanos() as f64 / cfg.mlp.max(1.0) + 2.0;
+    let per_access = bw_limited.max(lat_limited);
+    let batch = 4096u64;
+    let mut done = vec![Ns::ZERO; cfg.threads as usize];
+    let mut accesses = 0u64;
+    let mut t_end = Ns::ZERO;
+    loop {
+        // Find the thread that frees up earliest.
+        let (idx, &start) = done
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, t)| t)
+            .expect("at least one thread");
+        if start >= cfg.duration {
+            break;
+        }
+        let issue_limited = Ns::from_nanos_f64(batch as f64 * per_access);
+        let res = dev.reserve(start, cfg.op, cfg.pattern, cfg.access_size, batch);
+        let complete = res.finish.max(start + issue_limited);
+        done[idx] = complete;
+        accesses += batch;
+        t_end = t_end.max(complete);
+    }
+    let bytes = accesses * cfg.access_size;
+    StreamResult {
+        bytes_per_sec: bytes as f64 / t_end.as_secs_f64(),
+        accesses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemem_memdev::GIB;
+
+    fn dram() -> DeviceConfig {
+        DeviceConfig::ddr4_dram(192 * GIB)
+    }
+
+    fn nvm() -> DeviceConfig {
+        DeviceConfig::optane_dc(768 * GIB)
+    }
+
+    fn gbps(d: DeviceConfig, t: u32, op: MemOp, p: Pattern) -> f64 {
+        run_stream(&StreamConfig::paper_default(d, t, op, p)).gb_per_sec()
+    }
+
+    #[test]
+    fn nvm_write_saturates_with_few_threads() {
+        // Figure 1: Optane write bandwidth is saturated by ~4 threads.
+        let w4 = gbps(nvm(), 4, MemOp::Write, Pattern::Sequential);
+        let w16 = gbps(nvm(), 16, MemOp::Write, Pattern::Sequential);
+        assert!((w16 - w4) / w4 < 0.15, "4thr {w4} vs 16thr {w16}");
+        assert!(w16 < 6.0, "NVM seq write capped near 4.85 GB/s: {w16}");
+    }
+
+    #[test]
+    fn dram_scales_with_threads() {
+        let r1 = gbps(dram(), 1, MemOp::Read, Pattern::Random);
+        let r16 = gbps(dram(), 16, MemOp::Read, Pattern::Random);
+        assert!(r16 > 4.0 * r1, "1thr {r1} vs 16thr {r16}");
+    }
+
+    #[test]
+    fn paper_ratios_at_scale() {
+        // At 16+ threads the Figure 1 ratios must hold.
+        let d_rw = gbps(dram(), 24, MemOp::Write, Pattern::Random);
+        let n_rw = gbps(nvm(), 24, MemOp::Write, Pattern::Random);
+        let ratio = d_rw / n_rw;
+        assert!(
+            (9.0..12.5).contains(&ratio),
+            "rand write gap {ratio} (paper: 10.7x)"
+        );
+        let d_sw = gbps(dram(), 24, MemOp::Write, Pattern::Sequential);
+        let n_sw = gbps(nvm(), 24, MemOp::Write, Pattern::Sequential);
+        let ratio = d_sw / n_sw;
+        assert!(
+            (15.0..18.0).contains(&ratio),
+            "seq write gap {ratio} (paper: 16.5x)"
+        );
+        let d_rr = gbps(dram(), 24, MemOp::Read, Pattern::Random);
+        let n_rr = gbps(nvm(), 24, MemOp::Read, Pattern::Random);
+        let ratio = d_rr / n_rr;
+        assert!(
+            (2.3..3.1).contains(&ratio),
+            "rand read gap {ratio} (paper: 2.7x)"
+        );
+        // Optane sequential read beats DRAM random read by ~14%.
+        let n_sr = gbps(nvm(), 24, MemOp::Read, Pattern::Sequential);
+        let ratio = n_sr / d_rr;
+        assert!((1.05..1.25).contains(&ratio), "seq-NVM/rand-DRAM {ratio}");
+    }
+
+    #[test]
+    fn small_random_nvm_reads_pay_amplification() {
+        // Figure 2: random reads below the 256 B media granularity are slow
+        // on Optane; at/above it the gap to sequential closes.
+        let mut c = StreamConfig::paper_default(nvm(), 16, MemOp::Read, Pattern::Random);
+        c.access_size = 64;
+        let small = run_stream(&c).gb_per_sec();
+        c.access_size = 4096;
+        let big = run_stream(&c).gb_per_sec();
+        assert!(big > 2.5 * small, "64B {small} vs 4K {big}");
+    }
+
+    #[test]
+    fn sequential_insensitive_to_access_size_on_nvm() {
+        let mut c = StreamConfig::paper_default(nvm(), 16, MemOp::Read, Pattern::Sequential);
+        c.access_size = 256;
+        let a = run_stream(&c).gb_per_sec();
+        c.access_size = 8192;
+        let b = run_stream(&c).gb_per_sec();
+        assert!((a - b).abs() / a < 0.15, "256B {a} vs 8K {b}");
+    }
+}

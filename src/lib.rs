@@ -1,0 +1,15 @@
+//! # hemem-repro
+//!
+//! Umbrella crate for the HeMem (SOSP 2021) reproduction. Re-exports the
+//! workspace crates under one roof so examples and downstream users can
+//! depend on a single package.
+
+#![warn(missing_docs)]
+
+pub use hemem_baselines as baselines;
+pub use hemem_core as core;
+pub use hemem_memdev as memdev;
+pub use hemem_pebs as pebs;
+pub use hemem_sim as sim;
+pub use hemem_vmm as vmm;
+pub use hemem_workloads as workloads;

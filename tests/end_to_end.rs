@@ -1,0 +1,223 @@
+//! Cross-crate integration tests: full machine + backend + workload
+//! scenarios asserting the paper's qualitative results hold end to end.
+
+use hemem_repro::baselines::{AnyBackend, BackendKind};
+use hemem_repro::core::hemem::{HeMem, HeMemConfig};
+use hemem_repro::core::machine::MachineConfig;
+use hemem_repro::core::runtime::Sim;
+use hemem_repro::sim::Ns;
+use hemem_repro::workloads::{
+    run_gups, run_kvs, run_silo, Bc, GraphConfig, GupsConfig, Kvs, KvsConfig, SiloConfig,
+};
+
+const GIB: u64 = 1 << 30;
+
+fn sim_for(kind: BackendKind) -> Sim<AnyBackend> {
+    let mut mc = MachineConfig::small(8, 32);
+    // Keep per-page sampling dynamics equivalent to the paper's machine
+    // (24x fewer pages than the testbed at the same access rates).
+    mc.pebs.sample_period *= 24;
+    let backend = kind.build(&mc);
+    Sim::new(mc, backend)
+}
+
+fn quick_gups(ws: u64, hot: u64) -> GupsConfig {
+    let mut c = GupsConfig::paper(ws, hot);
+    c.threads = 8;
+    c.warmup = Ns::secs(15);
+    c.duration = Ns::secs(5);
+    c
+}
+
+#[test]
+fn gups_uniform_in_dram_is_equal_across_tiering_systems() {
+    // Figure 5, left side: when the working set fits in DRAM, HeMem and
+    // the DRAM reference are within a few percent.
+    let dram = run_gups(&mut sim_for(BackendKind::DramOnly), quick_gups(4 * GIB, 0)).gups;
+    let hemem = run_gups(&mut sim_for(BackendKind::HeMem), quick_gups(4 * GIB, 0)).gups;
+    assert!(
+        (hemem - dram).abs() / dram < 0.05,
+        "HeMem {hemem} vs DRAM {dram}"
+    );
+}
+
+#[test]
+fn gups_hot_set_hemem_beats_mm_and_nvm() {
+    // Figure 6: hot set fits in DRAM; HeMem finds it and leads MM, and
+    // both crush the all-NVM placement.
+    let mut cfg = quick_gups(16 * GIB, 2 * GIB);
+    // Classification needs several cooling epochs at this hot-set size
+    // (the paper warms up for minutes of wall-clock).
+    cfg.warmup = Ns::secs(45);
+    let hemem = run_gups(&mut sim_for(BackendKind::HeMem), cfg.clone()).gups;
+    let mm = run_gups(&mut sim_for(BackendKind::MemoryMode), cfg.clone()).gups;
+    let nvm = run_gups(&mut sim_for(BackendKind::NvmOnly), cfg).gups;
+    assert!(hemem > mm, "HeMem {hemem} vs MM {mm}");
+    assert!(mm > nvm, "MM {mm} vs NVM {nvm}");
+    assert!(hemem > 2.0 * nvm, "HeMem {hemem} vs NVM {nvm}");
+}
+
+#[test]
+fn mm_degrades_as_working_set_approaches_dram_capacity() {
+    // Figure 5's conflict-miss cliff: MM loses much more than HeMem when
+    // the uniform working set nears DRAM size.
+    let small_mm = run_gups(
+        &mut sim_for(BackendKind::MemoryMode),
+        quick_gups(2 * GIB, 0),
+    )
+    .gups;
+    let big_mm = run_gups(
+        &mut sim_for(BackendKind::MemoryMode),
+        quick_gups(7 * GIB, 0),
+    )
+    .gups;
+    let small_he = run_gups(&mut sim_for(BackendKind::HeMem), quick_gups(2 * GIB, 0)).gups;
+    let big_he = run_gups(&mut sim_for(BackendKind::HeMem), quick_gups(7 * GIB, 0)).gups;
+    let mm_loss = small_mm / big_mm;
+    let he_loss = small_he / big_he;
+    assert!(
+        mm_loss > 1.5 * he_loss,
+        "MM loss {mm_loss:.2}x vs HeMem loss {he_loss:.2}x"
+    );
+}
+
+#[test]
+fn write_skew_hemem_keeps_write_heavy_pages_in_dram() {
+    // Table 2: with a write-only hot subset, HeMem's write-priority
+    // migration makes far fewer NVM writes than memory mode.
+    let mut cfg = quick_gups(16 * GIB, 8 * GIB);
+    cfg.write_only_bytes = 4 * GIB;
+    cfg.warmup = Ns::secs(40);
+    let he = run_gups(&mut sim_for(BackendKind::HeMem), cfg.clone());
+    let mm = run_gups(&mut sim_for(BackendKind::MemoryMode), cfg);
+    assert!(he.gups > mm.gups, "HeMem {} vs MM {}", he.gups, mm.gups);
+    assert!(
+        he.nvm_writes < mm.nvm_writes,
+        "HeMem wear {} vs MM wear {}",
+        he.nvm_writes,
+        mm.nvm_writes
+    );
+}
+
+#[test]
+fn silo_knee_at_dram_capacity() {
+    // Figure 13: throughput at a working set inside DRAM is far higher
+    // than past the knee.
+    let mk = |wh| {
+        let mut c = SiloConfig::paper(wh);
+        c.threads = 8;
+        c.warmup = Ns::secs(3);
+        c.duration = Ns::secs(3);
+        c
+    };
+    let inside = run_silo(&mut sim_for(BackendKind::HeMem), mk(18)).tps;
+    let outside = run_silo(&mut sim_for(BackendKind::HeMem), mk(72)).tps;
+    assert!(
+        inside > 1.5 * outside,
+        "inside {inside} vs outside {outside}"
+    );
+}
+
+#[test]
+fn kvs_hemem_beats_mm_when_store_exceeds_dram() {
+    // Table 3, 700 GB column (scaled): throughput and tail latency.
+    let mk = || {
+        let mut c = KvsConfig::paper(24 * GIB);
+        c.threads = 4;
+        c.warmup = Ns::secs(12);
+        c.duration = Ns::secs(5);
+        c.load = 0.3;
+        c
+    };
+    let he = run_kvs(&mut sim_for(BackendKind::HeMem), mk());
+    let mm = run_kvs(&mut sim_for(BackendKind::MemoryMode), mk());
+    assert!(
+        he.latency_us(0.9) <= mm.latency_us(0.9),
+        "p90: HeMem {} vs MM {}",
+        he.latency_us(0.9),
+        mm.latency_us(0.9)
+    );
+}
+
+#[test]
+fn bc_wear_hemem_order_of_magnitude_below_mm() {
+    // Figure 16: steady-state NVM writes per iteration.
+    let run = |kind| {
+        let mut sim = sim_for(kind);
+        let mut cfg = GraphConfig::paper(25);
+        cfg.threads = 8;
+        cfg.iterations = 6;
+        let bc = Bc::setup(&mut sim, cfg);
+        sim.advance(Ns::secs(1));
+        bc.run(&mut sim)
+    };
+    let he = run(BackendKind::HeMem);
+    let mm = run(BackendKind::MemoryMode);
+    let he_last = he.iterations.last().expect("iters").nvm_writes;
+    let mm_last = mm.iterations.last().expect("iters").nvm_writes;
+    assert!(
+        he_last * 5 < mm_last,
+        "HeMem {he_last} vs MM {mm_last} NVM bytes/iteration"
+    );
+    // And HeMem's runtime converges below MM's.
+    let he_rt = he.iterations.last().expect("iters").runtime;
+    let mm_rt = mm.iterations.last().expect("iters").runtime;
+    assert!(he_rt < mm_rt, "HeMem {he_rt} vs MM {mm_rt}");
+}
+
+#[test]
+fn priority_pinning_isolates_under_pressure() {
+    // Table 4's mechanism end to end.
+    let mc = MachineConfig::small(4, 16);
+    let hc = HeMemConfig::scaled_for(&mc);
+    let mut sim = Sim::new(mc, HeMem::new(hc));
+    sim.backend.set_priority(true);
+    let mut pcfg = KvsConfig::paper(GIB / 2);
+    pcfg.threads = 2;
+    pcfg.warmup = Ns::secs(2);
+    pcfg.duration = Ns::secs(2);
+    let prio = Kvs::setup(&mut sim, pcfg);
+    sim.backend.set_priority(false);
+    let mut rcfg = KvsConfig::paper(8 * GIB);
+    rcfg.threads = 4;
+    rcfg.warmup = Ns::secs(2);
+    rcfg.duration = Ns::secs(4);
+    let regular = Kvs::setup(&mut sim, rcfg);
+    regular.run(&mut sim);
+    let pr = sim.m.space.region(prio.log_region());
+    assert_eq!(
+        pr.dram_pages(),
+        pr.mapped_pages(),
+        "priority store stayed in DRAM"
+    );
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || {
+        let mut sim = sim_for(BackendKind::HeMem);
+        let r = run_gups(&mut sim, quick_gups(8 * GIB, GIB));
+        (
+            r.updates,
+            sim.m.stats.migrations_done,
+            sim.m.nvm_wear_bytes(),
+        )
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "same seed must reproduce bit-identical results"
+    );
+}
+
+#[test]
+fn every_backend_survives_a_full_workload_round() {
+    for kind in BackendKind::ALL {
+        let mut sim = sim_for(kind);
+        let mut cfg = quick_gups(4 * GIB, GIB);
+        cfg.warmup = Ns::secs(3);
+        cfg.duration = Ns::secs(2);
+        let r = run_gups(&mut sim, cfg);
+        assert!(r.gups > 0.0, "{}: zero throughput", kind.label());
+    }
+}
