@@ -1,0 +1,61 @@
+//! Typed errors for the fallible memory-management paths.
+//!
+//! The runtime's fault and reclaim paths used to `panic!` on exhaustion;
+//! under fault injection these conditions become reachable, so they are
+//! typed here and surfaced through `Sim::try_fault_page` /
+//! `Sim::try_direct_reclaim`. The infallible `Sim::fault_page` keeps the
+//! original semantics — a fault that cannot be satisfied is the machine's
+//! OOM kill — by panicking centrally with the typed cause.
+
+use hemem_vmm::PageId;
+
+/// Fatal memory-management failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Both memory tiers are exhausted and the backend has nothing left
+    /// to reclaim.
+    OutOfMemory,
+    /// A swapped page or a reclaim path needs the swap device and none is
+    /// configured.
+    NoSwapDevice,
+    /// The swap file has no free slots left.
+    SwapExhausted,
+    /// The backend handed a reclaim victim that is not a plain mapped
+    /// page (already migrating, swapped, or unmapped).
+    ReclaimVictimBusy(PageId),
+}
+
+impl core::fmt::Display for MemError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MemError::OutOfMemory => {
+                write!(f, "both memory tiers exhausted and backend cannot reclaim")
+            }
+            MemError::NoSwapDevice => write!(f, "operation requires a swap device and none exists"),
+            MemError::SwapExhausted => write!(f, "swap file exhausted"),
+            MemError::ReclaimVictimBusy(p) => {
+                write!(f, "reclaim victim {p:?} is not a plain mapped page")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemem_vmm::RegionId;
+
+    #[test]
+    fn errors_render() {
+        assert!(MemError::OutOfMemory.to_string().contains("exhausted"));
+        assert!(MemError::NoSwapDevice.to_string().contains("swap device"));
+        assert!(MemError::SwapExhausted.to_string().contains("swap file"));
+        let p = PageId {
+            region: RegionId(1),
+            index: 7,
+        };
+        assert!(MemError::ReclaimVictimBusy(p).to_string().contains("victim"));
+    }
+}

@@ -74,6 +74,18 @@ impl PolicyConfig {
             CopyMechanism::Threads(self.copy_threads)
         }
     }
+
+    /// Like [`PolicyConfig::mechanism`], but falls back to copy threads
+    /// while the DMA engine reports itself degraded (its circuit breaker
+    /// tripped on consecutive submission failures). HeMem runs the same
+    /// 4-thread path when the I/OAT driver is absent (§3.2).
+    pub fn mechanism_for(&self, m: &MachineCore) -> CopyMechanism {
+        if self.use_dma && m.dma.degraded() {
+            CopyMechanism::Threads(self.copy_threads)
+        } else {
+            self.mechanism()
+        }
+    }
 }
 
 /// Runs one policy pass, returning the migrations to start.
@@ -84,7 +96,7 @@ pub fn run_policy(
     now: Ns,
 ) -> Vec<MigrationJob> {
     let page_bytes = m.cfg.managed_page.bytes();
-    let mechanism = cfg.mechanism();
+    let mechanism = cfg.mechanism_for(m);
     let mut budget = cfg.budget_per_period();
     let mut jobs = Vec::new();
 
@@ -97,7 +109,8 @@ pub fn run_policy(
     let in_flight = m
         .stats
         .migrations_started
-        .saturating_sub(m.stats.migrations_done);
+        .saturating_sub(m.stats.migrations_done)
+        .saturating_sub(m.stats.migrations_failed);
     if in_flight >= cfg.max_inflight_pages {
         return jobs;
     }
@@ -355,5 +368,23 @@ mod tests {
             ..PolicyConfig::default()
         };
         assert_eq!(threads.mechanism(), CopyMechanism::Threads(4));
+    }
+
+    #[test]
+    fn degraded_engine_switches_jobs_to_copy_threads() {
+        let (mut m, mut t, _) = setup(1, 600, 512);
+        let cfg = PolicyConfig::default();
+        for _ in 0..m.dma.config().degrade_after {
+            m.dma.note_submit_failure();
+        }
+        assert!(m.dma.degraded());
+        assert_eq!(cfg.mechanism_for(&m), CopyMechanism::Threads(4));
+        let jobs = run_policy(&cfg, &mut t, &mut m, Ns::ZERO);
+        assert!(!jobs.is_empty());
+        assert!(
+            jobs.iter()
+                .all(|j| j.mechanism == CopyMechanism::Threads(4)),
+            "degraded engine must not receive DMA jobs"
+        );
     }
 }

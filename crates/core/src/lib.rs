@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod error;
 pub mod hemem;
 pub mod machine;
 pub mod runtime;
@@ -27,6 +28,7 @@ pub mod telemetry;
 pub use backend::{
     AccessBatch, CopyMechanism, MigrationJob, SegmentAccess, TickOutput, TieredBackend, Traffic,
 };
+pub use error::MemError;
 pub use hemem::{HeMem, HeMemConfig};
 pub use machine::{MachineConfig, MachineCore, MachineStats};
 pub use runtime::{BatchReceipt, Event, Sim};

@@ -9,7 +9,7 @@
 
 use hemem_memdev::{Device, DeviceConfig, DmaConfig, DmaEngine, Llc, MemOp, Reservation, GIB};
 use hemem_pebs::{Pebs, PebsConfig};
-use hemem_sim::{CoreModel, Ns, Rng};
+use hemem_sim::{CoreModel, FaultPlan, FaultPlanConfig, Ns, Rng};
 use hemem_vmm::{
     AddressSpace, FaultConfig, FaultStats, FaultThread, PageSize, PhysPool, ScanConfig, Tier, Tlb,
     TlbConfig,
@@ -43,6 +43,9 @@ pub struct MachineConfig {
     /// Optional swap device behind the memory tiers (§3.4); `None`
     /// disables swapping.
     pub disk: Option<DeviceConfig>,
+    /// Fault-injection plan; [`FaultPlanConfig::none`] (the default)
+    /// injects nothing.
+    pub chaos: FaultPlanConfig,
     /// RNG seed; two runs with the same seed are identical.
     pub seed: u64,
 }
@@ -63,6 +66,7 @@ impl MachineConfig {
             pebs: PebsConfig::default(),
             dma: DmaConfig::ioat(),
             disk: None,
+            chaos: FaultPlanConfig::none(),
             seed: 0x4E564D_48454D45, // "NVM HEME"
         }
     }
@@ -70,6 +74,12 @@ impl MachineConfig {
     /// Adds an NVMe swap device of `capacity` bytes behind the tiers.
     pub fn with_swap(mut self, capacity: u64) -> MachineConfig {
         self.disk = Some(DeviceConfig::nvme_ssd(capacity));
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    pub fn with_chaos(mut self, chaos: FaultPlanConfig) -> MachineConfig {
+        self.chaos = chaos;
         self
     }
 
@@ -102,6 +112,16 @@ pub struct MachineStats {
     pub migrated_bytes: u64,
     /// Migrations aborted (no free page on the destination tier).
     pub migrations_aborted: u64,
+    /// Migrations started but lost to an injected failure (e.g. a media
+    /// error on the destination page); the source mapping stays intact.
+    pub migrations_failed: u64,
+    /// DMA submissions retried after an injected failure.
+    pub dma_retries: u64,
+    /// DMA batches that exhausted their retries and fell back to copy
+    /// threads.
+    pub dma_fallbacks: u64,
+    /// NVM pages retired to the poisoned list after media errors.
+    pub pages_retired: u64,
 }
 
 /// All hardware and OS state of the simulated machine.
@@ -140,6 +160,9 @@ pub struct MachineCore {
     pub stats: MachineStats,
     /// Optional swap device.
     pub disk: Option<Device>,
+    /// Fault-injection plan (deterministic; its streams are independent
+    /// of `rng`, so enabling faults never perturbs the workload draws).
+    pub chaos: FaultPlan,
     /// Next free swap slot (slots are never recycled in this model; the
     /// swap file is sized for the worst case).
     pub next_swap_slot: u64,
@@ -166,6 +189,7 @@ impl MachineCore {
             fault_thread: FaultThread::new(),
             stats: MachineStats::default(),
             disk: cfg.disk.clone().map(Device::new),
+            chaos: FaultPlan::new(cfg.chaos.clone()),
             next_swap_slot: 0,
             cfg,
         }

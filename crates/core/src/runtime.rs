@@ -16,6 +16,7 @@ use hemem_sim::{EventQueue, Ns};
 use hemem_vmm::{FaultKind, PageId, PageSize, PhysPage, RegionId, RegionKind, Tier};
 
 use crate::backend::{AccessBatch, CopyMechanism, MigrationJob, TieredBackend};
+use crate::error::MemError;
 use crate::machine::{zero_fill, MachineConfig, MachineCore};
 
 /// Events visible to (or scheduled by) workload drivers.
@@ -276,6 +277,12 @@ impl<B: TieredBackend> Sim<B> {
                 }
             }
             Event::PebsDrain => {
+                // Injected overflow storm: the hardware wrapped the buffer
+                // before this drain; the backlog is lost but the tracker
+                // keeps classifying on later samples.
+                if self.m.chaos.pebs_storm() {
+                    self.m.pebs.drop_pending();
+                }
                 let budget = self.m.pebs.drain_budget();
                 let samples = self.m.pebs.drain(budget);
                 if !samples.is_empty() {
@@ -336,8 +343,21 @@ impl<B: TieredBackend> Sim<B> {
 
     fn flush_dma_group(&mut self, now: Ns, group: &mut Vec<(u64, u64, usize)>) {
         let sizes: Vec<u64> = group.iter().map(|&(_, b, _)| b).collect();
-        let channels = group.iter().map(|&(_, _, c)| c).max().unwrap_or(1).max(1);
-        let dma_done = self.m.dma.submit(now, &sizes, channels);
+        let mut channels = group.iter().map(|&(_, _, c)| c).max().unwrap_or(1).max(1);
+        // Injected channel loss: the batch limps along on one surviving
+        // channel instead of the requested stripe width.
+        if self.m.chaos.dma_channel_lost() {
+            channels = 1;
+        }
+        let dma_done = match self.submit_dma_with_retry(now, &sizes, channels) {
+            Some(done) => done,
+            None => {
+                // Engine gave up: copy the whole group with HeMem's
+                // 4-thread fallback (§3.2, used when I/OAT is absent).
+                let total: u64 = sizes.iter().sum();
+                now + Ns::from_secs_f64(total as f64 / (3.0e9 * 4.0))
+            }
+        };
         let cap = Some(10.0e9);
         let mut done = dma_done;
         for &(id, bytes, _) in group.iter() {
@@ -357,6 +377,39 @@ impl<B: TieredBackend> Sim<B> {
             self.queue.push_at(done, Event::MigrationDone(id));
         }
         group.clear();
+    }
+
+    /// Submits one DMA batch, retrying with exponential ioctl backoff when
+    /// fault injection fails the submission. Returns the completion time,
+    /// or `None` once retries are exhausted (or the engine is already
+    /// degraded) — the caller then falls back to copy threads. The
+    /// migration itself is never lost either way.
+    fn submit_dma_with_retry(&mut self, now: Ns, sizes: &[u64], channels: usize) -> Option<Ns> {
+        const MAX_ATTEMPTS: u32 = 3;
+        if self.m.dma.degraded() {
+            self.m.stats.dma_fallbacks += 1;
+            return None;
+        }
+        let overhead = self.m.dma.config().ioctl_overhead;
+        let channels = channels.min(self.m.dma.config().channels as usize).max(1);
+        let mut at = now;
+        for attempt in 0..MAX_ATTEMPTS {
+            if self.m.chaos.dma_submit_fails() {
+                self.m.dma.note_submit_failure();
+                if self.m.dma.degraded() || attempt + 1 == MAX_ATTEMPTS {
+                    break;
+                }
+                self.m.stats.dma_retries += 1;
+                at = Ns(at.as_nanos() + (overhead.as_nanos() << attempt));
+                continue;
+            }
+            match self.m.dma.submit(at, sizes, channels) {
+                Ok(done) => return Some(done),
+                Err(_) => break, // invalid batch: retrying cannot help
+            }
+        }
+        self.m.stats.dma_fallbacks += 1;
+        None
     }
 
     /// Validates a job, allocates the destination page, write-protects the
@@ -401,11 +454,36 @@ impl<B: TieredBackend> Sim<B> {
         let Some(p) = self.pending.remove(&id) else {
             return;
         };
+        // Injected media error on the destination write (NVM only; its
+        // likelihood grows with the frame's wear). The destination frame
+        // is poisoned and retired; the source mapping was never touched,
+        // so the page is restored to the backend intact — never lost,
+        // never double-mapped.
+        if p.dst == Tier::Nvm {
+            let wear = self.m.nvm_pool.wear(p.dst_phys);
+            if self.m.chaos.nvm_media_error(wear) {
+                self.m.nvm_pool.retire(p.dst_phys);
+                self.m.stats.pages_retired += 1;
+                self.m.stats.migrations_failed += 1;
+                let region = self.m.space.region_mut(p.page.region);
+                region.set_wp(p.page.index, false);
+                let src_tier = match region.state(p.page.index) {
+                    hemem_vmm::PageState::Mapped { tier, .. } => tier,
+                    other => panic!("migrating page {:?} in state {other:?}", p.page),
+                };
+                self.backend.migration_aborted(&mut self.m, p.page, src_tier);
+                return;
+            }
+        }
         let region = self.m.space.region_mut(p.page.region);
         let bytes = region.page_size().bytes();
         let (old_tier, old_phys) = region.remap_page(p.page.index, p.dst, p.dst_phys);
         region.set_wp(p.page.index, false);
         self.m.pool_mut(old_tier).free(old_phys);
+        if p.dst == Tier::Nvm {
+            // A migration into NVM writes the whole frame once.
+            self.m.nvm_pool.note_write(p.dst_phys, 1);
+        }
         let cores = self.m.cores.cores();
         self.m.tlb.shootdown(cores);
         self.m.stats.migrations_done += 1;
@@ -466,15 +544,59 @@ impl<B: TieredBackend> Sim<B> {
         self.backend.swapped_out(&mut self.m, page);
     }
 
+    /// Allocates a frame from `tier`, retiring NVM frames whose first
+    /// write hits an injected media error (the zero-fill or swap-in write
+    /// lands on a poisoned frame; the allocator tries the next one).
+    /// Returns `None` when the tier is exhausted, including by
+    /// retirements.
+    fn alloc_frame(&mut self, tier: Tier) -> Option<PhysPage> {
+        loop {
+            let phys = self.m.pool_mut(tier).alloc()?;
+            if tier == Tier::Nvm {
+                let wear = self.m.nvm_pool.wear(phys);
+                if self.m.chaos.nvm_media_error(wear) {
+                    self.m.nvm_pool.retire(phys);
+                    self.m.stats.pages_retired += 1;
+                    continue;
+                }
+                self.m.nvm_pool.note_write(phys, 1);
+            }
+            return Some(phys);
+        }
+    }
+
     /// Handles a first-touch fault; returns the faulting thread's stall.
+    ///
+    /// # Panics
+    ///
+    /// An unsatisfiable fault — memory exhausted with nothing to reclaim,
+    /// or the swap device missing/full — is the machine's OOM kill:
+    /// this wrapper panics with the typed cause from
+    /// [`Sim::try_fault_page`]. Use that method to observe the error
+    /// instead.
     pub fn fault_page(&mut self, page: PageId, is_write: bool, now: Ns) -> Ns {
+        self.try_fault_page(page, is_write, now)
+            .unwrap_or_else(|e| panic!("fatal fault on {page:?}: {e}"))
+    }
+
+    /// Fallible core of [`Sim::fault_page`].
+    pub fn try_fault_page(
+        &mut self,
+        page: PageId,
+        is_write: bool,
+        now: Ns,
+    ) -> Result<Ns, MemError> {
         let region = self.m.space.region(page.region);
         let kind = region.kind();
         let page_bytes = region.page_size().bytes();
         // Managed-region faults funnel through HeMem's single fault
-        // thread; storms queue behind it.
+        // thread; storms queue behind it. An injected stall wedges the
+        // handler first, so this fault (and any behind it) queues longer.
         let queue = if kind == RegionKind::ManagedHeap {
             let cfg = self.m.fault_cfg.clone();
+            if let Some(stall_for) = self.m.chaos.fault_thread_stall() {
+                self.m.fault_thread.stall(now, stall_for);
+            }
             self.m.fault_thread.admit(now, &cfg)
         } else {
             Ns::ZERO
@@ -485,33 +607,28 @@ impl<B: TieredBackend> Sim<B> {
         if let hemem_vmm::PageState::Swapped { .. } = region.state(page.index) {
             let desired = self.backend.place(&mut self.m, page, is_write);
             let mut extra = Ns::ZERO;
-            let (tier, phys) = match self.m.pool_mut(desired).alloc() {
+            let (tier, phys) = match self.alloc_frame(desired) {
                 Some(p) => (desired, p),
                 None => {
                     let other = desired.other();
-                    match self.m.pool_mut(other).alloc() {
+                    match self.alloc_frame(other) {
                         Some(p) => (other, p),
                         None => {
                             // Both tiers full: direct-reclaim a victim to
                             // make room for the page coming in.
-                            extra = self.direct_reclaim(now);
+                            extra = self.try_direct_reclaim(now)?;
                             let p = self
-                                .m
-                                .pool_mut(desired)
-                                .alloc()
-                                .or_else(|| self.m.pool_mut(desired.other()).alloc())
-                                .expect("direct reclaim failed during swap-in");
+                                .alloc_frame(desired)
+                                .or_else(|| self.alloc_frame(desired.other()))
+                                .ok_or(MemError::OutOfMemory)?;
                             (desired, p)
                         }
                     }
                 }
             };
-            let disk = self
-                .m
-                .disk
-                .as_mut()
-                .expect("swapped page without a swap device");
+            let disk = self.m.disk.as_mut().ok_or(MemError::NoSwapDevice)?;
             let r = disk.reserve_bulk(now, MemOp::Read, page_bytes, None);
+            let disk_latency = disk.latency(MemOp::Read);
             self.m
                 .space
                 .region_mut(page.region)
@@ -519,10 +636,7 @@ impl<B: TieredBackend> Sim<B> {
             self.backend.placed(&mut self.m, page, tier);
             self.m.stats.swap_ins += 1;
             self.m.fault_stats.record(FaultKind::Missing, stall);
-            return stall
-                + extra
-                + r.service
-                + self.m.disk.as_ref().expect("device").latency(MemOp::Read);
+            return Ok(stall + extra + r.service + disk_latency);
         }
         if kind == RegionKind::SmallAnon {
             // Kernel-managed anonymous memory: always DRAM, outside the
@@ -533,27 +647,25 @@ impl<B: TieredBackend> Sim<B> {
                 PhysPage(page.index),
             );
             self.m.fault_stats.record(FaultKind::Missing, stall);
-            return stall;
+            return Ok(stall);
         }
         let desired = self.backend.place(&mut self.m, page, is_write);
         let mut extra = Ns::ZERO;
-        let (tier, phys) = match self.m.pool_mut(desired).alloc() {
+        let (tier, phys) = match self.alloc_frame(desired) {
             Some(p) => (desired, p),
             None => {
                 let other = desired.other();
-                match self.m.pool_mut(other).alloc() {
+                match self.alloc_frame(other) {
                     Some(p) => (other, p),
                     None => {
                         // Direct reclaim: synchronously page a victim out
                         // to disk and reuse its frame; the faulting thread
                         // eats the disk write (kernel direct reclaim).
-                        extra = self.direct_reclaim(now);
+                        extra = self.try_direct_reclaim(now)?;
                         let p = self
-                            .m
-                            .pool_mut(desired)
-                            .alloc()
-                            .or_else(|| self.m.pool_mut(desired.other()).alloc())
-                            .expect("direct reclaim failed: memory exhausted");
+                            .alloc_frame(desired)
+                            .or_else(|| self.alloc_frame(desired.other()))
+                            .ok_or(MemError::OutOfMemory)?;
                         (desired, p)
                     }
                 }
@@ -566,40 +678,39 @@ impl<B: TieredBackend> Sim<B> {
         zero_fill(&mut self.m, now, tier, page_bytes);
         self.backend.placed(&mut self.m, page, tier);
         self.m.fault_stats.record(FaultKind::Missing, stall);
-        stall + extra
+        Ok(stall + extra)
     }
 
     /// Synchronously swaps one victim out to free a frame; returns the
     /// stall the faulting thread pays.
-    fn direct_reclaim(&mut self, now: Ns) -> Ns {
+    fn try_direct_reclaim(&mut self, now: Ns) -> Result<Ns, MemError> {
         let victim = self
             .backend
             .reclaim_victim(&mut self.m)
-            .expect("both memory tiers exhausted and backend cannot reclaim");
+            .ok_or(MemError::OutOfMemory)?;
         let region = self.m.space.region(victim.region);
         let bytes = region.page_size().bytes();
         let src_tier = match region.state(victim.index) {
             hemem_vmm::PageState::Mapped {
                 tier, wp: false, ..
             } => tier,
-            other => panic!("reclaim victim {victim:?} in state {other:?}"),
+            _ => return Err(MemError::ReclaimVictimBusy(victim)),
         };
         let disk_cap = self
             .m
             .disk
             .as_ref()
             .map(|d| d.config().capacity)
-            .expect("direct reclaim without a swap device");
-        assert!(
-            (self.m.next_swap_slot + 1) * bytes <= disk_cap,
-            "swap file exhausted during direct reclaim"
-        );
+            .ok_or(MemError::NoSwapDevice)?;
+        if (self.m.next_swap_slot + 1) * bytes > disk_cap {
+            return Err(MemError::SwapExhausted);
+        }
         let slot = self.m.next_swap_slot;
         self.m.next_swap_slot += 1;
         self.m
             .device_mut(src_tier)
             .reserve_bulk(now, MemOp::Read, bytes, None);
-        let disk = self.m.disk.as_mut().expect("checked above");
+        let disk = self.m.disk.as_mut().ok_or(MemError::NoSwapDevice)?;
         let r = disk.reserve_bulk(now, MemOp::Write, bytes, None);
         let (tier, phys) = self
             .m
@@ -610,7 +721,7 @@ impl<B: TieredBackend> Sim<B> {
         self.m.pool_mut(tier).free(phys);
         self.m.stats.swap_outs += 1;
         self.backend.swapped_out(&mut self.m, victim);
-        r.service
+        Ok(r.service)
     }
 
     /// Submits one access batch on behalf of thread `tid`; schedules its

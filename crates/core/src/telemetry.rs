@@ -32,6 +32,15 @@ pub struct Snapshot {
     pub ops: u64,
     /// Cumulative write-protection stalls.
     pub wp_stalls: u64,
+    /// Cumulative injected faults across every site (zero without a
+    /// fault plan).
+    pub faults_injected: u64,
+    /// Cumulative DMA batches that fell back to copy threads.
+    pub dma_fallbacks: u64,
+    /// Cumulative migrations lost to injected failures.
+    pub migrations_failed: u64,
+    /// Cumulative NVM pages retired after media errors.
+    pub pages_retired: u64,
 }
 
 /// Per-interval rates derived from consecutive snapshots.
@@ -88,6 +97,10 @@ impl Telemetry {
             nvm_wear: sim.m.nvm_wear_bytes(),
             ops: sim.m.stats.ops,
             wp_stalls: sim.m.stats.wp_stalls,
+            faults_injected: sim.m.chaos.stats().total(),
+            dma_fallbacks: sim.m.stats.dma_fallbacks,
+            migrations_failed: sim.m.stats.migrations_failed,
+            pages_retired: sim.m.stats.pages_retired,
         });
         true
     }
@@ -120,14 +133,17 @@ impl Telemetry {
     }
 
     /// Renders snapshots as CSV (`time_s,dram_pages,mapped,swapped,
-    /// migrations,wear_bytes,ops,wp_stalls`).
+    /// migrations,wear_bytes,ops,wp_stalls`, then the fault-injection
+    /// columns `faults_injected,dma_fallbacks,migrations_failed,
+    /// pages_retired`).
     pub fn csv(&self) -> String {
         let mut out = String::from(
-            "time_s,dram_pages,mapped_pages,swapped_pages,migrations,nvm_wear,ops,wp_stalls\n",
+            "time_s,dram_pages,mapped_pages,swapped_pages,migrations,nvm_wear,ops,wp_stalls,\
+             faults_injected,dma_fallbacks,migrations_failed,pages_retired\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
-                "{:.3},{},{},{},{},{},{},{}\n",
+                "{:.3},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.at.as_secs_f64(),
                 s.dram_pages,
                 s.mapped_pages,
@@ -135,7 +151,11 @@ impl Telemetry {
                 s.migrations,
                 s.nvm_wear,
                 s.ops,
-                s.wp_stalls
+                s.wp_stalls,
+                s.faults_injected,
+                s.dma_fallbacks,
+                s.migrations_failed,
+                s.pages_retired
             ));
         }
         out

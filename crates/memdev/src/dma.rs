@@ -7,6 +7,12 @@
 //! Channel time modelled here covers the engine's descriptor processing;
 //! the actual byte movement must additionally be reserved on the source
 //! and destination [`crate::Device`]s by the caller.
+//!
+//! The engine owns channel allocation (which hardware channels are handed
+//! out to which client) so that multiple [`crate::DmaClient`]s sharing it
+//! cannot double-allocate a channel, and it tracks submission failures so
+//! callers can detect a dead engine and fall back to copy threads, as
+//! HeMem does when the I/OAT driver is unavailable.
 
 use hemem_sim::Ns;
 
@@ -21,6 +27,9 @@ pub struct DmaConfig {
     pub ioctl_overhead: Ns,
     /// Maximum copy requests accepted per `ioctl`.
     pub max_batch: usize,
+    /// Consecutive submission failures after which the engine reports
+    /// itself [`DmaEngine::degraded`] and callers should stop offloading.
+    pub degrade_after: u32,
 }
 
 impl DmaConfig {
@@ -31,9 +40,60 @@ impl DmaConfig {
             per_channel_bw: 6.0e9,
             ioctl_overhead: Ns::micros(2),
             max_batch: 32,
+            degrade_after: 8,
         }
     }
 }
+
+/// Errors surfaced by the DMA engine and its driver interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DmaError {
+    /// All hardware channels are allocated to clients.
+    NoChannelsAvailable,
+    /// The channel id is not allocated to the caller.
+    BadChannel,
+    /// A submission asked for an impossible channel count.
+    BadChannelCount {
+        /// Channels requested.
+        got: usize,
+        /// Channels the engine has.
+        have: usize,
+    },
+    /// More requests than the driver's batch limit.
+    BatchTooLarge {
+        /// Requests submitted.
+        got: usize,
+        /// Driver maximum per ioctl.
+        max: usize,
+    },
+    /// A request had zero length (rejected, matching the driver).
+    EmptyCopy,
+    /// The engine failed the submission (injected hardware/driver fault).
+    DeviceFailure,
+}
+
+impl core::fmt::Display for DmaError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DmaError::NoChannelsAvailable => write!(f, "no DMA channels available"),
+            DmaError::BadChannel => write!(f, "channel not allocated to this client"),
+            DmaError::BadChannelCount { got, have } => {
+                write!(f, "requested {got} channels, engine has {have}")
+            }
+            DmaError::BatchTooLarge { got, max } => {
+                write!(f, "batch of {got} exceeds driver limit of {max}")
+            }
+            DmaError::EmptyCopy => write!(f, "zero-length copy request"),
+            DmaError::DeviceFailure => write!(f, "DMA engine failed the submission"),
+        }
+    }
+}
+
+impl std::error::Error for DmaError {}
+
+/// An allocated DMA channel id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId(pub u32);
 
 /// Cumulative DMA statistics.
 #[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
@@ -42,8 +102,10 @@ pub struct DmaStats {
     pub bytes_copied: u64,
     /// Copy requests completed.
     pub copies: u64,
-    /// Batched ioctl calls issued.
+    /// Batched ioctl calls issued successfully.
     pub ioctls: u64,
+    /// Submissions that failed (injected engine faults).
+    pub failed_ioctls: u64,
 }
 
 /// Runtime DMA engine state.
@@ -51,16 +113,27 @@ pub struct DmaStats {
 pub struct DmaEngine {
     config: DmaConfig,
     chan_free: Vec<Ns>,
+    /// Bitmask of channels handed out to clients. The engine — not each
+    /// client — owns this, so clients sharing the engine see one another's
+    /// allocations, matching the kernel driver.
+    allocated_mask: u64,
+    consecutive_failures: u32,
     stats: DmaStats,
 }
 
 impl DmaEngine {
     /// Creates an idle engine.
     pub fn new(config: DmaConfig) -> DmaEngine {
+        assert!(
+            config.channels as usize <= u64::BITS as usize,
+            "channel mask holds at most 64 channels"
+        );
         let chan_free = vec![Ns::ZERO; config.channels as usize];
         DmaEngine {
             config,
             chan_free,
+            allocated_mask: 0,
+            consecutive_failures: 0,
             stats: DmaStats::default(),
         }
     }
@@ -75,29 +148,65 @@ impl DmaEngine {
         &self.stats
     }
 
+    /// Number of channels currently allocated to clients.
+    pub fn allocated_channels(&self) -> u32 {
+        self.allocated_mask.count_ones()
+    }
+
+    /// Allocates the lowest free channel (the `DMA_ALLOC_CHANNEL` ioctl).
+    pub fn alloc_channel(&mut self) -> Result<ChannelId, DmaError> {
+        for i in 0..self.config.channels {
+            if self.allocated_mask & (1 << i) == 0 {
+                self.allocated_mask |= 1 << i;
+                return Ok(ChannelId(i));
+            }
+        }
+        Err(DmaError::NoChannelsAvailable)
+    }
+
+    /// Releases an allocated channel (the `DMA_FREE_CHANNEL` ioctl).
+    pub fn free_channel(&mut self, id: ChannelId) -> Result<(), DmaError> {
+        if id.0 >= self.config.channels || self.allocated_mask & (1 << id.0) == 0 {
+            return Err(DmaError::BadChannel);
+        }
+        self.allocated_mask &= !(1 << id.0);
+        Ok(())
+    }
+
+    /// Validates a batch before submission: the single checkpoint for
+    /// batch size, channel count, and copy lengths.
+    fn validate(&self, copy_sizes: &[u64], n_channels: usize) -> Result<(), DmaError> {
+        if copy_sizes.len() > self.config.max_batch {
+            return Err(DmaError::BatchTooLarge {
+                got: copy_sizes.len(),
+                max: self.config.max_batch,
+            });
+        }
+        if n_channels == 0 || n_channels > self.chan_free.len() {
+            return Err(DmaError::BadChannelCount {
+                got: n_channels,
+                have: self.chan_free.len(),
+            });
+        }
+        if copy_sizes.contains(&0) {
+            return Err(DmaError::EmptyCopy);
+        }
+        Ok(())
+    }
+
     /// Submits one batched copy `ioctl` using `n_channels` channels.
     ///
-    /// Returns the completion time of the whole batch. Copies are assigned
-    /// round-robin to the least-loaded of the selected channels, matching
-    /// the driver's striping.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the batch exceeds [`DmaConfig::max_batch`] or requests
-    /// more channels than the engine has.
-    pub fn submit(&mut self, now: Ns, copy_sizes: &[u64], n_channels: usize) -> Ns {
-        assert!(
-            copy_sizes.len() <= self.config.max_batch,
-            "batch of {} exceeds max {}",
-            copy_sizes.len(),
-            self.config.max_batch
-        );
-        assert!(
-            n_channels >= 1 && n_channels <= self.chan_free.len(),
-            "invalid channel count {n_channels}"
-        );
+    /// Returns the completion time of the whole batch, or an error if the
+    /// batch exceeds [`DmaConfig::max_batch`], requests an impossible
+    /// channel count, or contains a zero-length copy. Copies are assigned
+    /// round-robin to the selected channels, matching the driver's
+    /// striping. A successful submission clears the consecutive-failure
+    /// counter feeding [`DmaEngine::degraded`].
+    pub fn submit(&mut self, now: Ns, copy_sizes: &[u64], n_channels: usize) -> Result<Ns, DmaError> {
+        self.validate(copy_sizes, n_channels)?;
         let start = now + self.config.ioctl_overhead;
         self.stats.ioctls += 1;
+        self.consecutive_failures = 0;
         let mut completion = start;
         for (i, &bytes) in copy_sizes.iter().enumerate() {
             let chan = i % n_channels;
@@ -109,7 +218,20 @@ impl DmaEngine {
             self.stats.bytes_copied += bytes;
             self.stats.copies += 1;
         }
-        completion
+        Ok(completion)
+    }
+
+    /// Records a failed submission (fault injection reports failures from
+    /// outside the engine). Feeds the [`DmaEngine::degraded`] breaker.
+    pub fn note_submit_failure(&mut self) {
+        self.stats.failed_ioctls += 1;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+    }
+
+    /// Whether the engine has failed [`DmaConfig::degrade_after`]
+    /// submissions in a row and callers should stop offloading to it.
+    pub fn degraded(&self) -> bool {
+        self.consecutive_failures >= self.config.degrade_after
     }
 
     /// Aggregate copy bandwidth when using `n_channels` channels.
@@ -127,7 +249,9 @@ mod tests {
     #[test]
     fn single_copy_timing() {
         let mut dma = DmaEngine::new(DmaConfig::ioat());
-        let done = dma.submit(Ns::ZERO, &[6 * 1_000_000_000 / 1000], 1);
+        let done = dma
+            .submit(Ns::ZERO, &[6 * 1_000_000_000 / 1000], 1)
+            .expect("submit");
         // 6 MB-ish at 6 GB/s = 1 ms, plus 2 us ioctl.
         let expect = Ns::millis(1) + Ns::micros(2);
         let diff = done.as_nanos().abs_diff(expect.as_nanos());
@@ -139,8 +263,8 @@ mod tests {
         let mut one = DmaEngine::new(DmaConfig::ioat());
         let mut two = DmaEngine::new(DmaConfig::ioat());
         let batch = [2 * MB, 2 * MB, 2 * MB, 2 * MB];
-        let t1 = one.submit(Ns::ZERO, &batch, 1);
-        let t2 = two.submit(Ns::ZERO, &batch, 2);
+        let t1 = one.submit(Ns::ZERO, &batch, 1).expect("submit");
+        let t2 = two.submit(Ns::ZERO, &batch, 2).expect("submit");
         let r = t1.as_nanos() as f64 / t2.as_nanos() as f64;
         assert!((r - 2.0).abs() < 0.05, "speedup {r}");
     }
@@ -148,8 +272,8 @@ mod tests {
     #[test]
     fn backlog_carries_across_batches() {
         let mut dma = DmaEngine::new(DmaConfig::ioat());
-        let t1 = dma.submit(Ns::ZERO, &[64 * MB], 1);
-        let t2 = dma.submit(Ns::ZERO, &[64 * MB], 1);
+        let t1 = dma.submit(Ns::ZERO, &[64 * MB], 1).expect("submit");
+        let t2 = dma.submit(Ns::ZERO, &[64 * MB], 1).expect("submit");
         assert!(t2 > t1, "second batch must queue behind the first");
         assert!(t2.as_nanos() >= 2 * (t1.as_nanos() - 4_000));
     }
@@ -157,19 +281,67 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut dma = DmaEngine::new(DmaConfig::ioat());
-        dma.submit(Ns::ZERO, &[MB, MB], 2);
-        dma.submit(Ns::ZERO, &[MB], 1);
+        dma.submit(Ns::ZERO, &[MB, MB], 2).expect("submit");
+        dma.submit(Ns::ZERO, &[MB], 1).expect("submit");
         assert_eq!(dma.stats().copies, 3);
         assert_eq!(dma.stats().ioctls, 2);
         assert_eq!(dma.stats().bytes_copied, 3 * MB);
     }
 
     #[test]
-    #[should_panic(expected = "exceeds max")]
     fn oversized_batch_rejected() {
         let mut dma = DmaEngine::new(DmaConfig::ioat());
         let batch = vec![1u64; 33];
-        dma.submit(Ns::ZERO, &batch, 1);
+        assert_eq!(
+            dma.submit(Ns::ZERO, &batch, 1),
+            Err(DmaError::BatchTooLarge { got: 33, max: 32 })
+        );
+        assert_eq!(dma.stats().ioctls, 0, "rejected batch issues no ioctl");
+    }
+
+    #[test]
+    fn bad_channel_counts_rejected() {
+        let mut dma = DmaEngine::new(DmaConfig::ioat());
+        assert_eq!(
+            dma.submit(Ns::ZERO, &[MB], 0),
+            Err(DmaError::BadChannelCount { got: 0, have: 8 })
+        );
+        assert_eq!(
+            dma.submit(Ns::ZERO, &[MB], 9),
+            Err(DmaError::BadChannelCount { got: 9, have: 8 })
+        );
+    }
+
+    #[test]
+    fn engine_owns_channel_allocation() {
+        let mut dma = DmaEngine::new(DmaConfig::ioat());
+        let a = dma.alloc_channel().expect("channel");
+        let b = dma.alloc_channel().expect("channel");
+        assert_ne!(a, b);
+        assert_eq!(dma.allocated_channels(), 2);
+        dma.free_channel(a).expect("free");
+        assert_eq!(dma.allocated_channels(), 1);
+        // Lowest free channel is reused.
+        assert_eq!(dma.alloc_channel(), Ok(a));
+        // Double-free and out-of-range frees are rejected.
+        dma.free_channel(b).expect("free");
+        assert_eq!(dma.free_channel(b), Err(DmaError::BadChannel));
+        assert_eq!(dma.free_channel(ChannelId(99)), Err(DmaError::BadChannel));
+    }
+
+    #[test]
+    fn degrades_after_consecutive_failures_and_recovers() {
+        let mut dma = DmaEngine::new(DmaConfig::ioat());
+        let after = dma.config().degrade_after;
+        for _ in 0..after {
+            assert!(!dma.degraded());
+            dma.note_submit_failure();
+        }
+        assert!(dma.degraded());
+        assert_eq!(dma.stats().failed_ioctls, after as u64);
+        // One successful submission resets the breaker.
+        dma.submit(Ns::ZERO, &[MB], 1).expect("submit");
+        assert!(!dma.degraded());
     }
 
     #[test]

@@ -4,13 +4,15 @@
 //! interface so multiple processes can share the DMA engine safely:
 //! channels are allocated and released per process, copy requests carry
 //! user virtual addresses, and up to 32 requests batch into one system
-//! call. This module models that interface on top of [`crate::DmaEngine`]
-//! — channel accounting, per-call overhead, batching limits — and is what
-//! HeMem's migration path would link against on real hardware.
+//! call. This module models that interface on top of [`crate::DmaEngine`].
+//! The engine owns the channel-allocation state (as the kernel driver
+//! does); a client only remembers which channels it holds, so two clients
+//! of the same engine can never be handed the same channel.
 
 use hemem_sim::Ns;
 
 use crate::dma::DmaEngine;
+pub use crate::dma::{ChannelId, DmaError};
 
 /// One copy request: source/destination user virtual addresses + length.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,62 +25,19 @@ pub struct CopyRequest {
     pub len: u64,
 }
 
-/// Errors surfaced by the driver interface.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DmaError {
-    /// All hardware channels are allocated to clients.
-    NoChannelsAvailable,
-    /// The channel id is not allocated to this client.
-    BadChannel,
-    /// More requests than the driver's batch limit.
-    BatchTooLarge {
-        /// Requests submitted.
-        got: usize,
-        /// Driver maximum per ioctl.
-        max: usize,
-    },
-    /// A request had zero length (rejected, matching the driver).
-    EmptyCopy,
-}
-
-impl core::fmt::Display for DmaError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            DmaError::NoChannelsAvailable => write!(f, "no DMA channels available"),
-            DmaError::BadChannel => write!(f, "channel not allocated to this client"),
-            DmaError::BatchTooLarge { got, max } => {
-                write!(f, "batch of {got} exceeds driver limit of {max}")
-            }
-            DmaError::EmptyCopy => write!(f, "zero-length copy request"),
-        }
-    }
-}
-
-impl std::error::Error for DmaError {}
-
-/// A client-held DMA channel id.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ChannelId(pub u32);
-
 /// Per-process view of the shared DMA engine.
 ///
 /// Mirrors the paper's ioctl surface: `alloc_channel` / `free_channel` /
 /// batched `copy`.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct DmaClient {
     held: Vec<ChannelId>,
-    total_channels: u32,
-    allocated_mask: u64,
 }
 
 impl DmaClient {
     /// Opens the driver (no channels held yet).
-    pub fn new(engine: &DmaEngine) -> DmaClient {
-        DmaClient {
-            held: Vec::new(),
-            total_channels: engine.config().channels,
-            allocated_mask: 0,
-        }
+    pub fn new() -> DmaClient {
+        DmaClient { held: Vec::new() }
     }
 
     /// Channels currently held by this client.
@@ -86,34 +45,32 @@ impl DmaClient {
         &self.held
     }
 
-    /// Allocates one channel (the `DMA_ALLOC_CHANNEL` ioctl).
-    pub fn alloc_channel(&mut self) -> Result<ChannelId, DmaError> {
-        for i in 0..self.total_channels {
-            if self.allocated_mask & (1 << i) == 0 {
-                self.allocated_mask |= 1 << i;
-                let id = ChannelId(i);
-                self.held.push(id);
-                return Ok(id);
-            }
-        }
-        Err(DmaError::NoChannelsAvailable)
+    /// Allocates one channel from the engine (the `DMA_ALLOC_CHANNEL`
+    /// ioctl).
+    pub fn alloc_channel(&mut self, engine: &mut DmaEngine) -> Result<ChannelId, DmaError> {
+        let id = engine.alloc_channel()?;
+        self.held.push(id);
+        Ok(id)
     }
 
-    /// Releases a channel (the `DMA_FREE_CHANNEL` ioctl).
-    pub fn free_channel(&mut self, id: ChannelId) -> Result<(), DmaError> {
+    /// Releases one of this client's channels back to the engine (the
+    /// `DMA_FREE_CHANNEL` ioctl).
+    pub fn free_channel(&mut self, engine: &mut DmaEngine, id: ChannelId) -> Result<(), DmaError> {
         let pos = self
             .held
             .iter()
             .position(|&c| c == id)
             .ok_or(DmaError::BadChannel)?;
+        engine.free_channel(id)?;
         self.held.remove(pos);
-        self.allocated_mask &= !(1 << id.0);
         Ok(())
     }
 
     /// Submits a batch of copies striped over this client's channels (the
     /// batched `DMA_COPY` ioctl; up to [`crate::DmaConfig::max_batch`]
     /// requests per call). Returns the completion time of the batch.
+    /// Batch-size and length validation happens in [`DmaEngine::submit`],
+    /// the single checkpoint shared by every submission path.
     pub fn copy(
         &self,
         engine: &mut DmaEngine,
@@ -123,18 +80,8 @@ impl DmaClient {
         if self.held.is_empty() {
             return Err(DmaError::BadChannel);
         }
-        let max = engine.config().max_batch;
-        if requests.len() > max {
-            return Err(DmaError::BatchTooLarge {
-                got: requests.len(),
-                max,
-            });
-        }
-        if requests.iter().any(|r| r.len == 0) {
-            return Err(DmaError::EmptyCopy);
-        }
         let sizes: Vec<u64> = requests.iter().map(|r| r.len).collect();
-        Ok(engine.submit(now, &sizes, self.held.len()))
+        engine.submit(now, &sizes, self.held.len())
     }
 }
 
@@ -157,40 +104,60 @@ mod tests {
 
     #[test]
     fn channel_allocation_round_trip() {
-        let e = engine();
-        let mut c = DmaClient::new(&e);
-        let a = c.alloc_channel().expect("channel");
-        let b = c.alloc_channel().expect("channel");
+        let mut e = engine();
+        let mut c = DmaClient::new();
+        let a = c.alloc_channel(&mut e).expect("channel");
+        let b = c.alloc_channel(&mut e).expect("channel");
         assert_ne!(a, b);
         assert_eq!(c.channels().len(), 2);
-        c.free_channel(a).expect("free");
+        c.free_channel(&mut e, a).expect("free");
         assert_eq!(c.channels(), &[b]);
         // Freed channel is reusable.
-        let a2 = c.alloc_channel().expect("channel");
+        let a2 = c.alloc_channel(&mut e).expect("channel");
         assert_eq!(a2, a);
     }
 
     #[test]
     fn channels_are_finite() {
-        let e = engine();
-        let mut c = DmaClient::new(&e);
+        let mut e = engine();
+        let mut c = DmaClient::new();
         for _ in 0..e.config().channels {
-            c.alloc_channel().expect("channel");
+            c.alloc_channel(&mut e).expect("channel");
         }
-        assert_eq!(c.alloc_channel(), Err(DmaError::NoChannelsAvailable));
+        assert_eq!(
+            c.alloc_channel(&mut e),
+            Err(DmaError::NoChannelsAvailable)
+        );
+    }
+
+    #[test]
+    fn two_clients_share_one_channel_space() {
+        let mut e = engine();
+        let mut c1 = DmaClient::new();
+        let mut c2 = DmaClient::new();
+        let a = c1.alloc_channel(&mut e).expect("channel");
+        let b = c2.alloc_channel(&mut e).expect("channel");
+        assert_ne!(a, b, "engine must not hand the same channel to two clients");
+        assert_eq!(e.allocated_channels(), 2);
+        // One client cannot free another's channel.
+        assert_eq!(c2.free_channel(&mut e, a), Err(DmaError::BadChannel));
+        assert!(c2.channels().contains(&b));
     }
 
     #[test]
     fn free_of_unheld_channel_fails() {
-        let e = engine();
-        let mut c = DmaClient::new(&e);
-        assert_eq!(c.free_channel(ChannelId(0)), Err(DmaError::BadChannel));
+        let mut e = engine();
+        let mut c = DmaClient::new();
+        assert_eq!(
+            c.free_channel(&mut e, ChannelId(0)),
+            Err(DmaError::BadChannel)
+        );
     }
 
     #[test]
     fn copy_requires_a_channel() {
         let mut e = engine();
-        let c = DmaClient::new(&e);
+        let c = DmaClient::new();
         assert_eq!(
             c.copy(&mut e, Ns::ZERO, &[req(4096)]),
             Err(DmaError::BadChannel)
@@ -200,9 +167,9 @@ mod tests {
     #[test]
     fn copy_batches_and_completes() {
         let mut e = engine();
-        let mut c = DmaClient::new(&e);
-        c.alloc_channel().expect("channel");
-        c.alloc_channel().expect("channel");
+        let mut c = DmaClient::new();
+        c.alloc_channel(&mut e).expect("channel");
+        c.alloc_channel(&mut e).expect("channel");
         let reqs = vec![req(2 << 20); 4];
         let done = c.copy(&mut e, Ns::ZERO, &reqs).expect("copy");
         assert!(done > Ns::ZERO);
@@ -213,8 +180,8 @@ mod tests {
     #[test]
     fn oversized_batches_rejected_with_limit() {
         let mut e = engine();
-        let mut c = DmaClient::new(&e);
-        c.alloc_channel().expect("channel");
+        let mut c = DmaClient::new();
+        c.alloc_channel(&mut e).expect("channel");
         let reqs = vec![req(64); 33];
         assert_eq!(
             c.copy(&mut e, Ns::ZERO, &reqs),
@@ -225,8 +192,8 @@ mod tests {
     #[test]
     fn zero_length_copy_rejected() {
         let mut e = engine();
-        let mut c = DmaClient::new(&e);
-        c.alloc_channel().expect("channel");
+        let mut c = DmaClient::new();
+        c.alloc_channel(&mut e).expect("channel");
         assert_eq!(
             c.copy(&mut e, Ns::ZERO, &[req(0)]),
             Err(DmaError::EmptyCopy)
@@ -242,5 +209,8 @@ mod tests {
         assert!(DmaError::BatchTooLarge { got: 40, max: 32 }
             .to_string()
             .contains("40"));
+        assert!(DmaError::BadChannelCount { got: 9, have: 8 }
+            .to_string()
+            .contains("9"));
     }
 }

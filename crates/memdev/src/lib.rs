@@ -20,7 +20,7 @@ pub mod llc;
 
 pub use config::{DeviceConfig, MemOp, Pattern, GIB};
 pub use device::{Device, DeviceStats, Reservation};
-pub use dma::{DmaConfig, DmaEngine, DmaStats};
-pub use dma_client::{ChannelId, CopyRequest, DmaClient, DmaError};
+pub use dma::{ChannelId, DmaConfig, DmaEngine, DmaError, DmaStats};
+pub use dma_client::{CopyRequest, DmaClient};
 pub use dramcache::{CacheOutcome, CacheStats, DramCache, DramCacheConfig};
 pub use llc::Llc;

@@ -183,6 +183,19 @@ impl Pebs {
         self.stats.drained += n;
     }
 
+    /// Discards everything waiting in the buffer, counting each record as
+    /// dropped, and returns how many were lost. An overflow storm: the
+    /// hardware wrapped the buffer before the PEBS thread got to it, so
+    /// the whole backlog is gone. The tracker keeps classifying on
+    /// whatever samples survive; only [`PebsStats::dropped`] records the
+    /// loss. Used by fault injection.
+    pub fn drop_pending(&mut self) -> u64 {
+        let n = self.buffer.len() as u64;
+        self.buffer.clear();
+        self.stats.dropped += n;
+        n
+    }
+
     /// Free buffer slots right now.
     pub fn free_space(&self) -> u64 {
         self.config
@@ -287,6 +300,21 @@ mod tests {
         assert_eq!(p.stats().drained, 4);
         let rest = p.drain(100);
         assert_eq!(rest.len(), 6);
+    }
+
+    #[test]
+    fn overflow_storm_loses_backlog_but_not_the_unit() {
+        let mut p = Pebs::new(PebsConfig::default());
+        for i in 0..10 {
+            p.push(rec(i));
+        }
+        assert_eq!(p.drop_pending(), 10);
+        assert_eq!(p.pending(), 0);
+        assert_eq!(p.stats().dropped, 10);
+        assert_eq!(p.stats().generated, 10, "drops are not new generation");
+        // The unit keeps sampling after the storm.
+        assert!(p.push(rec(99)));
+        assert_eq!(p.drain(10).len(), 1);
     }
 
     #[test]

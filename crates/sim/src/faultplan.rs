@@ -1,0 +1,297 @@
+//! Seeded, deterministic fault-injection plans.
+//!
+//! The paper's mechanisms are all reactions to hardware misbehaving:
+//! PEBS buffers overflow and drop samples (§3.1), DMA may be busy or
+//! absent so migration falls back to copy threads (§3.2), and the
+//! userfaultfd handler saturates under fault storms (§5). A [`FaultPlan`]
+//! makes those failures injectable: each decision point in the machine
+//! model consults the plan, which draws from an independent, seeded
+//! random stream per injection site. The same seed and rates therefore
+//! reproduce the exact same fault sequence — a chaos run is as
+//! deterministic as a clean one.
+//!
+//! The plan only *decides* that a fault fires and counts it; the layer
+//! that consulted it owns the reaction (retry, fallback, retirement).
+
+use crate::rng::Rng;
+use crate::time::Ns;
+
+/// Per-site fault rates. All rates are probabilities in `[0, 1]` drawn
+/// once per decision point; zero disables the site entirely.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlanConfig {
+    /// Seed of the plan's random streams (independent of the machine
+    /// seed, so fault schedules can vary while the workload holds still).
+    pub seed: u64,
+    /// P(one DMA copy `ioctl` submission fails).
+    pub dma_submit_fail: f64,
+    /// P(a DMA submission finds its channels busy/lost and must run on a
+    /// single surviving channel).
+    pub dma_channel_loss: f64,
+    /// Base P(an NVM page write hits a media error) at zero wear.
+    pub nvm_media_error: f64,
+    /// Additional media-error probability per recorded write of wear on
+    /// the target page (media errors grow more likely as cells wear).
+    pub nvm_media_wear_scale: f64,
+    /// P(one PEBS drain pass finds the buffer clobbered by an overflow
+    /// storm and loses everything buffered).
+    pub pebs_storm: f64,
+    /// P(one managed-region fault finds the handler thread stalled).
+    pub fault_thread_stall: f64,
+    /// How long a stalled fault handler is unavailable.
+    pub fault_thread_stall_for: Ns,
+}
+
+impl FaultPlanConfig {
+    /// A plan that never fires: the default for every machine.
+    pub fn none() -> FaultPlanConfig {
+        FaultPlanConfig {
+            seed: 0xC4A05,
+            dma_submit_fail: 0.0,
+            dma_channel_loss: 0.0,
+            nvm_media_error: 0.0,
+            nvm_media_wear_scale: 0.0,
+            pebs_storm: 0.0,
+            fault_thread_stall: 0.0,
+            fault_thread_stall_for: Ns::millis(1),
+        }
+    }
+
+    /// Whether every site is disabled.
+    pub fn is_none(&self) -> bool {
+        self.dma_submit_fail == 0.0
+            && self.dma_channel_loss == 0.0
+            && self.nvm_media_error == 0.0
+            && self.nvm_media_wear_scale == 0.0
+            && self.pebs_storm == 0.0
+            && self.fault_thread_stall == 0.0
+    }
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig::none()
+    }
+}
+
+/// Cumulative injected-fault counters, one per site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FaultPlanStats {
+    /// DMA `ioctl` submissions failed.
+    pub dma_submit_failures: u64,
+    /// DMA submissions degraded to a single channel.
+    pub dma_channel_losses: u64,
+    /// NVM media errors fired.
+    pub nvm_media_errors: u64,
+    /// PEBS overflow storms fired.
+    pub pebs_storms: u64,
+    /// Fault-handler stalls fired.
+    pub fault_thread_stalls: u64,
+}
+
+impl FaultPlanStats {
+    /// Total faults injected across all sites.
+    pub fn total(&self) -> u64 {
+        self.dma_submit_failures
+            + self.dma_channel_losses
+            + self.nvm_media_errors
+            + self.pebs_storms
+            + self.fault_thread_stalls
+    }
+}
+
+/// A live fault plan: per-site independent random streams plus counters.
+///
+/// Each site forks its own stream from the plan seed, so enabling one
+/// site never perturbs the draw sequence of another — rate sweeps stay
+/// comparable point to point.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultPlanConfig,
+    dma: Rng,
+    chan: Rng,
+    media: Rng,
+    pebs: Rng,
+    fault: Rng,
+    stats: FaultPlanStats,
+}
+
+impl FaultPlan {
+    /// Builds a plan from its configuration.
+    pub fn new(cfg: FaultPlanConfig) -> FaultPlan {
+        let mut root = Rng::new(cfg.seed);
+        FaultPlan {
+            dma: root.fork(0xD3A),
+            chan: root.fork(0xC7A),
+            media: root.fork(0x3ED1A),
+            pebs: root.fork(0x9EB5),
+            fault: root.fork(0xFA17),
+            cfg,
+            stats: FaultPlanStats::default(),
+        }
+    }
+
+    /// A plan that never fires.
+    pub fn none() -> FaultPlan {
+        FaultPlan::new(FaultPlanConfig::none())
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &FaultPlanConfig {
+        &self.cfg
+    }
+
+    /// Whether any site can fire.
+    pub fn enabled(&self) -> bool {
+        !self.cfg.is_none()
+    }
+
+    /// Injected-fault counters.
+    pub fn stats(&self) -> FaultPlanStats {
+        self.stats
+    }
+
+    /// Draws whether this DMA `ioctl` submission fails.
+    pub fn dma_submit_fails(&mut self) -> bool {
+        let hit = self.dma.bernoulli(self.cfg.dma_submit_fail);
+        if hit {
+            self.stats.dma_submit_failures += 1;
+        }
+        hit
+    }
+
+    /// Draws whether this DMA submission lost its channels and must run
+    /// on a single surviving one.
+    pub fn dma_channel_lost(&mut self) -> bool {
+        let hit = self.chan.bernoulli(self.cfg.dma_channel_loss);
+        if hit {
+            self.stats.dma_channel_losses += 1;
+        }
+        hit
+    }
+
+    /// Draws whether an NVM page write with `wear` prior writes hits a
+    /// media error. Probability scales linearly with wear and saturates
+    /// at 1.
+    pub fn nvm_media_error(&mut self, wear: u64) -> bool {
+        let p = self.cfg.nvm_media_error + self.cfg.nvm_media_wear_scale * wear as f64;
+        let hit = self.media.bernoulli(p.clamp(0.0, 1.0));
+        if hit {
+            self.stats.nvm_media_errors += 1;
+        }
+        hit
+    }
+
+    /// Draws whether this PEBS drain pass hits an overflow storm.
+    pub fn pebs_storm(&mut self) -> bool {
+        let hit = self.pebs.bernoulli(self.cfg.pebs_storm);
+        if hit {
+            self.stats.pebs_storms += 1;
+        }
+        hit
+    }
+
+    /// Draws whether the fault handler stalls for this fault; returns the
+    /// stall duration when it does.
+    pub fn fault_thread_stall(&mut self) -> Option<Ns> {
+        if self.fault.bernoulli(self.cfg.fault_thread_stall) {
+            self.stats.fault_thread_stalls += 1;
+            Some(self.cfg.fault_thread_stall_for)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(f: impl FnOnce(&mut FaultPlanConfig)) -> FaultPlan {
+        let mut cfg = FaultPlanConfig::none();
+        f(&mut cfg);
+        FaultPlan::new(cfg)
+    }
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let mut p = FaultPlan::none();
+        assert!(!p.enabled());
+        for _ in 0..1000 {
+            assert!(!p.dma_submit_fails());
+            assert!(!p.dma_channel_lost());
+            assert!(!p.nvm_media_error(u64::MAX / 2));
+            assert!(!p.pebs_storm());
+            assert!(p.fault_thread_stall().is_none());
+        }
+        assert_eq!(p.stats().total(), 0);
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let mut p = plan(|c| c.dma_submit_fail = 0.25);
+        let hits = (0..10_000).filter(|_| p.dma_submit_fails()).count();
+        assert!((2_000..3_000).contains(&hits), "{hits} hits at p=0.25");
+        assert_eq!(p.stats().dma_submit_failures, hits as u64);
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let mk = || {
+            plan(|c| {
+                c.seed = 77;
+                c.dma_submit_fail = 0.1;
+                c.pebs_storm = 0.3;
+            })
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..500 {
+            assert_eq!(a.dma_submit_fails(), b.dma_submit_fails());
+            assert_eq!(a.pebs_storm(), b.pebs_storm());
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn sites_draw_from_independent_streams() {
+        // Enabling an unrelated site must not change another site's draws.
+        let mut only_dma = plan(|c| c.dma_submit_fail = 0.5);
+        let mut both = plan(|c| {
+            c.dma_submit_fail = 0.5;
+            c.pebs_storm = 0.9;
+        });
+        for _ in 0..200 {
+            let a = only_dma.dma_submit_fails();
+            both.pebs_storm(); // interleaved draws on the other site
+            let b = both.dma_submit_fails();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn media_error_probability_scales_with_wear() {
+        let count = |wear: u64| {
+            let mut p = plan(|c| {
+                c.nvm_media_error = 0.001;
+                c.nvm_media_wear_scale = 0.001;
+            });
+            (0..20_000).filter(|_| p.nvm_media_error(wear)).count()
+        };
+        let fresh = count(0);
+        let worn = count(100);
+        assert!(
+            worn > fresh * 10,
+            "wear must raise the error rate: fresh={fresh} worn={worn}"
+        );
+    }
+
+    #[test]
+    fn stall_site_returns_configured_duration() {
+        let mut p = plan(|c| {
+            c.fault_thread_stall = 1.0;
+            c.fault_thread_stall_for = Ns::micros(123);
+        });
+        assert_eq!(p.fault_thread_stall(), Some(Ns::micros(123)));
+        assert_eq!(p.stats().fault_thread_stalls, 1);
+    }
+}

@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod cores;
+pub mod faultplan;
 pub mod list;
 pub mod queue;
 pub mod rng;
@@ -23,6 +24,7 @@ pub mod stats;
 pub mod time;
 
 pub use cores::CoreModel;
+pub use faultplan::{FaultPlan, FaultPlanConfig, FaultPlanStats};
 pub use queue::EventQueue;
 pub use rng::{Rng, Zipf};
 pub use stats::{Histogram, RateSeries, Running};

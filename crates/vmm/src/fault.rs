@@ -91,6 +91,14 @@ impl FaultThread {
         start.saturating_sub(now)
     }
 
+    /// Stalls the handler until at least `now + dur`: it accepts no fault
+    /// before then, and every fault arriving meanwhile queues behind the
+    /// stall. Models the handler thread being descheduled or wedged in a
+    /// slow kernel path; used by fault injection.
+    pub fn stall(&mut self, now: Ns, dur: Ns) {
+        self.free_at = self.free_at.max(now + dur);
+    }
+
     /// Current backlog at the handler.
     pub fn backlog(&self, now: Ns) -> Ns {
         self.free_at.saturating_sub(now)
@@ -167,6 +175,20 @@ mod tests {
             let stall = t.admit(Ns::micros(100 * i), &cfg);
             assert_eq!(stall, Ns::ZERO, "fault {i} queued unexpectedly");
         }
+    }
+
+    #[test]
+    fn stalled_thread_queues_arrivals_behind_the_stall() {
+        let cfg = FaultConfig::default();
+        let mut t = FaultThread::new();
+        t.stall(Ns::ZERO, Ns::millis(1));
+        assert_eq!(t.backlog(Ns::ZERO), Ns::millis(1));
+        // A fault during the stall waits out the remainder.
+        let stall = t.admit(Ns::micros(200), &cfg);
+        assert_eq!(stall, Ns::micros(800));
+        // A stall never shortens an existing backlog.
+        t.stall(Ns::ZERO, Ns::micros(1));
+        assert!(t.backlog(Ns::micros(200)) > Ns::micros(800));
     }
 
     #[test]

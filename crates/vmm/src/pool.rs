@@ -6,6 +6,11 @@
 //! LIFO over a free list, which matches the prototype's FIFO free queues
 //! closely enough for placement behaviour (what matters is *whether* a
 //! DRAM page is free, not which one).
+//!
+//! The pool also tracks per-page write wear and supports *retiring* a
+//! page: an NVM frame that takes a media error is pulled out of
+//! circulation (the poisoned-page list real NVM drivers keep) and never
+//! handed out again. `total = free + allocated + retired` always holds.
 
 use crate::addr::{PageSize, Tier};
 
@@ -21,6 +26,8 @@ pub struct PhysPool {
     total: u64,
     free: Vec<PhysPage>,
     allocated: u64,
+    retired: Vec<PhysPage>,
+    wear: Vec<u64>,
 }
 
 impl PhysPool {
@@ -37,6 +44,8 @@ impl PhysPool {
             total,
             free,
             allocated: 0,
+            retired: Vec::new(),
+            wear: vec![0; total as usize],
         }
     }
 
@@ -90,6 +99,43 @@ impl PhysPool {
         self.allocated -= 1;
         self.free.push(page);
     }
+
+    /// Records `writes` page-granularity writes of wear on an allocated
+    /// page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is out of range.
+    pub fn note_write(&mut self, page: PhysPage, writes: u64) {
+        assert!(page.0 < self.total, "page {page:?} out of range");
+        self.wear[page.0 as usize] = self.wear[page.0 as usize].saturating_add(writes);
+    }
+
+    /// Write wear recorded on a page.
+    pub fn wear(&self, page: PhysPage) -> u64 {
+        assert!(page.0 < self.total, "page {page:?} out of range");
+        self.wear[page.0 as usize]
+    }
+
+    /// Permanently retires an allocated page after a media error. The
+    /// page moves to the poisoned list and is never allocated again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is out of range or nothing is allocated.
+    pub fn retire(&mut self, page: PhysPage) {
+        assert!(page.0 < self.total, "page {page:?} out of range");
+        assert!(self.allocated > 0, "retire with nothing allocated");
+        debug_assert!(!self.free.contains(&page), "retiring free page {page:?}");
+        debug_assert!(!self.retired.contains(&page), "retiring {page:?} twice");
+        self.allocated -= 1;
+        self.retired.push(page);
+    }
+
+    /// Pages retired to the poisoned list.
+    pub fn retired_pages(&self) -> u64 {
+        self.retired.len() as u64
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +181,39 @@ mod tests {
         let mut p = pool(4);
         p.alloc();
         assert_eq!(p.free_bytes(), 3 * PageSize::Huge2M.bytes());
+    }
+
+    #[test]
+    fn retired_pages_never_come_back() {
+        let mut p = pool(2);
+        let a = p.alloc().expect("page");
+        p.retire(a);
+        assert_eq!(p.retired_pages(), 1);
+        assert_eq!(p.allocated_pages(), 0);
+        let b = p.alloc().expect("page");
+        assert_ne!(a, b, "retired page must not be reallocated");
+        assert_eq!(p.alloc(), None, "capacity shrinks by the retired page");
+        // total = free + allocated + retired.
+        assert_eq!(
+            p.total_pages(),
+            p.free_pages() + p.allocated_pages() + p.retired_pages()
+        );
+    }
+
+    #[test]
+    fn wear_accumulates_per_page() {
+        let mut p = pool(2);
+        let a = p.alloc().expect("page");
+        let b = p.alloc().expect("page");
+        p.note_write(a, 3);
+        p.note_write(a, 2);
+        assert_eq!(p.wear(a), 5);
+        assert_eq!(p.wear(b), 0, "wear is per page");
+        // Wear survives free/realloc: it belongs to the physical cells.
+        p.free(a);
+        let a2 = p.alloc().expect("page");
+        assert_eq!(a2, a);
+        assert_eq!(p.wear(a2), 5);
     }
 
     #[test]

@@ -342,7 +342,7 @@ mod growth_tests {
         }
         let adopted = adopted_at.expect("growth crossed the manage threshold");
         assert!(
-            adopted as u64 * seg >= threshold.saturating_sub(seg),
+            adopted * seg >= threshold.saturating_sub(seg),
             "adoption near the threshold: segment {adopted}"
         );
         assert!(adopted > 0, "first small allocation must be forwarded");

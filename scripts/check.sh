@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local mirror of CI: build, test, lint, chaos smoke. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# --workspace everywhere: the root package is the only default member,
+# so bare cargo commands would skip the other crates.
+echo "== cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "== cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== chaos smoke"
+cargo build --release -p hemem-bench --bin chaosbench
+./target/release/chaosbench --scale 96 --seconds 4
+
+echo "== all checks passed"

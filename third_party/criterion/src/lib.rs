@@ -1,0 +1,100 @@
+//! Offline stub for `criterion`.
+//!
+//! Covers the subset the bench targets use (`criterion_group!`,
+//! `criterion_main!`, `bench_function`, `Bencher::iter`,
+//! `Bencher::iter_batched`, `BatchSize`). Each routine is smoke-run a
+//! small fixed number of iterations and a rough ns/iter is printed, so
+//! the benches stay compiled, linted, and runnable offline — this is a
+//! sanity harness, not a statistics engine.
+
+use std::time::Instant;
+
+/// Iterations per `Bencher::iter` smoke run; tiny so `cargo bench`
+/// completes in seconds even for end-to-end simulation benches.
+const ITERS: u32 = 16;
+
+/// Hint for per-iteration input size in `iter_batched`; ignored here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Runs one benchmark routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.iters += ITERS as u64;
+        self.nanos += start.elapsed().as_nanos();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time
+    /// excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..ITERS.min(4) {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.iters += 1;
+            self.nanos += start.elapsed().as_nanos();
+        }
+    }
+}
+
+/// Registry of benchmark functions; prints results to stdout.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` once with a fresh [`Bencher`] and reports ns/iter.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        let per_iter = if b.iters == 0 {
+            0
+        } else {
+            b.nanos / b.iters as u128
+        };
+        println!("bench {id:<40} ~{per_iter:>10} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,13 @@
+//! The commonly imported surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+/// Namespaced strategy constructors (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::collection::vec;
+    }
+}

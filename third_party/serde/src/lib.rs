@@ -1,0 +1,20 @@
+//! Offline stub for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its stats and
+//! config types as a forward-compat marker but never serializes them, so
+//! the traits here are empty markers satisfied by blanket impls and the
+//! derive macros (re-exported from the stub `serde_derive`) expand to
+//! nothing. Swapping the real serde back in requires no source changes.
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
