@@ -210,6 +210,18 @@ impl TieredBackend for AnyBackend {
     fn background_threads(&self) -> u32 {
         delegate!(self, b => b.background_threads())
     }
+
+    fn reclaim_victim(&mut self, m: &mut MachineCore) -> Option<PageId> {
+        delegate!(self, b => b.reclaim_victim(m))
+    }
+
+    fn recover(&mut self, m: &mut MachineCore, now: Ns) {
+        delegate!(self, b => b.recover(m, now))
+    }
+
+    fn audit(&self, m: &MachineCore) -> Vec<hemem_core::audit::AuditViolation> {
+        delegate!(self, b => b.audit(m))
+    }
 }
 
 #[cfg(test)]

@@ -256,6 +256,21 @@ pub trait TieredBackend {
     fn background_threads(&self) -> u32 {
         0
     }
+
+    /// The manager process was restarted after a crash: the machine has
+    /// already rolled the journal back, and the backend must rebuild its
+    /// internal metadata (hot/cold lists, trackers) from what survives —
+    /// the address space and any per-page counters it kept. The default
+    /// suits stateless backends.
+    fn recover(&mut self, _m: &mut MachineCore, _now: Ns) {}
+
+    /// Backend-specific invariant checks for the online auditor: report
+    /// any disagreement between the backend's tracking structures and the
+    /// machine's authoritative state. The default (no checks) suits
+    /// backends without per-page metadata.
+    fn audit(&self, _m: &MachineCore) -> Vec<crate::audit::AuditViolation> {
+        Vec::new()
+    }
 }
 
 /// Residency-proportional split: accesses go to whatever tier their page

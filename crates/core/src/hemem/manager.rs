@@ -274,6 +274,28 @@ impl TieredBackend for HeMem {
             self.cfg.policy.copy_threads as u32
         }
     }
+
+    fn recover(&mut self, m: &mut MachineCore, _now: Ns) {
+        // The restarted manager re-derives its hot/cold lists from what
+        // survives the crash: per-page sample counters (tracker metadata)
+        // and the authoritative address-space residency. Pinned regions
+        // carry no queues, so nothing to rebuild there.
+        self.tracker.rebuild_from(&m.space);
+    }
+
+    fn audit(&self, m: &MachineCore) -> Vec<crate::audit::AuditViolation> {
+        self.tracker
+            .residency_mismatches(&m.space)
+            .into_iter()
+            .map(
+                |(page, tracked, mapped)| crate::audit::AuditViolation::TrackerMismatch {
+                    page,
+                    tracked,
+                    mapped,
+                },
+            )
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -401,6 +423,31 @@ mod tests {
         let dram = r.dram_pages();
         let alloc_d = s.m.dram_pool.allocated_pages();
         assert_eq!(dram, alloc_d, "pool accounting consistent");
+    }
+
+    #[test]
+    fn manager_kill_during_demotion_recovers_and_audits_clean() {
+        // Overfill DRAM so the policy thread is mid-demotion when a
+        // seeded kill lands; the default watchdog restarts it and the
+        // rebuilt tracker keeps demoting to the watermark.
+        let mut mc = MachineConfig::small(1, 8);
+        mc.chaos.manager_kill_at = vec![Ns::millis(25), Ns::millis(250)];
+        let hc = HeMemConfig::scaled_for(&mc);
+        let mut s = Sim::new(mc, HeMem::new(hc));
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        s.advance(Ns::secs(3));
+        assert_eq!(s.m.recovery.manager_kills, 2);
+        assert!(s.m.recovery.watchdog_restarts >= 2, "restarted after each kill");
+        assert!(!s.manager_down());
+        let r = s.m.space.region(id);
+        assert_eq!(r.mapped_pages(), 1024, "no page lost across kills");
+        assert!(
+            s.m.dram_free_bytes() >= s.backend.config().policy.dram_watermark,
+            "policy work resumed after recovery: {} free",
+            s.m.dram_free_bytes()
+        );
+        assert_eq!(s.run_audit(true), Vec::new(), "audits clean after recovery");
     }
 
     #[test]

@@ -106,11 +106,11 @@ pub fn run_policy(
     // application stores. Real HeMem self-throttles because the policy
     // thread waits for its DMA batches.
     let _ = now;
-    let in_flight = m
-        .stats
-        .migrations_started
-        .saturating_sub(m.stats.migrations_done)
-        .saturating_sub(m.stats.migrations_failed);
+    // The journal's Prepared entries *are* the in-flight set: identical to
+    // counting started-minus-finished in a clean run, but self-correcting
+    // after a crash (rolled-back transactions leave the journal, while a
+    // stats-based count would overestimate in-flight forever).
+    let in_flight = m.journal.prepared_len();
     if in_flight >= cfg.max_inflight_pages {
         return jobs;
     }

@@ -15,7 +15,7 @@ use std::collections::HashMap;
 
 use hemem_sim::list::{FifoArena, FifoList, Slot};
 use hemem_sim::Ns;
-use hemem_vmm::{PageId, RegionId, Tier};
+use hemem_vmm::{AddressSpace, PageId, PageState, RegionId, Tier};
 
 /// Classification thresholds (paper defaults in §3.1, swept in Figures
 /// 11-12).
@@ -441,6 +441,68 @@ impl PageTracker {
             None => (0, 0),
         }
     }
+
+    /// Tracked regions in a deterministic (id) order, with their base slot
+    /// and page count.
+    fn regions_sorted(&self) -> Vec<(RegionId, u32, u64)> {
+        let mut v: Vec<(RegionId, u32, u64)> = self
+            .regions
+            .iter()
+            .map(|(&r, &(base, pages))| (r, base, pages))
+            .collect();
+        v.sort_unstable_by_key(|&(r, _, _)| r.0);
+        v
+    }
+
+    /// Rebuilds every queue from the authoritative address space after a
+    /// manager restart. Per-page counters (and the cooling clock) live in
+    /// this tracker's metadata and survive the crash; what is lost is the
+    /// queue linkage, which is reconstructed here: each resident page
+    /// re-enters the queue its surviving counters classify it into
+    /// (write-heavy hot pages at the front, as on placement), and pages no
+    /// longer resident are forgotten.
+    pub fn rebuild_from(&mut self, space: &AddressSpace) {
+        for (rid, base, pages) in self.regions_sorted() {
+            let region = space.region(rid);
+            for i in 0..pages {
+                let slot = base + i as u32;
+                self.unlink(slot);
+                match region.state(i) {
+                    PageState::Mapped { tier, .. } => {
+                        self.meta[slot as usize].tier = Some(tier);
+                        let m = self.meta[slot as usize];
+                        let hot = self.is_hot(&m);
+                        self.push(slot, Queue::of(tier, hot), hot && m.write_heavy);
+                    }
+                    _ => self.meta[slot as usize] = PageMeta::default(),
+                }
+            }
+        }
+    }
+
+    /// Residency disagreements between tracker metadata and the address
+    /// space: `(page, tracked tier, mapped tier)` for every tracked page
+    /// where the two differ. Empty on a consistent tracker.
+    pub fn residency_mismatches(
+        &self,
+        space: &AddressSpace,
+    ) -> Vec<(PageId, Option<Tier>, Option<Tier>)> {
+        let mut out = Vec::new();
+        for (rid, base, pages) in self.regions_sorted() {
+            let region = space.region(rid);
+            for i in 0..pages {
+                let tracked = self.meta[(base + i as u32) as usize].tier;
+                let mapped = match region.state(i) {
+                    PageState::Mapped { tier, .. } => Some(tier),
+                    _ => None,
+                };
+                if tracked != mapped {
+                    out.push((PageId { region: rid, index: i }, tracked, mapped));
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -630,6 +692,46 @@ mod tests {
             t.record(page(0), false, Ns::secs(4));
         }
         assert_eq!(t.cool_clock(), 2);
+    }
+
+    #[test]
+    fn rebuild_restores_queues_from_space_residency() {
+        use hemem_vmm::{PageSize, PhysPage, RegionKind};
+        let mut space = AddressSpace::new();
+        let rid = space.mmap(4 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = space.region_mut(rid);
+        r.map_page(0, Tier::Dram, PhysPage(0));
+        r.map_page(1, Tier::Nvm, PhysPage(0));
+        r.map_page(2, Tier::Nvm, PhysPage(1));
+        // Page 3 stays unmapped.
+        let cfg = TrackerConfig {
+            cooling_min_interval: Ns::ZERO,
+            ..TrackerConfig::default()
+        };
+        let mut t = PageTracker::new(cfg);
+        t.add_region(rid, 4);
+        for i in 0..3 {
+            t.placed(PageId { region: rid, index: i }, Tier::Nvm); // 0: stale tier
+        }
+        // Page 1 earns hot counters that must survive the crash.
+        for _ in 0..8 {
+            t.record(PageId { region: rid, index: 1 }, false, Ns::ZERO);
+        }
+        assert_eq!(
+            t.residency_mismatches(&space),
+            vec![(PageId { region: rid, index: 0 }, Some(Tier::Nvm), Some(Tier::Dram))]
+        );
+        t.rebuild_from(&space);
+        assert_eq!(t.residency_mismatches(&space), Vec::new());
+        assert_eq!(t.queue_len(Queue::DramCold), 1, "page 0 follows the space");
+        assert_eq!(t.queue_len(Queue::NvmHot), 1, "page 1 keeps its counters");
+        assert_eq!(t.queue_len(Queue::NvmCold), 1, "page 2");
+        assert_eq!(t.counters(PageId { region: rid, index: 1 }).0, 8);
+        assert_eq!(
+            t.counters(PageId { region: rid, index: 3 }),
+            (0, 0),
+            "unmapped page forgotten"
+        );
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Write-ahead metadata journal making page migration transactional.
+//!
+//! Every migration is a two-phase transaction against this journal:
+//!
+//! 1. **Prepare** — before any copy starts, the intent (page, source
+//!    frame, destination frame) is recorded and the source mapping is
+//!    write-protected. The destination frame is owned by the journal
+//!    entry, not by any mapping.
+//! 2. **Commit** — when the copy completes, the entry is marked
+//!    committed, the mapping in `vmm::space` is flipped to the
+//!    destination frame, and the entry is retired.
+//!
+//! Because the mapping flip is the *last* step, an interruption at any
+//! instant leaves a recoverable state: entries still `Prepared` name
+//! exactly the frames that hold no authoritative data (roll back: free
+//! the destination frame, clear the write protection), and `Committed`
+//! entries name migrations whose mapping flip is already durable (roll
+//! forward: just retire the entry). There is no interruption point with
+//! a torn mapping, which is what lets [`crate::runtime::Sim`] kill and
+//! restart the manager mid-migration.
+
+use std::collections::BTreeMap;
+
+use hemem_vmm::{PageId, PhysPage, Tier};
+
+/// Lifecycle state of one journaled migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TxnState {
+    /// Intent recorded, destination frame reserved, copy in flight. The
+    /// source mapping is still authoritative.
+    Prepared,
+    /// The mapping flip is durable; only the journal entry remains to be
+    /// retired.
+    Committed,
+}
+
+/// One migration transaction: everything recovery needs to either roll
+/// the migration back or roll it forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JournalEntry {
+    /// The page being migrated.
+    pub page: PageId,
+    /// Tier the page was mapped in when the transaction prepared.
+    pub src_tier: Tier,
+    /// Frame the page was mapped to when the transaction prepared.
+    pub src_phys: PhysPage,
+    /// Destination tier.
+    pub dst_tier: Tier,
+    /// Destination frame, owned by this entry until commit or abort.
+    pub dst_phys: PhysPage,
+    /// Where in the two-phase protocol this transaction is.
+    pub state: TxnState,
+}
+
+/// The write-ahead migration journal.
+///
+/// Entries are keyed by migration id and iterated in id order, so a
+/// recovery replay is deterministic. The journal is serializable as part
+/// of a machine snapshot.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct MigrationJournal {
+    entries: BTreeMap<u64, JournalEntry>,
+}
+
+impl MigrationJournal {
+    /// Creates an empty journal.
+    pub fn new() -> MigrationJournal {
+        MigrationJournal::default()
+    }
+
+    /// Records the prepare phase of migration `id`.
+    pub fn prepare(
+        &mut self,
+        id: u64,
+        page: PageId,
+        src_tier: Tier,
+        src_phys: PhysPage,
+        dst_tier: Tier,
+        dst_phys: PhysPage,
+    ) {
+        let prev = self.entries.insert(
+            id,
+            JournalEntry {
+                page,
+                src_tier,
+                src_phys,
+                dst_tier,
+                dst_phys,
+                state: TxnState::Prepared,
+            },
+        );
+        debug_assert!(prev.is_none(), "migration id {id} journaled twice");
+    }
+
+    /// Looks up the entry for migration `id`.
+    pub fn entry(&self, id: u64) -> Option<&JournalEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Marks migration `id` committed (the mapping flip is about to be /
+    /// has been made durable). Returns the entry, or `None` for an
+    /// unknown id (e.g. a completion event for a rolled-back migration).
+    pub fn mark_committed(&mut self, id: u64) -> Option<JournalEntry> {
+        let e = self.entries.get_mut(&id)?;
+        e.state = TxnState::Committed;
+        Some(*e)
+    }
+
+    /// Retires a committed entry once the mapping flip is done.
+    pub fn retire(&mut self, id: u64) {
+        let e = self.entries.remove(&id);
+        debug_assert!(
+            matches!(e, Some(e) if e.state == TxnState::Committed),
+            "retire of non-committed journal entry {id}"
+        );
+    }
+
+    /// Aborts migration `id`, removing its entry. Returns the entry so
+    /// the caller can release the destination frame (the single abort
+    /// path). `None` for unknown ids.
+    pub fn abort(&mut self, id: u64) -> Option<JournalEntry> {
+        self.entries.remove(&id)
+    }
+
+    /// Number of transactions still in the prepare phase (in-flight
+    /// migrations).
+    pub fn prepared_len(&self) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.state == TxnState::Prepared)
+            .count() as u64
+    }
+
+    /// True when no transaction is outstanding — the quiescent state the
+    /// auditor expects when the machine is idle.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All outstanding entries in id order (recovery replay order).
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &JournalEntry)> {
+        self.entries.iter().map(|(&id, e)| (id, e))
+    }
+
+    /// Drains every outstanding entry in id order, for a recovery replay.
+    pub fn drain(&mut self) -> Vec<(u64, JournalEntry)> {
+        std::mem::take(&mut self.entries).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hemem_vmm::RegionId;
+
+    fn page(i: u64) -> PageId {
+        PageId {
+            region: RegionId(0),
+            index: i,
+        }
+    }
+
+    fn prepare(j: &mut MigrationJournal, id: u64) {
+        j.prepare(id, page(id), Tier::Nvm, PhysPage(id), Tier::Dram, PhysPage(100 + id));
+    }
+
+    #[test]
+    fn prepare_commit_retire_cycle_empties_journal() {
+        let mut j = MigrationJournal::new();
+        prepare(&mut j, 0);
+        assert_eq!(j.prepared_len(), 1);
+        assert!(!j.is_empty());
+        let e = j.mark_committed(0).expect("entry");
+        assert_eq!(e.state, TxnState::Committed);
+        assert_eq!(j.prepared_len(), 0, "committed entries are not in-flight");
+        j.retire(0);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn abort_returns_entry_for_frame_release() {
+        let mut j = MigrationJournal::new();
+        prepare(&mut j, 3);
+        let e = j.abort(3).expect("entry");
+        assert_eq!(e.dst_phys, PhysPage(103));
+        assert!(j.is_empty());
+        assert!(j.abort(3).is_none(), "second abort is a no-op");
+    }
+
+    #[test]
+    fn drain_yields_entries_in_id_order() {
+        let mut j = MigrationJournal::new();
+        for id in [5, 1, 9] {
+            prepare(&mut j, id);
+        }
+        let ids: Vec<u64> = j.drain().into_iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+        assert!(j.is_empty());
+    }
+
+    #[test]
+    fn journal_clones_into_snapshots() {
+        let mut j = MigrationJournal::new();
+        prepare(&mut j, 7);
+        j.mark_committed(7);
+        prepare(&mut j, 8);
+        let snap = j.clone();
+        j.abort(8);
+        j.retire(7);
+        assert!(j.is_empty());
+        assert_eq!(snap.prepared_len(), 1, "snapshot unaffected by later ops");
+        assert_eq!(snap.entry(7).map(|e| e.state), Some(TxnState::Committed));
+        assert_eq!(snap.entry(8).map(|e| e.dst_phys), Some(PhysPage(108)));
+    }
+}

@@ -18,18 +18,22 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod backend;
 pub mod error;
 pub mod hemem;
+pub mod journal;
 pub mod machine;
 pub mod runtime;
 pub mod telemetry;
 
+pub use audit::{audit_machine, AuditViolation};
 pub use backend::{
     AccessBatch, CopyMechanism, MigrationJob, SegmentAccess, TickOutput, TieredBackend, Traffic,
 };
 pub use error::MemError;
 pub use hemem::{HeMem, HeMemConfig};
-pub use machine::{MachineConfig, MachineCore, MachineStats};
+pub use journal::{JournalEntry, MigrationJournal, TxnState};
+pub use machine::{MachineConfig, MachineCore, MachineStats, RecoveryStats, WatchdogConfig};
 pub use runtime::{BatchReceipt, Event, Sim};
 pub use telemetry::{IntervalRates, Snapshot, Telemetry};

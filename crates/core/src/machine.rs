@@ -16,6 +16,34 @@ use hemem_vmm::{
 };
 
 use crate::backend::Traffic;
+use crate::journal::MigrationJournal;
+
+/// Watchdog supervision parameters (see `crate::runtime::Sim`): a
+/// deadline monitor over the policy-thread cadence and the fault-handler
+/// thread.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct WatchdogConfig {
+    /// How often the watchdog checks liveness.
+    pub period: Ns,
+    /// Consecutive checks without a policy tick before the manager is
+    /// declared dead and restarted.
+    pub miss_streak: u32,
+    /// Fault-thread backlog beyond which the handler is declared wedged
+    /// and reset (PR 1's stall injection produces the backlog).
+    pub fault_backlog_limit: Ns,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> WatchdogConfig {
+        WatchdogConfig {
+            // Same cadence as the policy thread: a missed 10 ms deadline
+            // is visible within one period.
+            period: Ns::millis(10),
+            miss_streak: 2,
+            fault_backlog_limit: Ns::millis(100),
+        }
+    }
+}
 
 /// Full machine configuration.
 #[derive(Debug, Clone)]
@@ -46,6 +74,13 @@ pub struct MachineConfig {
     /// Fault-injection plan; [`FaultPlanConfig::none`] (the default)
     /// injects nothing.
     pub chaos: FaultPlanConfig,
+    /// Watchdog supervision; `None` (the default) disables the monitor
+    /// unless the fault plan schedules manager kills, which force a
+    /// default watchdog so the machine can recover.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Interval of the online invariant audit; `None` (the default)
+    /// disables periodic auditing (it stays available on demand).
+    pub audit_period: Option<Ns>,
     /// RNG seed; two runs with the same seed are identical.
     pub seed: u64,
 }
@@ -67,6 +102,8 @@ impl MachineConfig {
             dma: DmaConfig::ioat(),
             disk: None,
             chaos: FaultPlanConfig::none(),
+            watchdog: None,
+            audit_period: None,
             seed: 0x4E564D_48454D45, // "NVM HEME"
         }
     }
@@ -124,6 +161,30 @@ pub struct MachineStats {
     pub pages_retired: u64,
 }
 
+/// Crash/recovery and supervision counters.
+///
+/// Kept separate from [`MachineStats`] so clean runs (no kills, no
+/// watchdog, no auditing) print byte-identical stats to builds that
+/// predate the recovery layer.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct RecoveryStats {
+    /// Injected manager kills taken.
+    pub manager_kills: u64,
+    /// Journal entries replayed during recovery (rollbacks plus
+    /// roll-forwards of already-committed transactions).
+    pub journal_replays: u64,
+    /// Prepared migrations rolled back during recovery.
+    pub journal_rollbacks: u64,
+    /// In-flight swap-outs rolled back during recovery.
+    pub swap_rollbacks: u64,
+    /// Components restarted by the watchdog (manager restarts plus
+    /// fault-thread resets).
+    pub watchdog_restarts: u64,
+    /// Invariant-audit violations observed (each violation instance
+    /// counts once per audit that sees it).
+    pub audit_violations: u64,
+}
+
 /// All hardware and OS state of the simulated machine.
 pub struct MachineCore {
     /// Static configuration.
@@ -158,6 +219,11 @@ pub struct MachineCore {
     pub fault_thread: FaultThread,
     /// Machine counters.
     pub stats: MachineStats,
+    /// Crash/recovery and supervision counters.
+    pub recovery: RecoveryStats,
+    /// Write-ahead migration journal: every in-flight migration is a
+    /// prepared transaction here until its mapping flip commits.
+    pub journal: MigrationJournal,
     /// Optional swap device.
     pub disk: Option<Device>,
     /// Fault-injection plan (deterministic; its streams are independent
@@ -188,6 +254,8 @@ impl MachineCore {
             fault_stats: FaultStats::default(),
             fault_thread: FaultThread::new(),
             stats: MachineStats::default(),
+            recovery: RecoveryStats::default(),
+            journal: MigrationJournal::new(),
             disk: cfg.disk.clone().map(Device::new),
             chaos: FaultPlan::new(cfg.chaos.clone()),
             next_swap_slot: 0,

@@ -13,11 +13,13 @@ use std::collections::HashMap;
 use hemem_memdev::{MemOp, Pattern};
 use hemem_pebs::{SampleRecord, SampleType};
 use hemem_sim::{EventQueue, Ns};
-use hemem_vmm::{FaultKind, PageId, PageSize, PhysPage, RegionId, RegionKind, Tier};
+use hemem_vmm::{FaultKind, FaultThread, PageId, PageSize, PhysPage, RegionId, RegionKind, Tier};
 
+use crate::audit::{audit_machine, AuditViolation};
 use crate::backend::{AccessBatch, CopyMechanism, MigrationJob, TieredBackend};
 use crate::error::MemError;
-use crate::machine::{zero_fill, MachineConfig, MachineCore};
+use crate::journal::TxnState;
+use crate::machine::{zero_fill, MachineConfig, MachineCore, WatchdogConfig};
 
 /// Events visible to (or scheduled by) workload drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,15 +34,19 @@ pub enum Event {
     MigrationDone(u64),
     /// A page finished swapping out to disk.
     SwapOutDone(u64),
+    /// Injected kill of the manager process (its threads stop; the
+    /// application and its memory survive).
+    ManagerKill,
+    /// Watchdog liveness check over the policy cadence and the fault
+    /// thread.
+    WatchdogCheck,
+    /// Manager restart: replay the journal and resynchronize, after the
+    /// DMA engine has quiesced.
+    ManagerRecover,
+    /// Periodic invariant audit.
+    AuditTick,
     /// Workload-defined timer.
     Custom(u64),
-}
-
-#[derive(Debug, Clone, Copy)]
-struct PendingMigration {
-    page: PageId,
-    dst: Tier,
-    dst_phys: PhysPage,
 }
 
 /// Outcome of submitting a batch, for latency accounting.
@@ -60,33 +66,72 @@ pub struct Sim<B: TieredBackend> {
     /// The tiered memory manager under test.
     pub backend: B,
     queue: EventQueue<Event>,
-    pending: HashMap<u64, PendingMigration>,
     pending_swaps: HashMap<u64, (PageId, u64)>,
     next_mig: u64,
     app_threads: u32,
     /// Per-thread TLB shootdown stall already charged (shootdowns stall
     /// every core, so each thread pays each shootdown once).
     shootdown_charged: HashMap<u32, Ns>,
+    /// The manager process is down (killed); its threads stop running
+    /// until [`Event::ManagerRecover`] restarts them.
+    manager_down: bool,
+    /// Watchdog configuration, resolved at construction: explicit config,
+    /// or the default whenever kills are scheduled. `None` = no watchdog
+    /// events at all (the clean-run fast path).
+    watchdog: Option<WatchdogConfig>,
+    /// When the policy thread promised to tick next (`None`: the backend
+    /// declared no cadence). The watchdog treats a deadline far in the
+    /// past as a missed-deadline.
+    tick_deadline: Option<Ns>,
+    /// Consecutive watchdog checks that found the policy deadline blown.
+    watchdog_missed: u32,
+    /// A [`Event::ManagerRecover`] is already scheduled.
+    recover_pending: bool,
 }
 
 impl<B: TieredBackend> Sim<B> {
     /// Creates a simulation and schedules the backend's first tick (and
-    /// PEBS drains if the backend samples).
+    /// PEBS drains if the backend samples). Manager-kill instants from the
+    /// fault plan, the watchdog, and the periodic auditor are scheduled
+    /// here too — none of which exist in a clean default run, keeping the
+    /// event stream (and therefore all downstream draws) bit-identical to
+    /// a build without them.
     pub fn new(cfg: MachineConfig, backend: B) -> Sim<B> {
         let mut sim = Sim {
             m: MachineCore::new(cfg),
             backend,
             queue: EventQueue::new(),
-            pending: HashMap::new(),
             pending_swaps: HashMap::new(),
             next_mig: 0,
             app_threads: 0,
             shootdown_charged: HashMap::new(),
+            manager_down: false,
+            watchdog: None,
+            tick_deadline: None,
+            watchdog_missed: 0,
+            recover_pending: false,
         };
         sim.queue.push_at(Ns::ZERO, Event::BackendTick);
         if sim.backend.uses_pebs() {
             let iv = sim.m.pebs.config().drain_interval;
             sim.queue.push_at(iv, Event::PebsDrain);
+        }
+        let kills = sim.m.chaos.kill_times().to_vec();
+        sim.watchdog = match (sim.m.cfg.watchdog.clone(), kills.is_empty()) {
+            (Some(w), _) => Some(w),
+            // Kills without an explicit watchdog get the default one:
+            // nothing else in the sim could ever restart the manager.
+            (None, false) => Some(WatchdogConfig::default()),
+            (None, true) => None,
+        };
+        for t in kills {
+            sim.queue.push_at(t, Event::ManagerKill);
+        }
+        if let Some(w) = &sim.watchdog {
+            sim.queue.push_at(w.period, Event::WatchdogCheck);
+        }
+        if let Some(p) = sim.m.cfg.audit_period {
+            sim.queue.push_at(p, Event::AuditTick);
         }
         sim
     }
@@ -94,6 +139,21 @@ impl<B: TieredBackend> Sim<B> {
     /// Current virtual time.
     pub fn now(&self) -> Ns {
         self.queue.now()
+    }
+
+    /// Whether the manager process is currently down (killed and not yet
+    /// restarted by the watchdog).
+    pub fn manager_down(&self) -> bool {
+        self.manager_down
+    }
+
+    /// Kills the manager immediately (test/bench hook; scheduled kills
+    /// come from [`hemem_sim::FaultPlanConfig::manager_kill_at`]). The
+    /// watchdog — if configured — detects the dead policy cadence and
+    /// restarts the manager; without one the manager stays down.
+    pub fn inject_manager_kill(&mut self) {
+        let now = self.now();
+        self.kill_manager(now);
     }
 
     /// Declares `n` application threads (for core-contention accounting).
@@ -266,14 +326,32 @@ impl<B: TieredBackend> Sim<B> {
     }
 
     fn dispatch_internal(&mut self, now: Ns, ev: Event) {
+        // A killed manager takes its threads with it: policy ticks, PEBS
+        // drains, and completion callbacks stop firing (their journal
+        // entries stay Prepared for recovery to roll back). Application
+        // faults keep working — the kernel resolves them, not the manager.
+        if self.manager_down
+            && matches!(
+                ev,
+                Event::BackendTick
+                    | Event::PebsDrain
+                    | Event::MigrationDone(_)
+                    | Event::SwapOutDone(_)
+            )
+        {
+            return;
+        }
         match ev {
             Event::BackendTick => {
                 let out = self.backend.tick(&mut self.m, now);
                 self.start_migrations(now, &out.migrations);
                 self.start_swap_outs(now, &out.swap_outs);
                 if let Some(next) = out.next_wake {
-                    self.queue
-                        .push_at(next.max(Ns(now.as_nanos() + 1)), Event::BackendTick);
+                    let next = next.max(Ns(now.as_nanos() + 1));
+                    self.tick_deadline = Some(next);
+                    self.queue.push_at(next, Event::BackendTick);
+                } else {
+                    self.tick_deadline = None;
                 }
             }
             Event::PebsDrain => {
@@ -293,10 +371,133 @@ impl<B: TieredBackend> Sim<B> {
             }
             Event::MigrationDone(id) => self.finish_migration(now, id),
             Event::SwapOutDone(id) => self.finish_swap_out(now, id),
+            Event::ManagerKill => self.kill_manager(now),
+            Event::WatchdogCheck => self.watchdog_check(now),
+            Event::ManagerRecover => self.recover_manager(now),
+            Event::AuditTick => {
+                self.run_audit(false);
+                if let Some(p) = self.m.cfg.audit_period {
+                    self.queue.push_after(p, Event::AuditTick);
+                }
+            }
             Event::ThreadReady(_) | Event::Custom(_) => {
                 // Dropped: run_until discards workload events in its window.
             }
         }
+    }
+
+    /// Kills the manager process: its policy, PEBS, and completion
+    /// handling stop until the watchdog restarts it. The application (and
+    /// kernel-side fault handling) keeps running.
+    fn kill_manager(&mut self, _now: Ns) {
+        if !self.manager_down {
+            self.manager_down = true;
+            self.m.recovery.manager_kills += 1;
+        }
+    }
+
+    /// One watchdog period: checks the policy-tick deadline and the fault
+    /// thread, escalating a missed-deadline streak to a manager restart.
+    fn watchdog_check(&mut self, now: Ns) {
+        let Some(cfg) = self.watchdog.clone() else {
+            return;
+        };
+        // Policy deadline monitor: the backend promised a tick at
+        // `tick_deadline`; a full extra period of slack past that counts
+        // as one missed deadline (`None` = no cadence, nothing to miss).
+        let blown = match self.tick_deadline {
+            Some(d) => now.as_nanos() > d.as_nanos() + cfg.period.as_nanos(),
+            None => self.manager_down,
+        };
+        if blown {
+            self.watchdog_missed += 1;
+        } else {
+            self.watchdog_missed = 0;
+        }
+        if self.watchdog_missed >= cfg.miss_streak && !self.recover_pending {
+            // Declare the manager dead (it may already be, after a kill)
+            // and schedule the restart — but not before every in-flight
+            // DMA descriptor has landed: recovery frees destination
+            // frames, and a late DMA write into a recycled frame would
+            // corrupt whatever was reallocated there.
+            self.manager_down = true;
+            self.recover_pending = true;
+            let at = now.max(self.m.dma.quiesce_at());
+            self.queue.push_at(at, Event::ManagerRecover);
+        }
+        // Fault-thread supervision: a wedged handler (injected stall) with
+        // a backlog past the limit is restarted in place; queued faults
+        // re-admit against the fresh thread.
+        if self.m.fault_thread.backlog(now) > cfg.fault_backlog_limit {
+            self.m.fault_thread = FaultThread::new();
+            self.m.recovery.watchdog_restarts += 1;
+        }
+        self.queue.push_after(cfg.period, Event::WatchdogCheck);
+    }
+
+    /// Restarts the manager: rolls uncommitted migrations back from the
+    /// journal, rolls in-flight swap-outs back, resynchronizes the backend
+    /// from live machine state, and reschedules the management threads.
+    fn recover_manager(&mut self, now: Ns) {
+        self.recover_pending = false;
+        if !self.manager_down {
+            return;
+        }
+        // In-flight swap-outs: the copy died with the manager; unlock the
+        // page (it is still fully resident at the source).
+        let mut swaps: Vec<u64> = self.pending_swaps.keys().copied().collect();
+        swaps.sort_unstable();
+        for id in swaps {
+            let (page, _slot) = self.pending_swaps.remove(&id).expect("key just listed");
+            let _ = self
+                .m
+                .space
+                .region_mut(page.region)
+                .try_set_wp(page.index, false);
+            self.m.recovery.swap_rollbacks += 1;
+        }
+        // Journal replay, in transaction order. Prepared entries lost
+        // their copy: release the destination frame and unlock the source
+        // (which never stopped being the authoritative mapping). Committed
+        // entries already flipped the mapping; nothing left to do.
+        for (_, e) in self.m.journal.drain() {
+            self.m.recovery.journal_replays += 1;
+            match e.state {
+                TxnState::Prepared => {
+                    let _ = self
+                        .m
+                        .space
+                        .region_mut(e.page.region)
+                        .try_set_wp(e.page.index, false);
+                    self.m.pool_mut(e.dst_tier).free(e.dst_phys);
+                    self.m.recovery.journal_rollbacks += 1;
+                }
+                TxnState::Committed => {}
+            }
+        }
+        // Fresh manager process: rebuild backend state from what survives
+        // (per-page counters, the address space), restart its threads.
+        self.backend.recover(&mut self.m, now);
+        self.manager_down = false;
+        self.watchdog_missed = 0;
+        self.m.recovery.watchdog_restarts += 1;
+        let next = Ns(now.as_nanos() + 1);
+        self.tick_deadline = Some(next);
+        self.queue.push_at(next, Event::BackendTick);
+        if self.backend.uses_pebs() {
+            let iv = self.m.pebs.config().drain_interval;
+            self.queue.push_after(iv, Event::PebsDrain);
+        }
+    }
+
+    /// Runs the invariant auditor (machine-level checks plus the
+    /// backend's own), counting violations into recovery telemetry.
+    /// `expect_quiescent` additionally requires an empty journal.
+    pub fn run_audit(&mut self, expect_quiescent: bool) -> Vec<AuditViolation> {
+        let mut v = audit_machine(&self.m, expect_quiescent);
+        v.extend(self.backend.audit(&self.m));
+        self.m.recovery.audit_violations += v.len() as u64;
+        v
     }
 
     /// Starts migration jobs; batches DMA jobs into ioctl groups.
@@ -320,16 +521,15 @@ impl<B: TieredBackend> Sim<B> {
                 CopyMechanism::Threads(n) => {
                     let rate = 3.0e9 * n.max(1) as f64;
                     let service = Ns::from_secs_f64(bytes as f64 / rate);
-                    let p = self.pending[&id];
-                    let src = p.dst.other();
+                    let e = *self.m.journal.entry(id).expect("prepared job is journaled");
                     let cap = Some(10.0e9);
                     let r1 = self
                         .m
-                        .device_mut(src)
+                        .device_mut(e.src_tier)
                         .reserve_bulk(now, MemOp::Read, bytes, cap);
                     let r2 = self
                         .m
-                        .device_mut(p.dst)
+                        .device_mut(e.dst_tier)
                         .reserve_bulk(now, MemOp::Write, bytes, cap);
                     let done = (now + service).max(r1.finish).max(r2.finish);
                     self.queue.push_at(done, Event::MigrationDone(id));
@@ -361,15 +561,14 @@ impl<B: TieredBackend> Sim<B> {
         let cap = Some(10.0e9);
         let mut done = dma_done;
         for &(id, bytes, _) in group.iter() {
-            let p = self.pending[&id];
-            let src = p.dst.other();
+            let e = *self.m.journal.entry(id).expect("prepared job is journaled");
             let r1 = self
                 .m
-                .device_mut(src)
+                .device_mut(e.src_tier)
                 .reserve_bulk(now, MemOp::Read, bytes, cap);
             let r2 = self
                 .m
-                .device_mut(p.dst)
+                .device_mut(e.dst_tier)
                 .reserve_bulk(now, MemOp::Write, bytes, cap);
             done = done.max(r1.finish).max(r2.finish);
         }
@@ -386,7 +585,10 @@ impl<B: TieredBackend> Sim<B> {
     /// migration itself is never lost either way.
     fn submit_dma_with_retry(&mut self, now: Ns, sizes: &[u64], channels: usize) -> Option<Ns> {
         const MAX_ATTEMPTS: u32 = 3;
-        if self.m.dma.degraded() {
+        // A degraded engine short-circuits to the thread fallback — except
+        // when the probe knob elects this submission to test whether the
+        // engine came back (a success below closes the breaker).
+        if self.m.dma.degraded() && !self.m.dma.should_probe() {
             self.m.stats.dma_fallbacks += 1;
             return None;
         }
@@ -413,16 +615,19 @@ impl<B: TieredBackend> Sim<B> {
     }
 
     /// Validates a job, allocates the destination page, write-protects the
-    /// source. Returns `(migration id, bytes)`.
+    /// source, and journals the transaction (phase one: *prepare* — the
+    /// intent and destination frame are recorded before any copy starts,
+    /// so an interruption at any later point rolls back from the journal
+    /// alone). Returns `(migration id, bytes)`.
     fn prepare_migration(&mut self, _now: Ns, job: &MigrationJob) -> Option<(u64, u64)> {
         let region = self.m.space.region(job.page.region);
         let bytes = region.page_size().bytes();
-        let src_tier = match region.state(job.page.index) {
-            hemem_vmm::PageState::Mapped { tier, wp, .. } => {
+        let (src_tier, src_phys) = match region.state(job.page.index) {
+            hemem_vmm::PageState::Mapped { tier, phys, wp } => {
                 if tier == job.dst || wp {
                     return None; // already there / already migrating
                 }
-                tier
+                (tier, phys)
             }
             _ => return None, // unmapped or swapped: nothing to migrate
         };
@@ -438,57 +643,59 @@ impl<B: TieredBackend> Sim<B> {
             .set_wp(job.page.index, true);
         let id = self.next_mig;
         self.next_mig += 1;
-        self.pending.insert(
-            id,
-            PendingMigration {
-                page: job.page,
-                dst: job.dst,
-                dst_phys,
-            },
-        );
+        self.m
+            .journal
+            .prepare(id, job.page, src_tier, src_phys, job.dst, dst_phys);
         self.m.stats.migrations_started += 1;
         Some((id, bytes))
     }
 
     fn finish_migration(&mut self, _now: Ns, id: u64) {
-        let Some(p) = self.pending.remove(&id) else {
-            return;
+        let Some(&e) = self.m.journal.entry(id) else {
+            return; // rolled back by recovery before the copy landed
         };
         // Injected media error on the destination write (NVM only; its
-        // likelihood grows with the frame's wear). The destination frame
-        // is poisoned and retired; the source mapping was never touched,
-        // so the page is restored to the backend intact — never lost,
-        // never double-mapped.
-        if p.dst == Tier::Nvm {
-            let wear = self.m.nvm_pool.wear(p.dst_phys);
+        // likelihood grows with the frame's wear). The transaction aborts:
+        // the destination frame is poisoned and retired, the journal entry
+        // is dropped, and the source mapping — never touched — stays
+        // authoritative. The page is restored to the backend intact.
+        if e.dst_tier == Tier::Nvm {
+            let wear = self.m.nvm_pool.wear(e.dst_phys);
             if self.m.chaos.nvm_media_error(wear) {
-                self.m.nvm_pool.retire(p.dst_phys);
+                self.m.journal.abort(id);
+                self.m.nvm_pool.retire(e.dst_phys);
                 self.m.stats.pages_retired += 1;
                 self.m.stats.migrations_failed += 1;
-                let region = self.m.space.region_mut(p.page.region);
-                region.set_wp(p.page.index, false);
-                let src_tier = match region.state(p.page.index) {
+                let region = self.m.space.region_mut(e.page.region);
+                region.set_wp(e.page.index, false);
+                let src_tier = match region.state(e.page.index) {
                     hemem_vmm::PageState::Mapped { tier, .. } => tier,
-                    other => panic!("migrating page {:?} in state {other:?}", p.page),
+                    other => panic!("migrating page {:?} in state {other:?}", e.page),
                 };
-                self.backend.migration_aborted(&mut self.m, p.page, src_tier);
+                self.backend.migration_aborted(&mut self.m, e.page, src_tier);
                 return;
             }
         }
-        let region = self.m.space.region_mut(p.page.region);
+        // Phase two: *commit* — mark the entry committed, flip the
+        // mapping, release the source frame, retire the entry. The whole
+        // sequence runs atomically within this event, so a kill (which
+        // lands between events) only ever observes Prepared entries.
+        self.m.journal.mark_committed(id);
+        let region = self.m.space.region_mut(e.page.region);
         let bytes = region.page_size().bytes();
-        let (old_tier, old_phys) = region.remap_page(p.page.index, p.dst, p.dst_phys);
-        region.set_wp(p.page.index, false);
+        let (old_tier, old_phys) = region.remap_page(e.page.index, e.dst_tier, e.dst_phys);
+        region.set_wp(e.page.index, false);
         self.m.pool_mut(old_tier).free(old_phys);
-        if p.dst == Tier::Nvm {
+        if e.dst_tier == Tier::Nvm {
             // A migration into NVM writes the whole frame once.
-            self.m.nvm_pool.note_write(p.dst_phys, 1);
+            self.m.nvm_pool.note_write(e.dst_phys, 1);
         }
         let cores = self.m.cores.cores();
         self.m.tlb.shootdown(cores);
         self.m.stats.migrations_done += 1;
         self.m.stats.migrated_bytes += bytes;
-        self.backend.migration_done(&mut self.m, p.page, p.dst);
+        self.m.journal.retire(id);
+        self.backend.migration_done(&mut self.m, e.page, e.dst_tier);
     }
 
     /// Starts paging `pages` out to the swap device (no-op without one).
@@ -1282,6 +1489,172 @@ mod tests {
         }
         assert!(s.m.stats.wp_stalls > 0);
         assert!(s.m.fault_stats.wp > 0);
+    }
+
+    #[test]
+    fn killed_manager_rolls_back_inflight_migration_and_recovers() {
+        let mut cfg = MachineConfig::small(1, 4);
+        cfg.watchdog = Some(crate::machine::WatchdogConfig::default());
+        let mut s = Sim::new(cfg, TestBackend::new());
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        let (t0, p0) = s.m.space.region_mut(id).unmap_page(0);
+        s.m.pool_mut(t0).free(p0);
+        let page = PageId {
+            region: id,
+            index: 600,
+        };
+        s.backend.jobs.push(MigrationJob {
+            page,
+            dst: Tier::Dram,
+            mechanism: crate::backend::CopyMechanism::Dma { channels: 2 },
+        });
+        // Advance in small steps until the tick journals the migration,
+        // then kill the manager before its completion event lands.
+        let mut guard = 0;
+        while s.m.journal.prepared_len() == 0 {
+            s.advance(Ns::micros(10));
+            guard += 1;
+            assert!(guard < 10_000, "migration never prepared");
+        }
+        let dram_allocated = s.m.dram_pool.allocated_pages();
+        s.inject_manager_kill();
+        assert!(s.manager_down());
+        s.advance(Ns::millis(100));
+        // The watchdog detected the dead policy cadence and recovered.
+        assert!(!s.manager_down());
+        assert_eq!(s.m.recovery.manager_kills, 1);
+        assert_eq!(s.m.recovery.journal_rollbacks, 1);
+        assert!(s.m.recovery.watchdog_restarts >= 1);
+        assert!(s.m.journal.is_empty());
+        assert_eq!(s.m.stats.migrations_done, 0, "completion died with it");
+        // Rollback: the page never left NVM, its lock is gone, and the
+        // reserved DRAM frame was released.
+        match s.m.space.region(id).state(600) {
+            hemem_vmm::PageState::Mapped { tier, wp, .. } => {
+                assert_eq!(tier, Tier::Nvm);
+                assert!(!wp, "write protection rolled back");
+            }
+            other => panic!("page lost: {other:?}"),
+        }
+        assert_eq!(s.m.dram_pool.allocated_pages(), dram_allocated - 1);
+        assert_eq!(s.run_audit(true), Vec::new(), "machine audits clean");
+        // The restarted manager's threads are live again.
+        let ticks = s.backend.ticks;
+        s.advance(Ns::millis(50));
+        assert!(s.backend.ticks > ticks, "policy cadence resumed");
+    }
+
+    #[test]
+    fn kill_without_explicit_watchdog_gets_the_default_one() {
+        // Seeded kill in the fault plan, no watchdog in the machine
+        // config: Sim::new arms the default watchdog so the run can
+        // finish.
+        let mut cfg = MachineConfig::small(1, 4);
+        cfg.chaos.manager_kill_at = vec![Ns::millis(31)];
+        let mut s = Sim::new(cfg, TestBackend::new());
+        s.advance(Ns::millis(200));
+        assert_eq!(s.m.recovery.manager_kills, 1);
+        assert!(s.m.recovery.watchdog_restarts >= 1, "recovered");
+        assert!(!s.manager_down());
+        assert_eq!(s.run_audit(true), Vec::new());
+    }
+
+    #[test]
+    fn clean_config_leaves_recovery_stats_untouched() {
+        let mut s = sim();
+        let id = s.mmap(GIB / 2);
+        s.populate(id, true);
+        s.advance(Ns::millis(105));
+        assert_eq!(format!("{:?}", s.m.recovery), format!("{:?}", crate::machine::RecoveryStats::default()));
+    }
+
+    #[test]
+    fn periodic_audit_counts_violations() {
+        let mut cfg = MachineConfig::small(1, 4);
+        cfg.audit_period = Some(Ns::millis(10));
+        let mut s = Sim::new(cfg, TestBackend::new());
+        let id = s.mmap(GIB / 2);
+        s.populate(id, true);
+        s.advance(Ns::millis(20));
+        assert_eq!(s.m.recovery.audit_violations, 0, "clean machine");
+        // Leak a frame: every subsequent audit tick flags the mismatch.
+        let _leak = s.m.dram_pool.alloc().expect("frame");
+        let before = s.m.recovery.audit_violations;
+        s.advance(Ns::millis(25));
+        assert!(s.m.recovery.audit_violations > before);
+    }
+
+    #[test]
+    fn watchdog_restarts_wedged_fault_thread() {
+        let mut cfg = MachineConfig::small(1, 4);
+        cfg.watchdog = Some(crate::machine::WatchdogConfig::default());
+        let mut s = Sim::new(cfg, TestBackend::new());
+        s.advance(Ns::millis(5));
+        let now = s.now();
+        // Wedge the handler far past the 100 ms backlog limit.
+        s.m.fault_thread.stall(now, Ns::secs(1));
+        s.advance(Ns::millis(30));
+        assert!(s.m.recovery.watchdog_restarts >= 1, "thread restarted");
+        assert_eq!(s.m.fault_thread.backlog(s.now()), Ns::ZERO);
+    }
+
+    #[test]
+    fn dma_breaker_reopens_after_probe_success() {
+        use hemem_sim::{FaultPlan, FaultPlanConfig};
+        let mut cfg = MachineConfig::small(1, 4);
+        cfg.dma.probe_after = 2;
+        cfg.chaos = FaultPlanConfig {
+            dma_submit_fail: 1.0, // every submission fails
+            ..FaultPlanConfig::none()
+        };
+        let mut s = Sim::new(cfg, TestBackend::new());
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        let mut next_page = 0;
+        let round = |s: &mut Sim<TestBackend>, next_page: &mut u64| {
+            for _ in 0..4 {
+                s.backend.jobs.push(MigrationJob {
+                    page: PageId {
+                        region: id,
+                        index: *next_page,
+                    },
+                    dst: Tier::Nvm,
+                    mechanism: crate::backend::CopyMechanism::Dma { channels: 2 },
+                });
+                *next_page += 1;
+            }
+            s.advance(Ns::millis(10));
+        };
+        // Keep submitting until the breaker opens; every migration still
+        // completes via the thread fallback (pinning is policy-level).
+        let mut guard = 0;
+        while !s.m.dma.degraded() {
+            round(&mut s, &mut next_page);
+            guard += 1;
+            assert!(guard < 20, "breaker never opened");
+        }
+        // A probe while the injection is still active fails and keeps the
+        // breaker open (probe_after = 2: every second fallback probes).
+        round(&mut s, &mut next_page);
+        round(&mut s, &mut next_page);
+        assert!(s.m.dma.degraded(), "failed probe leaves it open");
+        // The engine comes back: the first successful probe submission
+        // closes the breaker and DMA offload resumes.
+        s.m.chaos = FaultPlan::none();
+        let ioctls_before = s.m.dma.stats().ioctls;
+        let mut guard = 0;
+        while s.m.dma.degraded() {
+            round(&mut s, &mut next_page);
+            guard += 1;
+            assert!(guard < 10, "breaker never reopened");
+        }
+        round(&mut s, &mut next_page);
+        assert!(
+            s.m.dma.stats().ioctls > ioctls_before,
+            "offload resumed after the breaker closed"
+        );
+        assert_eq!(s.run_audit(true), Vec::new());
     }
 
     #[test]

@@ -41,6 +41,18 @@ pub struct Snapshot {
     pub migrations_failed: u64,
     /// Cumulative NVM pages retired after media errors.
     pub pages_retired: u64,
+    /// Cumulative manager kills taken (zero without kill injection).
+    pub manager_kills: u64,
+    /// Cumulative journal entries replayed during crash recovery.
+    pub journal_replays: u64,
+    /// Cumulative prepared migrations rolled back during recovery.
+    pub journal_rollbacks: u64,
+    /// Cumulative in-flight swap-outs rolled back during recovery.
+    pub swap_rollbacks: u64,
+    /// Cumulative components restarted by the watchdog.
+    pub watchdog_restarts: u64,
+    /// Cumulative invariant violations flagged by the online auditor.
+    pub audit_violations: u64,
 }
 
 /// Per-interval rates derived from consecutive snapshots.
@@ -101,6 +113,12 @@ impl Telemetry {
             dma_fallbacks: sim.m.stats.dma_fallbacks,
             migrations_failed: sim.m.stats.migrations_failed,
             pages_retired: sim.m.stats.pages_retired,
+            manager_kills: sim.m.recovery.manager_kills,
+            journal_replays: sim.m.recovery.journal_replays,
+            journal_rollbacks: sim.m.recovery.journal_rollbacks,
+            swap_rollbacks: sim.m.recovery.swap_rollbacks,
+            watchdog_restarts: sim.m.recovery.watchdog_restarts,
+            audit_violations: sim.m.recovery.audit_violations,
         });
         true
     }
@@ -135,15 +153,19 @@ impl Telemetry {
     /// Renders snapshots as CSV (`time_s,dram_pages,mapped,swapped,
     /// migrations,wear_bytes,ops,wp_stalls`, then the fault-injection
     /// columns `faults_injected,dma_fallbacks,migrations_failed,
-    /// pages_retired`).
+    /// pages_retired`, then the crash-recovery columns `manager_kills,
+    /// journal_replays,journal_rollbacks,swap_rollbacks,
+    /// watchdog_restarts,audit_violations`).
     pub fn csv(&self) -> String {
         let mut out = String::from(
             "time_s,dram_pages,mapped_pages,swapped_pages,migrations,nvm_wear,ops,wp_stalls,\
-             faults_injected,dma_fallbacks,migrations_failed,pages_retired\n",
+             faults_injected,dma_fallbacks,migrations_failed,pages_retired,\
+             manager_kills,journal_replays,journal_rollbacks,swap_rollbacks,\
+             watchdog_restarts,audit_violations\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
-                "{:.3},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.at.as_secs_f64(),
                 s.dram_pages,
                 s.mapped_pages,
@@ -155,7 +177,13 @@ impl Telemetry {
                 s.faults_injected,
                 s.dma_fallbacks,
                 s.migrations_failed,
-                s.pages_retired
+                s.pages_retired,
+                s.manager_kills,
+                s.journal_replays,
+                s.journal_rollbacks,
+                s.swap_rollbacks,
+                s.watchdog_restarts,
+                s.audit_violations
             ));
         }
         out
@@ -226,6 +254,28 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert!(lines[0].starts_with("time_s,dram_pages"));
         assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn recovery_columns_record_kills() {
+        let (mut sim, id) = setup();
+        let mut t = Telemetry::new(id, Ns::millis(10));
+        t.maybe_sample(&sim);
+        sim.inject_manager_kill();
+        // Default watchdog is absent on a clean config, so arm recovery
+        // by hand: the manager stays down until then.
+        sim.advance(Ns::millis(15));
+        t.maybe_sample(&sim);
+        let snaps = t.snapshots();
+        assert_eq!(snaps[0].manager_kills, 0);
+        assert_eq!(snaps[1].manager_kills, 1);
+        let csv = t.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].ends_with(
+            "manager_kills,journal_replays,journal_rollbacks,\
+             swap_rollbacks,watchdog_restarts,audit_violations"
+        ));
+        assert!(lines[2].ends_with("1,0,0,0,0,0"));
     }
 
     #[test]

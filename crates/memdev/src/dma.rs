@@ -30,6 +30,12 @@ pub struct DmaConfig {
     /// Consecutive submission failures after which the engine reports
     /// itself [`DmaEngine::degraded`] and callers should stop offloading.
     pub degrade_after: u32,
+    /// While degraded, probe the engine with a real submission once every
+    /// this many would-be offloads (a successful probe closes the breaker
+    /// and resumes offloading). `0` disables probing: once degraded, the
+    /// engine stays degraded — the historical behaviour and the default.
+    #[serde(default)]
+    pub probe_after: u32,
 }
 
 impl DmaConfig {
@@ -41,6 +47,7 @@ impl DmaConfig {
             ioctl_overhead: Ns::micros(2),
             max_batch: 32,
             degrade_after: 8,
+            probe_after: 0,
         }
     }
 }
@@ -70,6 +77,14 @@ pub enum DmaError {
     EmptyCopy,
     /// The engine failed the submission (injected hardware/driver fault).
     DeviceFailure,
+    /// The configuration asks for more channels than the engine's channel
+    /// mask can represent.
+    TooManyChannels {
+        /// Channels requested.
+        got: u32,
+        /// Representable maximum.
+        max: u32,
+    },
 }
 
 impl core::fmt::Display for DmaError {
@@ -85,6 +100,9 @@ impl core::fmt::Display for DmaError {
             }
             DmaError::EmptyCopy => write!(f, "zero-length copy request"),
             DmaError::DeviceFailure => write!(f, "DMA engine failed the submission"),
+            DmaError::TooManyChannels { got, max } => {
+                write!(f, "channel mask holds at most {max} channels, asked for {got}")
+            }
         }
     }
 }
@@ -118,24 +136,38 @@ pub struct DmaEngine {
     /// allocations, matching the kernel driver.
     allocated_mask: u64,
     consecutive_failures: u32,
+    fallbacks_since_probe: u32,
     stats: DmaStats,
 }
 
 impl DmaEngine {
     /// Creates an idle engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a configuration [`DmaEngine::try_new`] rejects.
     pub fn new(config: DmaConfig) -> DmaEngine {
-        assert!(
-            config.channels as usize <= u64::BITS as usize,
-            "channel mask holds at most 64 channels"
-        );
+        DmaEngine::try_new(config).expect("channel mask holds at most 64 channels")
+    }
+
+    /// Fallible constructor: rejects configurations whose channel count
+    /// cannot be represented in the allocation mask.
+    pub fn try_new(config: DmaConfig) -> Result<DmaEngine, DmaError> {
+        if config.channels > u64::BITS {
+            return Err(DmaError::TooManyChannels {
+                got: config.channels,
+                max: u64::BITS,
+            });
+        }
         let chan_free = vec![Ns::ZERO; config.channels as usize];
-        DmaEngine {
+        Ok(DmaEngine {
             config,
             chan_free,
             allocated_mask: 0,
             consecutive_failures: 0,
+            fallbacks_since_probe: 0,
             stats: DmaStats::default(),
-        }
+        })
     }
 
     /// Engine configuration.
@@ -232,6 +264,32 @@ impl DmaEngine {
     /// submissions in a row and callers should stop offloading to it.
     pub fn degraded(&self) -> bool {
         self.consecutive_failures >= self.config.degrade_after
+    }
+
+    /// Called by a degraded-path caller about to fall back: returns `true`
+    /// once every [`DmaConfig::probe_after`] fallbacks, telling the caller
+    /// to attempt a real submission instead (a success closes the
+    /// breaker). Always `false` when probing is disabled (`probe_after ==
+    /// 0`) or the engine is healthy.
+    pub fn should_probe(&mut self) -> bool {
+        if !self.degraded() || self.config.probe_after == 0 {
+            return false;
+        }
+        self.fallbacks_since_probe += 1;
+        if self.fallbacks_since_probe >= self.config.probe_after {
+            self.fallbacks_since_probe = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The instant every accepted descriptor has landed: no channel does
+    /// work past this point. Recovery waits for it before recycling
+    /// destination frames, so a late DMA write cannot corrupt a frame
+    /// that was rolled back and reallocated.
+    pub fn quiesce_at(&self) -> Ns {
+        self.chan_free.iter().copied().max().unwrap_or(Ns::ZERO)
     }
 
     /// Aggregate copy bandwidth when using `n_channels` channels.
@@ -342,6 +400,57 @@ mod tests {
         // One successful submission resets the breaker.
         dma.submit(Ns::ZERO, &[MB], 1).expect("submit");
         assert!(!dma.degraded());
+    }
+
+    #[test]
+    fn try_new_rejects_oversized_channel_masks() {
+        let mut cfg = DmaConfig::ioat();
+        cfg.channels = 65;
+        assert_eq!(
+            DmaEngine::try_new(cfg).map(|_| ()),
+            Err(DmaError::TooManyChannels { got: 65, max: 64 })
+        );
+    }
+
+    #[test]
+    fn quiesce_tracks_the_last_descriptor() {
+        let mut dma = DmaEngine::new(DmaConfig::ioat());
+        assert_eq!(dma.quiesce_at(), Ns::ZERO, "idle engine is quiescent");
+        let done = dma.submit(Ns::ZERO, &[64 * MB, MB], 2).expect("submit");
+        assert_eq!(dma.quiesce_at(), done);
+    }
+
+    #[test]
+    fn probe_reopens_the_breaker_on_success() {
+        let mut cfg = DmaConfig::ioat();
+        cfg.probe_after = 2;
+        let mut dma = DmaEngine::new(cfg);
+        assert!(!dma.should_probe(), "healthy engine never probes");
+        for _ in 0..dma.config().degrade_after {
+            dma.note_submit_failure();
+        }
+        assert!(dma.degraded());
+        // Every second fallback becomes a probe.
+        assert!(!dma.should_probe());
+        assert!(dma.should_probe());
+        assert!(!dma.should_probe());
+        assert!(dma.should_probe());
+        // The probe's successful submission closes the breaker.
+        dma.submit(Ns::ZERO, &[MB], 1).expect("submit");
+        assert!(!dma.degraded());
+        assert!(!dma.should_probe(), "closed breaker stops probing");
+    }
+
+    #[test]
+    fn probing_disabled_by_default() {
+        let mut dma = DmaEngine::new(DmaConfig::ioat());
+        for _ in 0..dma.config().degrade_after {
+            dma.note_submit_failure();
+        }
+        assert!(dma.degraded());
+        for _ in 0..100 {
+            assert!(!dma.should_probe(), "probe_after = 0 never probes");
+        }
     }
 
     #[test]

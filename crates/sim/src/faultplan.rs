@@ -40,6 +40,19 @@ pub struct FaultPlanConfig {
     pub fault_thread_stall: f64,
     /// How long a stalled fault handler is unavailable.
     pub fault_thread_stall_for: Ns,
+    /// Explicit sim instants at which the memory manager is killed (each
+    /// fires once; the application and its memory survive, see the
+    /// runtime's recovery path).
+    #[serde(default)]
+    pub manager_kill_at: Vec<Ns>,
+    /// Number of additional seeded kill points, drawn uniformly over
+    /// [`FaultPlanConfig::manager_kill_window`] from the plan's own
+    /// stream.
+    #[serde(default)]
+    pub manager_kills: u32,
+    /// Window over which drawn kill points are spread.
+    #[serde(default)]
+    pub manager_kill_window: Ns,
 }
 
 impl FaultPlanConfig {
@@ -54,6 +67,9 @@ impl FaultPlanConfig {
             pebs_storm: 0.0,
             fault_thread_stall: 0.0,
             fault_thread_stall_for: Ns::millis(1),
+            manager_kill_at: Vec::new(),
+            manager_kills: 0,
+            manager_kill_window: Ns::ZERO,
         }
     }
 
@@ -65,6 +81,8 @@ impl FaultPlanConfig {
             && self.nvm_media_wear_scale == 0.0
             && self.pebs_storm == 0.0
             && self.fault_thread_stall == 0.0
+            && self.manager_kill_at.is_empty()
+            && self.manager_kills == 0
     }
 }
 
@@ -114,20 +132,40 @@ pub struct FaultPlan {
     pebs: Rng,
     fault: Rng,
     stats: FaultPlanStats,
+    /// Sorted manager-kill instants (explicit plus seeded draws),
+    /// materialized at construction so the schedule is fixed up front.
+    kill_times: Vec<Ns>,
 }
 
 impl FaultPlan {
     /// Builds a plan from its configuration.
     pub fn new(cfg: FaultPlanConfig) -> FaultPlan {
         let mut root = Rng::new(cfg.seed);
+        let dma = root.fork(0xD3A);
+        let chan = root.fork(0xC7A);
+        let media = root.fork(0x3ED1A);
+        let pebs = root.fork(0x9EB5);
+        let fault = root.fork(0xFA17);
+        let mut kill_times = cfg.manager_kill_at.clone();
+        if cfg.manager_kills > 0 {
+            // Forked after every existing site so adding kills never
+            // perturbs their streams.
+            let mut kill = root.fork(0x4B177);
+            let window = cfg.manager_kill_window.as_nanos().max(1);
+            for _ in 0..cfg.manager_kills {
+                kill_times.push(Ns(kill.gen_range(window)));
+            }
+        }
+        kill_times.sort();
         FaultPlan {
-            dma: root.fork(0xD3A),
-            chan: root.fork(0xC7A),
-            media: root.fork(0x3ED1A),
-            pebs: root.fork(0x9EB5),
-            fault: root.fork(0xFA17),
+            dma,
+            chan,
+            media,
+            pebs,
+            fault,
             cfg,
             stats: FaultPlanStats::default(),
+            kill_times,
         }
     }
 
@@ -200,6 +238,13 @@ impl FaultPlan {
         } else {
             None
         }
+    }
+
+    /// The manager-kill schedule, sorted by instant. Empty when no kills
+    /// are configured; the runtime never schedules anything for an empty
+    /// list, so a kill-free plan stays zero-cost.
+    pub fn kill_times(&self) -> &[Ns] {
+        &self.kill_times
     }
 }
 
@@ -283,6 +328,51 @@ mod tests {
             worn > fresh * 10,
             "wear must raise the error rate: fresh={fresh} worn={worn}"
         );
+    }
+
+    #[test]
+    fn kill_schedule_merges_explicit_and_seeded_points() {
+        let p = plan(|c| {
+            c.seed = 11;
+            c.manager_kill_at = vec![Ns::secs(9), Ns::secs(1)];
+            c.manager_kills = 3;
+            c.manager_kill_window = Ns::secs(8);
+        });
+        let times = p.kill_times();
+        assert_eq!(times.len(), 5);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        assert!(times.contains(&Ns::secs(1)) && times.contains(&Ns::secs(9)));
+        // Deterministic: the same config reproduces the same schedule.
+        let q = plan(|c| {
+            c.seed = 11;
+            c.manager_kill_at = vec![Ns::secs(9), Ns::secs(1)];
+            c.manager_kills = 3;
+            c.manager_kill_window = Ns::secs(8);
+        });
+        assert_eq!(p.kill_times(), q.kill_times());
+    }
+
+    #[test]
+    fn kill_config_enables_plan_but_other_sites_stay_silent() {
+        let mut p = plan(|c| c.manager_kill_at = vec![Ns::secs(1)]);
+        assert!(p.enabled());
+        for _ in 0..200 {
+            assert!(!p.dma_submit_fails());
+            assert!(!p.pebs_storm());
+        }
+        // And the seeded-kill stream never perturbs existing sites.
+        let a = plan(|c| {
+            c.dma_submit_fail = 0.5;
+        });
+        let b = plan(|c| {
+            c.dma_submit_fail = 0.5;
+            c.manager_kills = 4;
+            c.manager_kill_window = Ns::secs(1);
+        });
+        let (mut a, mut b) = (a, b);
+        for _ in 0..200 {
+            assert_eq!(a.dma_submit_fails(), b.dma_submit_fails());
+        }
     }
 
     #[test]

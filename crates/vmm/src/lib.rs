@@ -23,5 +23,7 @@ pub use fault::{Fault, FaultConfig, FaultKind, FaultStats, FaultThread};
 pub use ledger::{touched_probability, AccessLedger};
 pub use pool::{PhysPage, PhysPool};
 pub use ptscan::ScanConfig;
-pub use space::{AddressSpace, PageState, Region, RegionKind};
+pub use space::{
+    AddressSpace, PageState, Region, RegionKind, RegionSnapshot, SpaceSnapshot, StateError,
+};
 pub use tlb::{Tlb, TlbConfig, TlbStats};

@@ -19,7 +19,11 @@ use crate::addr::{PageSize, Tier};
 pub struct PhysPage(pub u64);
 
 /// A fixed-capacity physical page allocator for one tier.
-#[derive(Debug, Clone)]
+///
+/// The pool is plain durable data (no derived indices), so it is
+/// serializable as-is: [`PhysPool::snapshot`] captures a deep copy and
+/// [`PhysPool::restore`] adopts one, which is what crash recovery uses.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PhysPool {
     tier: Tier,
     page_size: PageSize,
@@ -136,6 +140,21 @@ impl PhysPool {
     pub fn retired_pages(&self) -> u64 {
         self.retired.len() as u64
     }
+
+    /// Captures a serializable snapshot of the pool.
+    pub fn snapshot(&self) -> PhysPool {
+        self.clone()
+    }
+
+    /// Replaces this pool's state with a snapshot's.
+    pub fn restore(&mut self, snap: PhysPool) {
+        *self = snap;
+    }
+
+    /// Page-conservation invariant: `total = free + allocated + retired`.
+    pub fn conserved(&self) -> bool {
+        self.total == self.free_pages() + self.allocated + self.retired_pages()
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +233,26 @@ mod tests {
         let a2 = p.alloc().expect("page");
         assert_eq!(a2, a);
         assert_eq!(p.wear(a2), 5);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_conserves() {
+        let mut p = pool(4);
+        let a = p.alloc().expect("page");
+        let _b = p.alloc().expect("page");
+        p.note_write(a, 7);
+        p.retire(a);
+        assert!(p.conserved());
+        let snap = p.snapshot();
+        p.alloc();
+        p.alloc();
+        assert_eq!(p.free_pages(), 0);
+        p.restore(snap);
+        assert_eq!(p.free_pages(), 2);
+        assert_eq!(p.allocated_pages(), 1);
+        assert_eq!(p.retired_pages(), 1);
+        assert_eq!(p.wear(a), 7);
+        assert!(p.conserved());
     }
 
     #[test]

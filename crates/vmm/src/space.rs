@@ -21,8 +21,57 @@ pub enum RegionKind {
     SmallAnon,
 }
 
-/// Per-page mapping state.
+/// Typed error for an invalid page-state transition.
+///
+/// The panicking transition methods ([`Region::map_page`] and friends)
+/// delegate to the fallible `try_*` variants and panic with this error's
+/// [`Display`](std::fmt::Display) text, so callers that can recover (the
+/// crash-recovery rollback path, the invariant auditor) observe the same
+/// condition as a value instead of an abort.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StateError {
+    /// `map_page` on a page that is already mapped.
+    AlreadyMapped {
+        /// Page index within the region.
+        index: u64,
+    },
+    /// `swap_out_page` on a write-protected (migrating) page.
+    WriteProtected {
+        /// Page index within the region.
+        index: u64,
+    },
+    /// Any transition applied to a page whose state does not admit it.
+    BadTransition {
+        /// The attempted operation (`"unmap"`, `"remap"`, ...).
+        op: &'static str,
+        /// Page index within the region.
+        index: u64,
+        /// The state the page was actually in.
+        state: PageState,
+    },
+    /// An operation on a region that was already unmapped.
+    MissingRegion(RegionId),
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::AlreadyMapped { index } => write!(f, "page {index} already mapped"),
+            StateError::WriteProtected { index } => {
+                write!(f, "page {index} is write-protected (migrating)")
+            }
+            StateError::BadTransition { op, index, state } => {
+                write!(f, "{op} of page {index} in state {state:?}")
+            }
+            StateError::MissingRegion(id) => write!(f, "munmap of missing region {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
+/// Per-page mapping state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum PageState {
     /// Never touched; first access faults.
     Unmapped,
@@ -135,17 +184,27 @@ impl Region {
     /// Panics if the page is not mapped or is write-protected (mid-
     /// migration pages cannot be swapped).
     pub fn swap_out_page(&mut self, index: u64, slot: u64) -> (Tier, PhysPage) {
+        self.try_swap_out_page(index, slot)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Region::swap_out_page`].
+    pub fn try_swap_out_page(&mut self, index: u64, slot: u64) -> Result<(Tier, PhysPage), StateError> {
         let i = index as usize;
         match self.states[i] {
-            PageState::Mapped { tier, phys, wp } => {
-                assert!(!wp, "page {index} is write-protected (migrating)");
+            PageState::Mapped { wp: true, .. } => Err(StateError::WriteProtected { index }),
+            PageState::Mapped { tier, phys, .. } => {
                 self.states[i] = PageState::Swapped { slot };
                 self.mapped_idx.set(i, false);
                 self.dram_idx.set(i, false);
                 self.swapped_pages += 1;
-                (tier, phys)
+                Ok((tier, phys))
             }
-            other => panic!("swap_out of page {index} in state {other:?}"),
+            state => Err(StateError::BadTransition {
+                op: "swap_out",
+                index,
+                state,
+            }),
         }
     }
 
@@ -155,6 +214,17 @@ impl Region {
     ///
     /// Panics if the page is not swapped.
     pub fn swap_in_page(&mut self, index: u64, tier: Tier, phys: PhysPage) -> u64 {
+        self.try_swap_in_page(index, tier, phys)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Region::swap_in_page`].
+    pub fn try_swap_in_page(
+        &mut self,
+        index: u64,
+        tier: Tier,
+        phys: PhysPage,
+    ) -> Result<u64, StateError> {
         let i = index as usize;
         match self.states[i] {
             PageState::Swapped { slot } => {
@@ -166,9 +236,13 @@ impl Region {
                 self.mapped_idx.set(i, true);
                 self.dram_idx.set(i, tier == Tier::Dram);
                 self.swapped_pages -= 1;
-                slot
+                Ok(slot)
             }
-            other => panic!("swap_in of page {index} in state {other:?}"),
+            state => Err(StateError::BadTransition {
+                op: "swap_in",
+                index,
+                state,
+            }),
         }
     }
 
@@ -193,19 +267,36 @@ impl Region {
     ///
     /// Panics if the page is already mapped.
     pub fn map_page(&mut self, index: u64, tier: Tier, phys: PhysPage) {
+        self.try_map_page(index, tier, phys)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Region::map_page`].
+    pub fn try_map_page(
+        &mut self,
+        index: u64,
+        tier: Tier,
+        phys: PhysPage,
+    ) -> Result<(), StateError> {
         let i = index as usize;
-        assert_eq!(
-            self.states[i],
-            PageState::Unmapped,
-            "page {index} already mapped"
-        );
-        self.states[i] = PageState::Mapped {
-            tier,
-            phys,
-            wp: false,
-        };
-        self.mapped_idx.set(i, true);
-        self.dram_idx.set(i, tier == Tier::Dram);
+        match self.states[i] {
+            PageState::Unmapped => {
+                self.states[i] = PageState::Mapped {
+                    tier,
+                    phys,
+                    wp: false,
+                };
+                self.mapped_idx.set(i, true);
+                self.dram_idx.set(i, tier == Tier::Dram);
+                Ok(())
+            }
+            PageState::Mapped { .. } => Err(StateError::AlreadyMapped { index }),
+            state => Err(StateError::BadTransition {
+                op: "map",
+                index,
+                state,
+            }),
+        }
     }
 
     /// Unmaps a page, returning its backing `(tier, phys)`.
@@ -214,6 +305,11 @@ impl Region {
     ///
     /// Panics if the page is not mapped.
     pub fn unmap_page(&mut self, index: u64) -> (Tier, PhysPage) {
+        self.try_unmap_page(index).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Region::unmap_page`].
+    pub fn try_unmap_page(&mut self, index: u64) -> Result<(Tier, PhysPage), StateError> {
         let i = index as usize;
         match self.states[i] {
             PageState::Mapped { tier, phys, wp } => {
@@ -224,9 +320,13 @@ impl Region {
                 self.states[i] = PageState::Unmapped;
                 self.mapped_idx.set(i, false);
                 self.dram_idx.set(i, false);
-                (tier, phys)
+                Ok((tier, phys))
             }
-            other => panic!("unmap of page {index} in state {other:?}"),
+            state => Err(StateError::BadTransition {
+                op: "unmap",
+                index,
+                state,
+            }),
         }
     }
 
@@ -237,6 +337,17 @@ impl Region {
     ///
     /// Panics if the page is not mapped.
     pub fn remap_page(&mut self, index: u64, tier: Tier, phys: PhysPage) -> (Tier, PhysPage) {
+        self.try_remap_page(index, tier, phys)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Region::remap_page`].
+    pub fn try_remap_page(
+        &mut self,
+        index: u64,
+        tier: Tier,
+        phys: PhysPage,
+    ) -> Result<(Tier, PhysPage), StateError> {
         let i = index as usize;
         match self.states[i] {
             PageState::Mapped {
@@ -246,9 +357,13 @@ impl Region {
             } => {
                 self.states[i] = PageState::Mapped { tier, phys, wp };
                 self.dram_idx.set(i, tier == Tier::Dram);
-                (old_tier, old_phys)
+                Ok((old_tier, old_phys))
             }
-            other => panic!("remap of page {index} in state {other:?}"),
+            state => Err(StateError::BadTransition {
+                op: "remap",
+                index,
+                state,
+            }),
         }
     }
 
@@ -259,11 +374,17 @@ impl Region {
     ///
     /// Panics if the page is not mapped.
     pub fn set_wp(&mut self, index: u64, value: bool) -> bool {
+        self.try_set_wp(index, value)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Region::set_wp`].
+    pub fn try_set_wp(&mut self, index: u64, value: bool) -> Result<bool, StateError> {
         let i = index as usize;
         match &mut self.states[i] {
             PageState::Mapped { wp, .. } => {
                 if *wp == value {
-                    return false;
+                    return Ok(false);
                 }
                 *wp = value;
                 if value {
@@ -272,9 +393,13 @@ impl Region {
                     self.wp_pages -= 1;
                 }
                 self.wp_idx.set(i, value);
-                true
+                Ok(true)
             }
-            other => panic!("set_wp of page {index} in state {other:?}"),
+            state => Err(StateError::BadTransition {
+                op: "set_wp",
+                index,
+                state: *state,
+            }),
         }
     }
 
@@ -345,6 +470,67 @@ impl Region {
         );
         (addr.0 - self.range.base.0) / self.page_size.bytes()
     }
+
+    /// Captures the durable part of the region (identity plus per-page
+    /// states). Residency indices and the access ledger are derived /
+    /// volatile state and are rebuilt on [`Region::restore`].
+    pub fn snapshot(&self) -> RegionSnapshot {
+        RegionSnapshot {
+            id: self.id,
+            range: self.range,
+            page_size: self.page_size,
+            kind: self.kind,
+            states: self.states.clone(),
+        }
+    }
+
+    /// Rebuilds a region from a snapshot: Fenwick residency indices and
+    /// flag counts are reconstructed from the page states; the access
+    /// ledger restarts empty (scan evidence does not survive a restart).
+    pub fn restore(snap: RegionSnapshot) -> Region {
+        let mut r = Region::new(snap.id, snap.range, snap.page_size, snap.kind);
+        for (i, &state) in snap.states.iter().enumerate() {
+            match state {
+                PageState::Unmapped => {}
+                PageState::Mapped { tier, wp, .. } => {
+                    r.mapped_idx.set(i, true);
+                    r.dram_idx.set(i, tier == Tier::Dram);
+                    if wp {
+                        r.wp_idx.set(i, true);
+                        r.wp_pages += 1;
+                    }
+                }
+                PageState::Swapped { .. } => r.swapped_pages += 1,
+            }
+        }
+        r.states = snap.states;
+        r
+    }
+}
+
+/// Serializable snapshot of one [`Region`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RegionSnapshot {
+    /// Region identifier.
+    pub id: RegionId,
+    /// Virtual range covered.
+    pub range: VirtRange,
+    /// Page size backing the region.
+    pub page_size: PageSize,
+    /// Allocation kind.
+    pub kind: RegionKind,
+    /// Per-page mapping states.
+    pub states: Vec<PageState>,
+}
+
+/// Serializable snapshot of a whole [`AddressSpace`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SpaceSnapshot {
+    /// Region snapshots, positional (unmapped slots preserved so region
+    /// ids stay stable across restore).
+    pub regions: Vec<Option<RegionSnapshot>>,
+    /// Next mmap base address.
+    pub next_base: u64,
 }
 
 /// A process's virtual address space: a set of non-overlapping regions.
@@ -386,9 +572,15 @@ impl AddressSpace {
     ///
     /// Panics if the region does not exist (double unmap).
     pub fn munmap(&mut self, id: RegionId) -> Region {
-        self.regions[id.0 as usize]
-            .take()
-            .expect("munmap of missing region")
+        self.try_munmap(id).expect("munmap of missing region")
+    }
+
+    /// Fallible form of [`AddressSpace::munmap`].
+    pub fn try_munmap(&mut self, id: RegionId) -> Result<Region, StateError> {
+        self.regions
+            .get_mut(id.0 as usize)
+            .and_then(Option::take)
+            .ok_or(StateError::MissingRegion(id))
     }
 
     /// Borrows a live region.
@@ -434,6 +626,31 @@ impl AddressSpace {
         self.regions()
             .map(|r| r.mapped_pages() * r.page_size().bytes())
             .sum()
+    }
+
+    /// Captures a serializable snapshot of the whole address space.
+    pub fn snapshot(&self) -> SpaceSnapshot {
+        SpaceSnapshot {
+            regions: self
+                .regions
+                .iter()
+                .map(|r| r.as_ref().map(Region::snapshot))
+                .collect(),
+            next_base: self.next_base,
+        }
+    }
+
+    /// Rebuilds an address space from a snapshot, reconstructing every
+    /// region's residency indices from its page states.
+    pub fn restore(snap: SpaceSnapshot) -> AddressSpace {
+        AddressSpace {
+            regions: snap
+                .regions
+                .into_iter()
+                .map(|r| r.map(Region::restore))
+                .collect(),
+            next_base: snap.next_base,
+        }
     }
 }
 
@@ -628,6 +845,120 @@ mod tests {
         s.region_mut(a).map_page(0, Tier::Dram, PhysPage(0));
         s.region_mut(b).map_page(1, Tier::Nvm, PhysPage(0));
         assert_eq!(s.mapped_bytes(), 2 * PageSize::Huge2M.bytes());
+    }
+}
+
+#[cfg(test)]
+mod typed_error_tests {
+    use super::*;
+
+    fn region() -> (AddressSpace, RegionId) {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(4 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        (s, id)
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors_without_panicking() {
+        let (mut s, id) = region();
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Nvm, PhysPage(0));
+        assert_eq!(
+            r.try_map_page(0, Tier::Dram, PhysPage(1)),
+            Err(StateError::AlreadyMapped { index: 0 })
+        );
+        assert_eq!(
+            r.try_unmap_page(1),
+            Err(StateError::BadTransition {
+                op: "unmap",
+                index: 1,
+                state: PageState::Unmapped
+            })
+        );
+        assert!(r.try_remap_page(1, Tier::Dram, PhysPage(1)).is_err());
+        assert!(r.try_set_wp(1, true).is_err());
+        r.set_wp(0, true);
+        assert_eq!(
+            r.try_swap_out_page(0, 0),
+            Err(StateError::WriteProtected { index: 0 })
+        );
+        assert!(r.try_swap_in_page(0, Tier::Dram, PhysPage(2)).is_err());
+        // The region is untouched by the failed transitions.
+        assert_eq!(r.mapped_pages(), 1);
+        assert_eq!(r.wp_pages(), 1);
+    }
+
+    #[test]
+    fn error_display_matches_legacy_panic_messages() {
+        assert_eq!(
+            StateError::AlreadyMapped { index: 3 }.to_string(),
+            "page 3 already mapped"
+        );
+        assert_eq!(
+            StateError::WriteProtected { index: 5 }.to_string(),
+            "page 5 is write-protected (migrating)"
+        );
+        assert_eq!(
+            StateError::BadTransition {
+                op: "swap_in",
+                index: 2,
+                state: PageState::Unmapped
+            }
+            .to_string(),
+            "swap_in of page 2 in state Unmapped"
+        );
+    }
+
+    #[test]
+    fn try_munmap_of_missing_region_is_typed() {
+        let (mut s, id) = region();
+        s.munmap(id);
+        assert_eq!(
+            s.try_munmap(id).map(|_| ()).unwrap_err(),
+            StateError::MissingRegion(id)
+        );
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    #[test]
+    fn space_snapshot_restore_preserves_states_and_indices() {
+        let mut s = AddressSpace::new();
+        let a = s.mmap(8 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let gone = s.mmap(1 << 21, PageSize::Huge2M, RegionKind::SmallAnon);
+        let b = s.mmap(4 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        s.munmap(gone);
+        {
+            let r = s.region_mut(a);
+            r.map_page(0, Tier::Dram, PhysPage(0));
+            r.map_page(1, Tier::Nvm, PhysPage(1));
+            r.map_page(2, Tier::Nvm, PhysPage(2));
+            r.set_wp(1, true);
+            r.map_page(3, Tier::Nvm, PhysPage(3));
+            r.swap_out_page(3, 9);
+        }
+        s.region_mut(b).map_page(0, Tier::Dram, PhysPage(4));
+
+        let snap = s.snapshot();
+        let mut back = AddressSpace::restore(snap.clone());
+        assert_eq!(back.snapshot(), snap, "snapshot round-trips");
+        let r = back.region(a);
+        assert_eq!(r.mapped_pages(), 3);
+        assert_eq!(r.dram_pages(), 1);
+        assert_eq!(r.wp_pages(), 1);
+        assert_eq!(r.swapped_pages(), 1);
+        assert_eq!(r.wp_pages_in(0, 8), 1);
+        assert_eq!(r.kth_nvm_page_in(0, 8, 1), Some(2));
+        assert_eq!(r.state(3), PageState::Swapped { slot: 9 });
+        assert_eq!(back.region(b).dram_pages(), 1);
+        assert!(back.try_munmap(gone).is_err(), "unmapped slot preserved");
+        // New mmaps continue from the same base as the original.
+        let mut s2 = back;
+        let c = s2.mmap(1 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        assert!(s2.region(c).range().base.0 > s2.region(b).range().end());
     }
 }
 

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local mirror of CI: build, test, lint, chaos smoke. Run from anywhere.
+# Local mirror of CI: build, test, lint, chaos + recovery smoke. Run
+# from anywhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,5 +18,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== chaos smoke"
 cargo build --release -p hemem-bench --bin chaosbench
 ./target/release/chaosbench --scale 96 --seconds 4
+
+# crashbench asserts internally that every kill schedule recovers,
+# audits clean, completes, and replays byte-identically; a violation
+# aborts the run and fails this step.
+echo "== recovery smoke"
+cargo build --release -p hemem-bench --bin crashbench
+./target/release/crashbench --seed 7 --scale 96 --seconds 3
 
 echo "== all checks passed"
