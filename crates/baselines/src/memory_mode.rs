@@ -211,8 +211,12 @@ impl TieredBackend for MemoryMode {
         }
     }
 
-    fn tick(&mut self, _m: &mut MachineCore, _now: Ns) -> TickOutput {
-        // Pure hardware: no background threads, no further wake-ups.
+    fn tick(&mut self, m: &mut MachineCore, now: Ns) -> TickOutput {
+        // Pure hardware: no background threads, no further wake-ups. The
+        // single tick still marks the trace so baseline traces share a
+        // comparable policy lane.
+        m.trace
+            .instant(now, "memory_mode_tick", "policy", &[("direct_mapped", 1)]);
         TickOutput {
             next_wake: None,
             migrations: Vec::new(),

@@ -150,6 +150,16 @@ impl TieredBackend for Nimble {
         let migrate_wall = Ns::from_secs_f64(bytes as f64 / copy_rate);
         let busy = scan.scan_time + migrate_wall;
         self.stats.busy += busy;
+        m.trace.instant(
+            now,
+            "nimble_scan",
+            "policy",
+            &[
+                ("marked_hot", scan.marked_hot),
+                ("migrations", migrations.len() as u64),
+                ("busy_ns", busy.as_nanos()),
+            ],
+        );
         TickOutput {
             next_wake: Some(now + busy + self.cfg.idle_gap),
             migrations,

@@ -35,6 +35,10 @@ pub struct ExpArgs {
     pub seed: Option<u64>,
     /// Virtual measurement seconds override.
     pub seconds: Option<u64>,
+    /// Capture structured trace events (Chrome-trace export); off by
+    /// default. Tracing never changes simulation results — see
+    /// [`hemem_sim::Tracer`].
+    pub trace: bool,
 }
 
 impl Default for ExpArgs {
@@ -44,6 +48,7 @@ impl Default for ExpArgs {
             backends: Vec::new(),
             seed: None,
             seconds: None,
+            trace: false,
         }
     }
 }
@@ -77,6 +82,7 @@ impl ExpArgs {
                 "--seconds" => {
                     out.seconds = args.next().and_then(|v| v.parse().ok());
                 }
+                "--trace" => out.trace = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument {other:?}")),
             }
@@ -102,6 +108,7 @@ impl ExpArgs {
         if let Some(seed) = self.seed {
             mc.seed = seed;
         }
+        mc.trace = self.trace;
         mc
     }
 
@@ -138,7 +145,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <experiment> [--full | --scale N] [--backends a,b,..] [--seed S] [--seconds T]"
+        "usage: <experiment> [--full | --scale N] [--backends a,b,..] [--seed S] [--seconds T] [--trace]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -59,9 +59,11 @@ impl Default for PolicyConfig {
 }
 
 impl PolicyConfig {
-    /// Migration byte budget for one policy period.
+    /// Migration byte budget for one policy period
+    /// ([`hemem_sim::rate_budget`] rounding, shared with the PEBS drain
+    /// budgets).
     pub fn budget_per_period(&self) -> u64 {
-        (self.migration_rate * self.period.as_secs_f64()) as u64
+        hemem_sim::rate_budget(self.migration_rate, self.period)
     }
 
     /// The copy mechanism jobs should use.
@@ -105,21 +107,28 @@ pub fn run_policy(
     // issuing more would grow the device backlog without bound and starve
     // application stores. Real HeMem self-throttles because the policy
     // thread waits for its DMA batches.
-    let _ = now;
     // The journal's Prepared entries *are* the in-flight set: identical to
     // counting started-minus-finished in a clean run, but self-correcting
     // after a crash (rolled-back transactions leave the journal, while a
     // stats-based count would overestimate in-flight forever).
+    m.trace.policy.passes += 1;
     let in_flight = m.journal.prepared_len();
     if in_flight >= cfg.max_inflight_pages {
+        m.trace.policy.throttled += 1;
+        m.trace
+            .instant(now, "policy_pass", "policy", &[("throttled", 1), ("in_flight", in_flight)]);
         return jobs;
     }
     budget = budget.min((cfg.max_inflight_pages - in_flight) * page_bytes);
 
     // Phase 1: replenish the DRAM free watermark by demoting pages.
-    // In-flight demotions will also free DRAM; account started migrations
-    // optimistically so we do not over-demote across periods.
-    let free = m.dram_free_bytes();
+    // In-flight demotions (journaled Prepared entries whose source frame
+    // is DRAM) will free their frames when they commit; count that memory
+    // as already on its way to free, so back-to-back passes do not demote
+    // the same deficit twice while the first pass's copies are in flight.
+    let pending_free = m.journal.prepared_freeing(Tier::Dram) * page_bytes;
+    let free = m.dram_free_bytes().saturating_add(pending_free);
+    let mut demoted_wm = 0u64;
     if free < cfg.dram_watermark {
         let mut need = cfg.dram_watermark - free;
         while need > 0 && budget >= page_bytes {
@@ -135,6 +144,7 @@ pub fn run_policy(
             });
             need = need.saturating_sub(page_bytes);
             budget -= page_bytes;
+            demoted_wm += 1;
         }
     }
 
@@ -145,6 +155,8 @@ pub fn run_policy(
     // the demotion has completed and freed its frame. If nothing in DRAM
     // is cold, the hot set exceeds DRAM and migration stops (§3.3).
     let mut claimed = 0u64;
+    let mut promoted = 0u64;
+    let mut deferred = 0u64;
     // Demote at most one victim frame per waiting hot page.
     let mut deferrals_left = tracker.queue_len(crate::hemem::tracker::Queue::NvmHot) as u64;
     while budget >= page_bytes {
@@ -160,6 +172,7 @@ pub fn run_policy(
             });
             claimed += page_bytes;
             budget -= page_bytes;
+            promoted += 1;
         } else if deferrals_left > 0 {
             let Some(victim) = tracker.pop_demotion(cfg.swap_allows_hot) else {
                 // Hot set exceeds DRAM: stop migrating (§3.3).
@@ -173,6 +186,7 @@ pub fn run_policy(
             });
             budget -= page_bytes;
             deferrals_left -= 1;
+            deferred += 1;
             // The hot page returns to the *front* of its queue so it is
             // first in line once the victim's frame is free.
             tracker.restore_front(hot);
@@ -181,6 +195,20 @@ pub fn run_policy(
             break;
         }
     }
+    m.trace.policy.demote_watermark += demoted_wm;
+    m.trace.policy.promote += promoted;
+    m.trace.policy.swap_deferrals += deferred;
+    m.trace.instant(
+        now,
+        "policy_pass",
+        "policy",
+        &[
+            ("demote_watermark", demoted_wm),
+            ("promote", promoted),
+            ("swap_deferral", deferred),
+            ("in_flight", in_flight),
+        ],
+    );
     jobs
 }
 
@@ -230,6 +258,41 @@ mod tests {
         assert!(jobs.iter().all(|j| j.dst == Tier::Nvm), "only demotions");
         // Budget cap: 10 GB/s * 10 ms = 100 MB = 50 pages.
         assert!(jobs.len() <= 50, "rate-capped: {} jobs", jobs.len());
+    }
+
+    #[test]
+    fn in_flight_demotions_count_toward_the_watermark() {
+        // Regression: two back-to-back passes with the first pass's
+        // demotions still in flight (journaled Prepared, uncommitted).
+        // The second pass must not demote the same deficit again.
+        let (mut m, mut t, _) = setup(1, 600, 512);
+        let cfg = PolicyConfig {
+            // 8-page deficit, comfortably under the in-flight limit.
+            dram_watermark: 8 * m.cfg.managed_page.bytes(),
+            ..PolicyConfig::default()
+        };
+        let first = run_policy(&cfg, &mut t, &mut m, Ns::ZERO);
+        assert_eq!(first.len(), 8, "pass 1 demotes the full deficit");
+        assert!(first.iter().all(|j| j.dst == Tier::Nvm));
+        // Journal the jobs as the runtime's prepare phase would: source
+        // frame in DRAM, destination reserved in NVM, copy in flight.
+        for (id, job) in first.iter().enumerate() {
+            let phys = match m.space.region(job.page.region).state(job.page.index) {
+                hemem_vmm::PageState::Mapped { phys, .. } => phys,
+                other => panic!("victim not mapped: {other:?}"),
+            };
+            let dst = m.pool_mut(Tier::Nvm).alloc().expect("nvm space");
+            m.journal
+                .prepare(id as u64, job.page, Tier::Dram, phys, Tier::Nvm, dst);
+        }
+        // DRAM free is still 0, but 8 pages are already on their way out.
+        let second = run_policy(&cfg, &mut t, &mut m, Ns::millis(10));
+        assert_eq!(
+            second.iter().filter(|j| j.dst == Tier::Nvm).count(),
+            0,
+            "pass 2 must not re-demote for in-flight frees: {second:?}"
+        );
+        assert_eq!(m.trace.policy.demote_watermark, 8, "attributed once");
     }
 
     #[test]

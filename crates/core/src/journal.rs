@@ -131,6 +131,19 @@ impl MigrationJournal {
             .count() as u64
     }
 
+    /// Number of in-flight (Prepared) transactions whose completion will
+    /// free a `tier` frame — their source mapping lives in `tier` and is
+    /// released on commit. The policy's watermark phase counts
+    /// `prepared_freeing(Tier::Dram)` as DRAM that is already on its way
+    /// to being free, so consecutive passes do not re-demote for the same
+    /// deficit.
+    pub fn prepared_freeing(&self, tier: Tier) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.state == TxnState::Prepared && e.src_tier == tier)
+            .count() as u64
+    }
+
     /// True when no transaction is outstanding — the quiescent state the
     /// auditor expects when the machine is idle.
     pub fn is_empty(&self) -> bool {
@@ -175,6 +188,20 @@ mod tests {
         assert_eq!(j.prepared_len(), 0, "committed entries are not in-flight");
         j.retire(0);
         assert!(j.is_empty());
+    }
+
+    #[test]
+    fn prepared_freeing_counts_by_source_tier_and_state() {
+        let mut j = MigrationJournal::new();
+        // Two demotions (Dram -> Nvm) and one promotion (Nvm -> Dram).
+        j.prepare(0, page(0), Tier::Dram, PhysPage(0), Tier::Nvm, PhysPage(100));
+        j.prepare(1, page(1), Tier::Dram, PhysPage(1), Tier::Nvm, PhysPage(101));
+        j.prepare(2, page(2), Tier::Nvm, PhysPage(2), Tier::Dram, PhysPage(102));
+        assert_eq!(j.prepared_freeing(Tier::Dram), 2);
+        assert_eq!(j.prepared_freeing(Tier::Nvm), 1);
+        // A committed demotion has already freed its frame: not counted.
+        j.mark_committed(0);
+        assert_eq!(j.prepared_freeing(Tier::Dram), 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use hemem_memdev::{Device, DeviceConfig, DmaConfig, DmaEngine, Llc, MemOp, Reservation, GIB};
 use hemem_pebs::{Pebs, PebsConfig};
-use hemem_sim::{CoreModel, FaultPlan, FaultPlanConfig, Ns, Rng};
+use hemem_sim::{CoreModel, FaultPlan, FaultPlanConfig, Ns, Rng, Tracer};
 use hemem_vmm::{
     AddressSpace, FaultConfig, FaultStats, FaultThread, PageSize, PhysPool, ScanConfig, Tier, Tlb,
     TlbConfig,
@@ -81,6 +81,12 @@ pub struct MachineConfig {
     /// Interval of the online invariant audit; `None` (the default)
     /// disables periodic auditing (it stays available on demand).
     pub audit_period: Option<Ns>,
+    /// Capture structured trace events ([`hemem_sim::trace`]); `false`
+    /// (the default) leaves the event buffer empty. Latency histograms
+    /// and policy attribution counters accumulate either way. Tracing
+    /// never touches the RNG or the event queue, so enabling it cannot
+    /// change any simulation outcome.
+    pub trace: bool,
     /// RNG seed; two runs with the same seed are identical.
     pub seed: u64,
 }
@@ -104,8 +110,15 @@ impl MachineConfig {
             chaos: FaultPlanConfig::none(),
             watchdog: None,
             audit_period: None,
+            trace: false,
             seed: 0x4E564D_48454D45, // "NVM HEME"
         }
+    }
+
+    /// Enables structured trace capture.
+    pub fn with_trace(mut self) -> MachineConfig {
+        self.trace = true;
+        self
     }
 
     /// Adds an NVMe swap device of `capacity` bytes behind the tiers.
@@ -232,6 +245,9 @@ pub struct MachineCore {
     /// Next free swap slot (slots are never recycled in this model; the
     /// swap file is sized for the worst case).
     pub next_swap_slot: u64,
+    /// Structured tracing: span/instant events (when enabled), latency
+    /// histograms, and policy decision attribution (always).
+    pub trace: Tracer,
 }
 
 impl MachineCore {
@@ -259,6 +275,7 @@ impl MachineCore {
             disk: cfg.disk.clone().map(Device::new),
             chaos: FaultPlan::new(cfg.chaos.clone()),
             next_swap_slot: 0,
+            trace: Tracer::new(cfg.trace),
             cfg,
         }
     }

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use hemem_memdev::{MemOp, Pattern};
 use hemem_pebs::{SampleRecord, SampleType};
-use hemem_sim::{EventQueue, Ns};
+use hemem_sim::{EventQueue, LatencyClass, Ns};
 use hemem_vmm::{FaultKind, FaultThread, PageId, PageSize, PhysPage, RegionId, RegionKind, Tier};
 
 use crate::audit::{audit_machine, AuditViolation};
@@ -344,6 +344,7 @@ impl<B: TieredBackend> Sim<B> {
         match ev {
             Event::BackendTick => {
                 let out = self.backend.tick(&mut self.m, now);
+                self.m.trace.observe_ns(LatencyClass::PolicyPass, out.cpu_time);
                 self.start_migrations(now, &out.migrations);
                 self.start_swap_outs(now, &out.swap_outs);
                 if let Some(next) = out.next_wake {
@@ -361,8 +362,16 @@ impl<B: TieredBackend> Sim<B> {
                 if self.m.chaos.pebs_storm() {
                     self.m.pebs.drop_pending();
                 }
+                let pending = self.m.pebs.pending() as u64;
+                self.m.trace.observe(LatencyClass::PebsBacklog, pending);
                 let budget = self.m.pebs.drain_budget();
                 let samples = self.m.pebs.drain(budget);
+                self.m.trace.instant(
+                    now,
+                    "pebs_drain",
+                    "pebs",
+                    &[("pending", pending), ("drained", samples.len() as u64)],
+                );
                 if !samples.is_empty() {
                     self.backend.on_samples(&mut self.m, &samples, now);
                 }
@@ -460,7 +469,7 @@ impl<B: TieredBackend> Sim<B> {
         // their copy: release the destination frame and unlock the source
         // (which never stopped being the authoritative mapping). Committed
         // entries already flipped the mapping; nothing left to do.
-        for (_, e) in self.m.journal.drain() {
+        for (id, e) in self.m.journal.drain() {
             self.m.recovery.journal_replays += 1;
             match e.state {
                 TxnState::Prepared => {
@@ -471,6 +480,11 @@ impl<B: TieredBackend> Sim<B> {
                         .try_set_wp(e.page.index, false);
                     self.m.pool_mut(e.dst_tier).free(e.dst_phys);
                     self.m.recovery.journal_rollbacks += 1;
+                    // Close the migration span without latency accounting:
+                    // the copy never completed.
+                    self.m
+                        .trace
+                        .span_drop(now, "migration", "migration", id, &[("rollback", 1)]);
                 }
                 TxnState::Committed => {}
             }
@@ -550,7 +564,22 @@ impl<B: TieredBackend> Sim<B> {
             channels = 1;
         }
         let dma_done = match self.submit_dma_with_retry(now, &sizes, channels) {
-            Some(done) => done,
+            Some(done) => {
+                self.m
+                    .trace
+                    .observe_ns(LatencyClass::DmaBatch, done.saturating_sub(now));
+                self.m.trace.instant(
+                    now,
+                    "dma_batch",
+                    "dma",
+                    &[
+                        ("jobs", group.len() as u64),
+                        ("bytes", sizes.iter().sum()),
+                        ("channels", channels as u64),
+                    ],
+                );
+                done
+            }
             None => {
                 // Engine gave up: copy the whole group with HeMem's
                 // 4-thread fallback (§3.2, used when I/OAT is absent).
@@ -619,7 +648,7 @@ impl<B: TieredBackend> Sim<B> {
     /// intent and destination frame are recorded before any copy starts,
     /// so an interruption at any later point rolls back from the journal
     /// alone). Returns `(migration id, bytes)`.
-    fn prepare_migration(&mut self, _now: Ns, job: &MigrationJob) -> Option<(u64, u64)> {
+    fn prepare_migration(&mut self, now: Ns, job: &MigrationJob) -> Option<(u64, u64)> {
         let region = self.m.space.region(job.page.region);
         let bytes = region.page_size().bytes();
         let (src_tier, src_phys) = match region.state(job.page.index) {
@@ -647,10 +676,13 @@ impl<B: TieredBackend> Sim<B> {
             .journal
             .prepare(id, job.page, src_tier, src_phys, job.dst, dst_phys);
         self.m.stats.migrations_started += 1;
+        // The migration span opens at prepare: end-to-end latency is
+        // policy issue to mapping flip, not just the copy.
+        self.m.trace.span_begin(now, "migration", "migration", id);
         Some((id, bytes))
     }
 
-    fn finish_migration(&mut self, _now: Ns, id: u64) {
+    fn finish_migration(&mut self, now: Ns, id: u64) {
         let Some(&e) = self.m.journal.entry(id) else {
             return; // rolled back by recovery before the copy landed
         };
@@ -673,6 +705,9 @@ impl<B: TieredBackend> Sim<B> {
                     other => panic!("migrating page {:?} in state {other:?}", e.page),
                 };
                 self.backend.migration_aborted(&mut self.m, e.page, src_tier);
+                self.m
+                    .trace
+                    .span_drop(now, "migration", "migration", id, &[("aborted", 1)]);
                 return;
             }
         }
@@ -695,6 +730,14 @@ impl<B: TieredBackend> Sim<B> {
         self.m.stats.migrations_done += 1;
         self.m.stats.migrated_bytes += bytes;
         self.m.journal.retire(id);
+        self.m.trace.span_end(
+            now,
+            LatencyClass::Migration,
+            "migration",
+            "migration",
+            id,
+            &[("to_dram", (e.dst_tier == Tier::Dram) as u64)],
+        );
         self.backend.migration_done(&mut self.m, e.page, e.dst_tier);
     }
 
@@ -843,7 +886,9 @@ impl<B: TieredBackend> Sim<B> {
             self.backend.placed(&mut self.m, page, tier);
             self.m.stats.swap_ins += 1;
             self.m.fault_stats.record(FaultKind::Missing, stall);
-            return Ok(stall + extra + r.service + disk_latency);
+            let total = stall + extra + r.service + disk_latency;
+            self.observe_fault(now, total, 1);
+            return Ok(total);
         }
         if kind == RegionKind::SmallAnon {
             // Kernel-managed anonymous memory: always DRAM, outside the
@@ -854,6 +899,7 @@ impl<B: TieredBackend> Sim<B> {
                 PhysPage(page.index),
             );
             self.m.fault_stats.record(FaultKind::Missing, stall);
+            self.observe_fault(now, stall, 0);
             return Ok(stall);
         }
         let desired = self.backend.place(&mut self.m, page, is_write);
@@ -885,7 +931,21 @@ impl<B: TieredBackend> Sim<B> {
         zero_fill(&mut self.m, now, tier, page_bytes);
         self.backend.placed(&mut self.m, page, tier);
         self.m.fault_stats.record(FaultKind::Missing, stall);
-        Ok(stall + extra)
+        let total = stall + extra;
+        self.observe_fault(now, total, 0);
+        Ok(total)
+    }
+
+    /// Records one serviced page fault into the tracer: service latency
+    /// into the fault histogram plus (when tracing) an instant event.
+    fn observe_fault(&mut self, now: Ns, service: Ns, swap_in: u64) {
+        self.m.trace.observe_ns(LatencyClass::Fault, service);
+        self.m.trace.instant(
+            now,
+            "fault",
+            "fault",
+            &[("service_ns", service.as_nanos()), ("swap_in", swap_in)],
+        );
     }
 
     /// Synchronously swaps one victim out to free a frame; returns the
@@ -1010,7 +1070,7 @@ impl<B: TieredBackend> Sim<B> {
             }
 
             // Write-protection stalls: writes landing on migrating pages.
-            stall += self.wp_stall(seg, mem_writes);
+            stall += self.wp_stall(now, seg, mem_writes);
 
             // PEBS sampling. The batch's samples are generated over its
             // whole service window; estimate that window for burst-drop
@@ -1096,7 +1156,7 @@ impl<B: TieredBackend> Sim<B> {
         stall
     }
 
-    fn wp_stall(&mut self, seg: &crate::backend::SegmentAccess, writes: f64) -> Ns {
+    fn wp_stall(&mut self, now: Ns, seg: &crate::backend::SegmentAccess, writes: f64) -> Ns {
         let region = self.m.space.region(seg.region);
         if region.wp_pages() == 0 || writes <= 0.0 {
             return Ns::ZERO;
@@ -1117,6 +1177,16 @@ impl<B: TieredBackend> Sim<B> {
         // half a page-copy time at the migration rate cap.
         let half_copy = Ns::from_secs_f64(region.page_size().bytes() as f64 / 10.0e9 / 2.0);
         let per = self.m.fault_cfg.round_trip() + half_copy;
+        // One histogram observation per batch that stalled (the per-stall
+        // duration; `hits` rides along in the event args — recording `per`
+        // `hits` times would only replicate one value).
+        self.m.trace.observe_ns(LatencyClass::WpStall, per);
+        self.m.trace.instant(
+            now,
+            "wp_stall",
+            "fault",
+            &[("stalls", hits), ("per_ns", per.as_nanos())],
+        );
         self.m
             .fault_stats
             .record(FaultKind::WriteProtect, per.scale(hits as f64));

@@ -7,7 +7,7 @@
 //! it only records when a full period has elapsed) and computes
 //! per-interval deltas for the cumulative counters.
 
-use hemem_sim::Ns;
+use hemem_sim::{LatencyClass, Ns};
 use hemem_vmm::RegionId;
 
 use crate::backend::TieredBackend;
@@ -53,6 +53,33 @@ pub struct Snapshot {
     pub watchdog_restarts: u64,
     /// Cumulative invariant violations flagged by the online auditor.
     pub audit_violations: u64,
+    /// End-to-end migration latency percentiles so far (prepare to
+    /// mapping flip), in nanoseconds: p50, p99, p99.9, max. Computed from
+    /// the machine's always-on latency histograms
+    /// ([`hemem_sim::Tracer`]); zero until the first completed migration.
+    pub mig_p50_ns: u64,
+    /// Migration latency p99 (ns).
+    pub mig_p99_ns: u64,
+    /// Migration latency p99.9 (ns).
+    pub mig_p999_ns: u64,
+    /// Migration latency maximum (ns).
+    pub mig_max_ns: u64,
+    /// Page-fault service latency p50 (ns).
+    pub fault_p50_ns: u64,
+    /// Page-fault service latency p99 (ns).
+    pub fault_p99_ns: u64,
+    /// Page-fault service latency p99.9 (ns).
+    pub fault_p999_ns: u64,
+    /// Page-fault service latency maximum (ns).
+    pub fault_max_ns: u64,
+    /// Write-protection stall duration p50 (ns).
+    pub wp_p50_ns: u64,
+    /// Write-protection stall duration p99 (ns).
+    pub wp_p99_ns: u64,
+    /// Write-protection stall duration p99.9 (ns).
+    pub wp_p999_ns: u64,
+    /// Write-protection stall duration maximum (ns).
+    pub wp_max_ns: u64,
 }
 
 /// Per-interval rates derived from consecutive snapshots.
@@ -100,6 +127,9 @@ impl Telemetry {
         }
         self.next_at = now + self.period;
         let r = sim.m.space.region(self.region);
+        let mig = sim.m.trace.hist(LatencyClass::Migration);
+        let fault = sim.m.trace.hist(LatencyClass::Fault);
+        let wp = sim.m.trace.hist(LatencyClass::WpStall);
         self.samples.push(Snapshot {
             at: now,
             dram_pages: r.dram_pages(),
@@ -119,6 +149,18 @@ impl Telemetry {
             swap_rollbacks: sim.m.recovery.swap_rollbacks,
             watchdog_restarts: sim.m.recovery.watchdog_restarts,
             audit_violations: sim.m.recovery.audit_violations,
+            mig_p50_ns: mig.quantile(0.5),
+            mig_p99_ns: mig.quantile(0.99),
+            mig_p999_ns: mig.quantile(0.999),
+            mig_max_ns: mig.max(),
+            fault_p50_ns: fault.quantile(0.5),
+            fault_p99_ns: fault.quantile(0.99),
+            fault_p999_ns: fault.quantile(0.999),
+            fault_max_ns: fault.max(),
+            wp_p50_ns: wp.quantile(0.5),
+            wp_p99_ns: wp.quantile(0.99),
+            wp_p999_ns: wp.quantile(0.999),
+            wp_max_ns: wp.max(),
         });
         true
     }
@@ -155,17 +197,23 @@ impl Telemetry {
     /// columns `faults_injected,dma_fallbacks,migrations_failed,
     /// pages_retired`, then the crash-recovery columns `manager_kills,
     /// journal_replays,journal_rollbacks,swap_rollbacks,
-    /// watchdog_restarts,audit_violations`).
+    /// watchdog_restarts,audit_violations`, then cumulative latency
+    /// percentiles in nanoseconds for migrations, page faults, and
+    /// write-protection stalls: `{mig,fault,wp}_{p50,p99,p999,max}_ns`).
     pub fn csv(&self) -> String {
         let mut out = String::from(
             "time_s,dram_pages,mapped_pages,swapped_pages,migrations,nvm_wear,ops,wp_stalls,\
              faults_injected,dma_fallbacks,migrations_failed,pages_retired,\
              manager_kills,journal_replays,journal_rollbacks,swap_rollbacks,\
-             watchdog_restarts,audit_violations\n",
+             watchdog_restarts,audit_violations,\
+             mig_p50_ns,mig_p99_ns,mig_p999_ns,mig_max_ns,\
+             fault_p50_ns,fault_p99_ns,fault_p999_ns,fault_max_ns,\
+             wp_p50_ns,wp_p99_ns,wp_p999_ns,wp_max_ns\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
-                "{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\
+                 {},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.at.as_secs_f64(),
                 s.dram_pages,
                 s.mapped_pages,
@@ -183,7 +231,19 @@ impl Telemetry {
                 s.journal_rollbacks,
                 s.swap_rollbacks,
                 s.watchdog_restarts,
-                s.audit_violations
+                s.audit_violations,
+                s.mig_p50_ns,
+                s.mig_p99_ns,
+                s.mig_p999_ns,
+                s.mig_max_ns,
+                s.fault_p50_ns,
+                s.fault_p99_ns,
+                s.fault_p999_ns,
+                s.fault_max_ns,
+                s.wp_p50_ns,
+                s.wp_p99_ns,
+                s.wp_p999_ns,
+                s.wp_max_ns
             ));
         }
         out
@@ -253,7 +313,26 @@ mod tests {
         let csv = t.csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert!(lines[0].starts_with("time_s,dram_pages"));
+        assert!(lines[0].ends_with("wp_p50_ns,wp_p99_ns,wp_p999_ns,wp_max_ns"));
         assert_eq!(lines.len(), 3);
+        let cols = lines[0].split(',').count();
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), cols, "ragged row: {row}");
+        }
+    }
+
+    #[test]
+    fn latency_percentile_columns_populate_after_faults() {
+        // setup() populates the region, so the fault histogram has data by
+        // the first sample; percentiles must be ordered and nonzero.
+        let (sim, id) = setup();
+        let mut t = Telemetry::new(id, Ns::millis(1));
+        t.maybe_sample(&sim);
+        let s = t.snapshots()[0];
+        assert!(s.fault_p50_ns > 0, "populate faulted pages in");
+        assert!(s.fault_p50_ns <= s.fault_p99_ns);
+        assert!(s.fault_p99_ns <= s.fault_p999_ns);
+        assert!(s.fault_p999_ns <= s.fault_max_ns);
     }
 
     #[test]
@@ -271,11 +350,13 @@ mod tests {
         assert_eq!(snaps[1].manager_kills, 1);
         let csv = t.csv();
         let lines: Vec<&str> = csv.lines().collect();
-        assert!(lines[0].ends_with(
+        assert!(lines[0].contains(
             "manager_kills,journal_replays,journal_rollbacks,\
              swap_rollbacks,watchdog_restarts,audit_violations"
         ));
-        assert!(lines[2].ends_with("1,0,0,0,0,0"));
+        // manager_kills..audit_violations occupy columns 12..=17.
+        let fields: Vec<&str> = lines[2].split(',').collect();
+        assert_eq!(&fields[12..18], &["1", "0", "0", "0", "0", "0"]);
     }
 
     #[test]

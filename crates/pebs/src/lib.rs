@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 
-use hemem_sim::Ns;
+use hemem_sim::{rate_budget, Ns};
 
 /// Which programmed event produced a sample.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
@@ -205,14 +205,9 @@ impl Pebs {
 
     /// How many records a burst produced over `duration` can deliver
     /// without loss: free buffer space plus what the PEBS thread drains
-    /// concurrently.
+    /// concurrently ([`hemem_sim::rate_budget`] rounding).
     pub fn burst_room(&self, duration: Ns) -> u64 {
-        let free = self
-            .config
-            .buffer_capacity
-            .saturating_sub(self.buffer.len()) as u64;
-        let drained = (self.config.drain_rate * duration.as_secs_f64()) as u64;
-        free + drained
+        self.free_space() + rate_budget(self.config.drain_rate, duration)
     }
 
     /// Removes up to `max` records in arrival order (the PEBS thread's
@@ -225,9 +220,13 @@ impl Pebs {
     }
 
     /// How many records one drain pass may consume, given the PEBS
-    /// thread's processing rate and wake interval.
+    /// thread's processing rate and wake interval. Shares
+    /// [`hemem_sim::rate_budget`]'s truncating rounding with every other
+    /// rate-derived budget (this used to `ceil()`; the values are
+    /// identical for all shipped configurations, whose rate × interval
+    /// products are exact integers).
     pub fn drain_budget(&self) -> usize {
-        (self.config.drain_rate * self.config.drain_interval.as_secs_f64()).ceil() as usize
+        rate_budget(self.config.drain_rate, self.config.drain_interval) as usize
     }
 
     /// CPU time the PEBS thread spends consuming `n` records.

@@ -8,6 +8,8 @@
 //! - [`rng::Rng`] / [`rng::Zipf`] — reproducible random streams;
 //! - [`cores::CoreModel`] — proportional-share CPU contention;
 //! - [`stats`] — histograms, running moments, windowed rate series;
+//! - [`trace`] — deterministic span/instant tracing, latency histograms
+//!   per event class, Chrome-trace-event export;
 //! - [`list`] — arena-backed intrusive FIFO queues (HeMem's page lists).
 //!
 //! Everything here is domain-agnostic; the machine model lives in
@@ -22,10 +24,12 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use cores::CoreModel;
 pub use faultplan::{FaultPlan, FaultPlanConfig, FaultPlanStats};
 pub use queue::EventQueue;
 pub use rng::{Rng, Zipf};
 pub use stats::{Histogram, RateSeries, Running};
-pub use time::Ns;
+pub use time::{rate_budget, Ns};
+pub use trace::{LatencyClass, PolicyCounters, Tracer};

@@ -274,6 +274,39 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantile_rank_semantics_single_value() {
+        // rank = max(1, ceil(q * count)): with count = 1 every quantile —
+        // including q = 0.0, whose ceil is 0 before the max — must resolve
+        // to the single recorded value.
+        let mut h = Histogram::new();
+        h.record(17);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 17, "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_linear_to_log_transition_at_32() {
+        // Values below SUBS (32) land in exact linear buckets; from 32 on
+        // they move to log buckets whose upper bound may exceed the value.
+        // The quantile clamp to the observed max keeps results exact here.
+        let mut h = Histogram::new();
+        for v in [31u64, 32, 33] {
+            h.record(v);
+        }
+        // 32..63 keep exact one-value sub-buckets (shift 0), so the
+        // transition loses no precision until values reach 64.
+        assert_eq!(h.quantile(1.0 / 3.0), 31, "rank 1: exact linear bucket");
+        assert_eq!(h.quantile(2.0 / 3.0), 32, "rank 2: first log bucket");
+        assert_eq!(h.quantile(1.0), 33, "rank 3: observed max");
+        // From 64 up, sub-buckets widen; the upper bound over-reports
+        // within the bucket but the clamp to the observed max holds.
+        let mut wide = Histogram::new();
+        wide.record(64);
+        assert_eq!(wide.quantile(0.5), 64, "upper bound 65 clamped to max");
+    }
+
+    #[test]
     fn histogram_mean_and_merge() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

@@ -125,6 +125,22 @@ impl Sub for Ns {
     }
 }
 
+/// Whole units a process running at `rate_per_sec` completes in `window`.
+///
+/// This is the single rounding rule for every rate-derived budget in the
+/// simulator — migration bytes per policy period, PEBS records per drain
+/// pass, PEBS burst headroom. The product is truncated toward zero
+/// (floor for the non-negative inputs allowed here): a budget never
+/// exceeds what the rate actually delivers in the window, so repeated
+/// periods cannot creep ahead of the configured rate by a unit per
+/// period. Callers that used to `ceil()` (the PEBS drain budget) see the
+/// same values for every shipped configuration, where the products are
+/// exact integers in `f64`.
+pub fn rate_budget(rate_per_sec: f64, window: Ns) -> u64 {
+    debug_assert!(rate_per_sec >= 0.0, "negative rate");
+    (rate_per_sec * window.as_secs_f64()) as u64
+}
+
 impl fmt::Display for Ns {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.0 >= 1_000_000_000 {
@@ -178,5 +194,22 @@ mod tests {
     fn ordering_is_numeric() {
         assert!(Ns(1) < Ns(2));
         assert!(Ns::ZERO < Ns::MAX);
+    }
+
+    #[test]
+    fn rate_budget_floors_exact_products() {
+        // The three shipped budget computations, all exact in f64:
+        // migration 10 GB/s over 10 ms, PEBS drain 0.5M/s over 1 ms,
+        // and the drain-budget test config 1M/s over 2 ms.
+        assert_eq!(rate_budget(10.0e9, Ns::millis(10)), 100_000_000);
+        assert_eq!(rate_budget(0.5e6, Ns::millis(1)), 500);
+        assert_eq!(rate_budget(1.0e6, Ns::millis(2)), 2_000);
+    }
+
+    #[test]
+    fn rate_budget_truncates_fractional_products() {
+        assert_eq!(rate_budget(1.0, Ns::millis(500)), 0, "half a unit is zero");
+        assert_eq!(rate_budget(1500.0, Ns::millis(1)), 1);
+        assert_eq!(rate_budget(0.0, Ns::secs(10)), 0);
     }
 }

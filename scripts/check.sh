@@ -26,4 +26,12 @@ echo "== recovery smoke"
 cargo build --release -p hemem-bench --bin crashbench
 ./target/release/crashbench --seed 7 --scale 96 --seconds 3
 
+# obsbench asserts internally that a traced GUPS run is byte-identical
+# to an untraced one, that the exported Chrome-trace JSON parses with
+# monotone timestamps and matched span begin/ends, and that migration,
+# fault, policy-pass, and PEBS events all appear.
+echo "== observability smoke"
+cargo build --release -p hemem-bench --bin obsbench
+./target/release/obsbench --scale 96 --seconds 1
+
 echo "== all checks passed"
