@@ -12,7 +12,7 @@
 //! exactly as reproducible as a clean one.
 
 use hemem_baselines::{AnyBackend, BackendKind};
-use hemem_bench::{f3, ExpArgs, Report};
+use hemem_bench::{f3, fingerprint, ExpArgs, Report};
 use hemem_core::runtime::Sim;
 use hemem_sim::{FaultPlanConfig, Ns};
 use hemem_workloads::{Gups, GupsConfig, GupsResult};
@@ -47,21 +47,6 @@ fn run_one(args: &ExpArgs, workload: &str, rate: f64) -> (Sim<AnyBackend>, GupsR
     let mut gups = Gups::setup(&mut sim, cfg);
     let res = gups.run(&mut sim);
     (sim, res)
-}
-
-/// Everything determinism must cover: machine counters, injected-fault
-/// counters, DMA engine stats, PEBS stats, pool occupancy.
-fn fingerprint(sim: &Sim<AnyBackend>) -> String {
-    format!(
-        "{:?}|{:?}|{:?}|{:?}|{}/{}/{}",
-        sim.m.stats,
-        sim.m.chaos.stats(),
-        sim.m.dma.stats(),
-        sim.m.pebs.stats(),
-        sim.m.nvm_pool.free_pages(),
-        sim.m.nvm_pool.allocated_pages(),
-        sim.m.nvm_pool.retired_pages(),
-    )
 }
 
 fn main() {

@@ -16,7 +16,7 @@
 //! recovered run is exactly as reproducible as a clean one.
 
 use hemem_baselines::{AnyBackend, BackendKind};
-use hemem_bench::{f3, ExpArgs, Report};
+use hemem_bench::{f3, fingerprint, write_results, ExpArgs, Report};
 use hemem_core::runtime::Sim;
 use hemem_core::telemetry::Telemetry;
 use hemem_memdev::GIB;
@@ -48,21 +48,6 @@ fn run_one(args: &ExpArgs, fractions: &[f64]) -> (Sim<AnyBackend>, GupsResult) {
     let mut gups = Gups::setup(&mut sim, cfg);
     let res = gups.run(&mut sim);
     (sim, res)
-}
-
-/// Everything determinism must cover: machine counters, recovery
-/// counters, DMA engine stats, PEBS stats, pool occupancy.
-fn fingerprint(sim: &Sim<AnyBackend>) -> String {
-    format!(
-        "{:?}|{:?}|{:?}|{:?}|{}/{}/{}",
-        sim.m.stats,
-        sim.m.recovery,
-        sim.m.dma.stats(),
-        sim.m.pebs.stats(),
-        sim.m.nvm_pool.free_pages(),
-        sim.m.nvm_pool.allocated_pages(),
-        sim.m.nvm_pool.retired_pages(),
-    )
 }
 
 fn main() {
@@ -156,11 +141,5 @@ fn telemetry_sample(args: &ExpArgs) {
     t.maybe_sample(&sim);
     assert!(!sim.manager_down(), "telemetry run recovered");
     assert!(sim.run_audit(true).is_empty(), "telemetry run audits clean");
-    let path = std::path::Path::new("results").join("crashbench_telemetry.csv");
-    if std::fs::create_dir_all("results").is_ok() {
-        match std::fs::write(&path, t.csv()) {
-            Ok(()) => eprintln!("(telemetry csv written to {})", path.display()),
-            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-        }
-    }
+    write_results("crashbench_telemetry.csv", &t.csv(), "telemetry csv");
 }

@@ -17,7 +17,7 @@
 //!    Nimble and Memory-Mode baselines emit their own policy-lane events.
 
 use hemem_baselines::{AnyBackend, BackendKind};
-use hemem_bench::{ExpArgs, Report};
+use hemem_bench::{fingerprint, write_results, ExpArgs, Report};
 use hemem_core::runtime::Sim;
 use hemem_core::telemetry::Telemetry;
 use hemem_sim::{trace::validate_chrome, LatencyClass, Ns};
@@ -42,35 +42,6 @@ fn run_one(args: &ExpArgs, trace: bool) -> (Sim<AnyBackend>, GupsResult) {
         sim.advance(Ns::millis(10));
     }
     (sim, res)
-}
-
-/// Everything the zero-cost gate compares, including the histogram state
-/// (which accumulates with tracing off too).
-fn fingerprint(sim: &Sim<AnyBackend>) -> String {
-    let mut s = format!(
-        "{:?}|{:?}|{:?}|{:?}|{:?}|{}/{}/{}",
-        sim.m.stats,
-        sim.m.recovery,
-        sim.m.trace.policy,
-        sim.m.dma.stats(),
-        sim.m.pebs.stats(),
-        sim.m.nvm_pool.free_pages(),
-        sim.m.nvm_pool.allocated_pages(),
-        sim.m.nvm_pool.retired_pages(),
-    );
-    for class in LatencyClass::ALL {
-        let h = sim.m.trace.hist(class);
-        s.push_str(&format!(
-            "|{}:{}/{}/{}/{}/{}",
-            class.name(),
-            h.count(),
-            h.quantile(0.5),
-            h.quantile(0.99),
-            h.quantile(0.999),
-            h.max(),
-        ));
-    }
-    s
 }
 
 /// A short traced run of a baseline backend: fill past DRAM, let its
@@ -108,7 +79,10 @@ fn main() {
     let (traced, res_t) = run_one(&args, true);
     let (untraced, res_u) = run_one(&args, false);
     let (ft, fu) = (fingerprint(&traced), fingerprint(&untraced));
-    assert_eq!(ft, fu, "a traced run must be byte-identical to an untraced one");
+    assert_eq!(
+        ft, fu,
+        "a traced run must be byte-identical to an untraced one"
+    );
     assert_eq!(res_t.updates, res_u.updates, "identical workload progress");
     assert!(
         untraced.m.trace.events().is_empty(),
@@ -125,17 +99,11 @@ fn main() {
         .expect("span accounting consistent after quiesce");
     let json = traced.m.trace.export_chrome();
     validate_chrome(&json).expect("exported trace validates");
-    let dir = std::path::Path::new("results");
-    if std::fs::create_dir_all(dir).is_ok() {
-        let path = dir.join("obsbench_trace.json");
-        match std::fs::write(&path, &json) {
-            Ok(()) => eprintln!(
-                "(trace written to {} — load in Perfetto or chrome://tracing)",
-                path.display()
-            ),
-            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-        }
-    }
+    write_results(
+        "obsbench_trace.json",
+        &json,
+        "trace (load in Perfetto or chrome://tracing)",
+    );
     println!(
         "trace: OK — {} events, {} bytes of valid Chrome-trace JSON",
         traced.m.trace.events().len(),
@@ -143,7 +111,12 @@ fn main() {
     );
 
     // Gate 3: coverage — the classes the issue names all appear.
-    for needle in ["\"migration\"", "\"fault\"", "\"policy_pass\"", "\"pebs_drain\""] {
+    for needle in [
+        "\"migration\"",
+        "\"fault\"",
+        "\"policy_pass\"",
+        "\"pebs_drain\"",
+    ] {
         assert!(json.contains(needle), "trace covers {needle}");
     }
     let pol = traced.m.trace.policy;

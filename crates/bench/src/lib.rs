@@ -20,9 +20,11 @@ use std::fs;
 use std::path::Path;
 
 use hemem_baselines::{AnyBackend, BackendKind};
+use hemem_core::backend::TieredBackend;
 use hemem_core::machine::MachineConfig;
 use hemem_core::runtime::Sim;
 use hemem_memdev::GIB;
+use hemem_sim::LatencyClass;
 
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone)]
@@ -150,6 +152,57 @@ fn usage(err: &str) -> ! {
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
+/// Canonical state fingerprint for determinism gates: everything a
+/// byte-identical replay must reproduce — machine counters, injected
+/// faults, recovery counters, policy attribution, DMA and PEBS stats,
+/// pool occupancy, and the always-on latency histograms. Two runs with
+/// the same seed and configuration must produce equal strings.
+pub fn fingerprint<B: TieredBackend>(sim: &Sim<B>) -> String {
+    let mut s = format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{}/{}|{}/{}/{}",
+        sim.m.stats,
+        sim.m.chaos.stats(),
+        sim.m.recovery,
+        sim.m.trace.policy,
+        sim.m.dma.stats(),
+        sim.m.pebs.stats(),
+        sim.m.dram_pool.free_pages(),
+        sim.m.dram_pool.allocated_pages(),
+        sim.m.nvm_pool.free_pages(),
+        sim.m.nvm_pool.allocated_pages(),
+        sim.m.nvm_pool.retired_pages(),
+    );
+    for class in LatencyClass::ALL {
+        let h = sim.m.trace.hist(class);
+        s.push_str(&format!(
+            "|{}:{}/{}/{}/{}/{}",
+            class.name(),
+            h.count(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.quantile(0.999),
+            h.max(),
+        ));
+    }
+    s
+}
+
+/// Writes `results/<filename>`, logging the path (or a warning) to
+/// stderr; `note` names the artifact in the log line. Shared by
+/// [`Report::emit`] and binaries exporting extra artifacts (telemetry
+/// time series, Chrome traces).
+pub fn write_results(filename: &str, contents: &str, note: &str) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(filename);
+    match fs::write(&path, contents) {
+        Ok(()) => eprintln!("({note} written to {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 /// A result table that renders as markdown and CSV.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -209,15 +262,7 @@ impl Report {
     /// Prints markdown to stdout and writes `results/<name>.csv`.
     pub fn emit(&self) {
         println!("{}", self.markdown());
-        let dir = Path::new("results");
-        if fs::create_dir_all(dir).is_ok() {
-            let path = dir.join(format!("{}.csv", self.name));
-            if let Err(e) = fs::write(&path, self.csv()) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                eprintln!("(csv written to {})", path.display());
-            }
-        }
+        write_results(&format!("{}.csv", self.name), &self.csv(), "csv");
     }
 }
 

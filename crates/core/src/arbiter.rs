@@ -1,0 +1,403 @@
+//! Global DRAM arbiter for multi-tenant colocation.
+//!
+//! When several tenants share one machine, the fast tier is the
+//! contended resource: each tenant's HeMem instance would happily grow
+//! its DRAM-resident set to the watermark, and whichever tenant faults
+//! first wins the pool. The arbiter owns the DRAM tier's capacity and
+//! hands each tenant a *quota* — an upper bound on the DRAM pages the
+//! tenant may have resident (mapped plus in-flight promotions). Each
+//! tenant's policy pass then runs against its quota instead of the raw
+//! pool, so placement and demotion decisions stay per-tenant while the
+//! capacity split is global.
+//!
+//! Quotas are reallocated periodically from two per-tenant demand
+//! signals, in the style of MaxMem's miss-ratio arbitration:
+//!
+//! * the **hot-set size** the tenant's tracker currently observes, and
+//! * the **DRAM miss rate** — the fraction of the tenant's loads served
+//!   from NVM since the last reallocation.
+//!
+//! Three policies are selectable per run ([`ArbiterPolicy`]): fixed
+//! equal shares, shares proportional to hot-set size, and a greedy
+//! stepper that moves one quota step per period from the tenant with the
+//! lowest miss rate to the tenant with the highest. All arithmetic is
+//! integer (miss rates compare cross-multiplied), reallocation order is
+//! index-deterministic, and the quota sum is preserved exactly, so a
+//! multi-tenant run replays byte-identically. A single-tenant arbiter
+//! always assigns the whole tier to the tenant, under every policy —
+//! that degenerate case is what keeps the arbitrated path byte-identical
+//! to the solo path.
+
+use hemem_vmm::TenantId;
+
+/// How the arbiter divides the DRAM tier among tenants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterPolicy {
+    /// Fixed equal shares, set at startup and never moved.
+    StaticShares,
+    /// Shares proportional to each tenant's observed hot-set size,
+    /// recomputed every reallocation period.
+    ProportionalShares,
+    /// MaxMem-style greedy stepper: each period, move one quota step
+    /// from the tenant with the lowest DRAM miss rate to the tenant
+    /// with the highest.
+    GreedyMissRatio,
+}
+
+impl ArbiterPolicy {
+    /// Every policy, in sweep order.
+    pub const ALL: [ArbiterPolicy; 3] = [
+        ArbiterPolicy::StaticShares,
+        ArbiterPolicy::ProportionalShares,
+        ArbiterPolicy::GreedyMissRatio,
+    ];
+
+    /// Short stable label for CSV columns and CLI flags.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ArbiterPolicy::StaticShares => "static",
+            ArbiterPolicy::ProportionalShares => "proportional",
+            ArbiterPolicy::GreedyMissRatio => "greedy",
+        }
+    }
+
+    /// Parses a CLI label; the inverse of [`ArbiterPolicy::label`].
+    pub fn parse(s: &str) -> Option<ArbiterPolicy> {
+        ArbiterPolicy::ALL.into_iter().find(|p| p.label() == s)
+    }
+}
+
+/// Per-tenant demand signals a reallocation reads. The manager
+/// accumulates the load counters between reallocations and resets them
+/// after each one.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantSignal {
+    /// Bytes the tenant's tracker currently considers hot.
+    pub hot_bytes: u64,
+    /// Loads served from DRAM since the last reallocation.
+    pub dram_loads: u64,
+    /// Loads served from NVM since the last reallocation — the tenant's
+    /// DRAM misses.
+    pub nvm_loads: u64,
+}
+
+impl TenantSignal {
+    /// Miss rate as an exact rational `(numerator, denominator)`;
+    /// `(0, 1)` when the tenant issued no loads. Comparing
+    /// cross-multiplied keeps the arbiter free of floating point.
+    fn miss_ratio(&self) -> (u128, u128) {
+        let total = self.dram_loads as u128 + self.nvm_loads as u128;
+        if total == 0 {
+            (0, 1)
+        } else {
+            (self.nvm_loads as u128, total)
+        }
+    }
+}
+
+/// Compares two miss ratios without floats: `a > b`?
+fn ratio_gt(a: (u128, u128), b: (u128, u128)) -> bool {
+    a.0 * b.1 > b.0 * a.1
+}
+
+/// The global DRAM arbiter: owns the fast tier's page capacity and the
+/// per-tenant quota vector. See the module docs for the model.
+#[derive(Debug, Clone)]
+pub struct DramArbiter {
+    policy: ArbiterPolicy,
+    total_pages: u64,
+    quotas: Vec<u64>,
+    /// Floor below which no tenant's quota is cut, in pages.
+    min_quota_pages: u64,
+    /// Quota moved per greedy reallocation, in pages.
+    realloc_step_pages: u64,
+    /// Reallocation period in simulated nanoseconds.
+    realloc_period_ns: u64,
+    next_realloc_ns: u64,
+    reallocations: u64,
+}
+
+impl DramArbiter {
+    /// Default reallocation period: 100 ms, ten policy ticks.
+    pub const DEFAULT_REALLOC_PERIOD_NS: u64 = 100_000_000;
+
+    /// Creates an arbiter over `total_pages` of DRAM split among
+    /// `tenants` tenants, starting from equal shares (the first
+    /// `total_pages % tenants` tenants absorb the remainder). A
+    /// single-tenant arbiter holds the whole tier under every policy.
+    pub fn new(policy: ArbiterPolicy, total_pages: u64, tenants: usize) -> DramArbiter {
+        assert!(tenants > 0, "arbiter needs at least one tenant");
+        let n = tenants as u64;
+        let base = total_pages / n;
+        let rem = total_pages % n;
+        let quotas = (0..n).map(|i| base + u64::from(i < rem)).collect();
+        DramArbiter {
+            policy,
+            total_pages,
+            quotas,
+            min_quota_pages: (total_pages / (8 * n)).max(1),
+            realloc_step_pages: (total_pages / 64).max(1),
+            realloc_period_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
+            next_realloc_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
+            reallocations: 0,
+        }
+    }
+
+    /// The policy this arbiter reallocates with.
+    pub fn policy(&self) -> ArbiterPolicy {
+        self.policy
+    }
+
+    /// Total DRAM pages under arbitration.
+    pub fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    /// Number of tenants sharing the tier.
+    pub fn tenants(&self) -> usize {
+        self.quotas.len()
+    }
+
+    /// Tenant `t`'s current DRAM quota, in pages.
+    pub fn quota_pages(&self, t: TenantId) -> u64 {
+        self.quotas[t.0 as usize]
+    }
+
+    /// The full quota vector, indexed by tenant.
+    pub fn quotas(&self) -> &[u64] {
+        &self.quotas
+    }
+
+    /// Pages moved per greedy reallocation step.
+    pub fn realloc_step_pages(&self) -> u64 {
+        self.realloc_step_pages
+    }
+
+    /// Overrides the greedy reallocation step.
+    pub fn set_realloc_step_pages(&mut self, pages: u64) {
+        self.realloc_step_pages = pages.max(1);
+    }
+
+    /// Overrides the reallocation period (simulated nanoseconds).
+    pub fn set_realloc_period_ns(&mut self, ns: u64) {
+        self.realloc_period_ns = ns.max(1);
+        self.next_realloc_ns = self.realloc_period_ns;
+    }
+
+    /// Reallocations performed so far.
+    pub fn reallocations(&self) -> u64 {
+        self.reallocations
+    }
+
+    /// True while the quota vector still sums to the tier's capacity —
+    /// the arbiter's conservation invariant, checked by the audit.
+    pub fn conserved(&self) -> bool {
+        self.quotas.iter().sum::<u64>() == self.total_pages
+    }
+
+    /// Tenant `t`'s share of a global per-period quantity (migration
+    /// byte budget, in-flight page cap, watermark), proportional to its
+    /// quota. A single-tenant arbiter returns `global` exactly, which
+    /// keeps the solo arbitrated path byte-identical to the unarbitrated
+    /// one.
+    pub fn share_of(&self, t: TenantId, global: u64) -> u64 {
+        if self.quotas.len() == 1 {
+            return global;
+        }
+        (global as u128 * self.quota_pages(t) as u128 / self.total_pages.max(1) as u128) as u64
+    }
+
+    /// Runs a reallocation if the period elapsed. Returns `true` when
+    /// quotas may have moved. `signals` is indexed by tenant and must
+    /// cover every tenant.
+    pub fn maybe_realloc(&mut self, now_ns: u64, signals: &[TenantSignal]) -> bool {
+        if now_ns < self.next_realloc_ns {
+            return false;
+        }
+        while self.next_realloc_ns <= now_ns {
+            self.next_realloc_ns += self.realloc_period_ns;
+        }
+        if self.quotas.len() < 2 || self.policy == ArbiterPolicy::StaticShares {
+            return false;
+        }
+        assert_eq!(signals.len(), self.quotas.len(), "one signal per tenant");
+        match self.policy {
+            ArbiterPolicy::StaticShares => unreachable!(),
+            ArbiterPolicy::ProportionalShares => self.realloc_proportional(signals),
+            ArbiterPolicy::GreedyMissRatio => self.realloc_greedy(signals),
+        }
+        self.reallocations += 1;
+        debug_assert!(self.conserved(), "reallocation changed the quota sum");
+        true
+    }
+
+    /// Quota proportional to hot-set size, above a common floor. Integer
+    /// division remainders go to the lowest-indexed tenants, so the sum
+    /// is preserved exactly and the split is deterministic.
+    fn realloc_proportional(&mut self, signals: &[TenantSignal]) {
+        let n = self.quotas.len() as u64;
+        let floor = self.min_quota_pages.min(self.total_pages / n);
+        let spendable = self.total_pages - floor * n;
+        // +1 keeps the weights non-degenerate when every tenant is cold.
+        let weights: Vec<u128> = signals.iter().map(|s| s.hot_bytes as u128 + 1).collect();
+        let sum: u128 = weights.iter().sum();
+        let mut acc = 0u64;
+        for (q, w) in self.quotas.iter_mut().zip(&weights) {
+            *q = floor + (spendable as u128 * w / sum) as u64;
+            acc += *q;
+        }
+        let mut left = self.total_pages - acc;
+        let mut i = 0usize;
+        let n = self.quotas.len();
+        while left > 0 {
+            self.quotas[i % n] += 1;
+            left -= 1;
+            i += 1;
+        }
+    }
+
+    /// Moves one quota step from the lowest-miss-rate tenant to the
+    /// highest, if the gap is material (≥ 1/64). Ties break toward the
+    /// lowest index, so the step is deterministic.
+    fn realloc_greedy(&mut self, signals: &[TenantSignal]) {
+        let ratios: Vec<(u128, u128)> = signals.iter().map(|s| s.miss_ratio()).collect();
+        let mut hi = 0usize;
+        let mut lo = 0usize;
+        for i in 1..ratios.len() {
+            if ratio_gt(ratios[i], ratios[hi]) {
+                hi = i;
+            }
+            if ratio_gt(ratios[lo], ratios[i]) {
+                lo = i;
+            }
+        }
+        if hi == lo {
+            return;
+        }
+        // Material gap: miss(hi) - miss(lo) >= 1/64, cross-multiplied.
+        let (hn, hd) = ratios[hi];
+        let (ln, ld) = ratios[lo];
+        if 64 * (hn * ld).saturating_sub(ln * hd) < hd * ld {
+            return;
+        }
+        let step = self
+            .realloc_step_pages
+            .min(self.quotas[lo].saturating_sub(self.min_quota_pages));
+        self.quotas[lo] -= step;
+        self.quotas[hi] += step;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hot(hot_bytes: u64) -> TenantSignal {
+        TenantSignal {
+            hot_bytes,
+            ..TenantSignal::default()
+        }
+    }
+
+    fn misses(dram: u64, nvm: u64) -> TenantSignal {
+        TenantSignal {
+            hot_bytes: 0,
+            dram_loads: dram,
+            nvm_loads: nvm,
+        }
+    }
+
+    #[test]
+    fn single_tenant_owns_the_whole_tier_under_every_policy() {
+        for policy in ArbiterPolicy::ALL {
+            let mut a = DramArbiter::new(policy, 512, 1);
+            assert_eq!(a.quota_pages(TenantId::SOLO), 512);
+            assert_eq!(a.share_of(TenantId::SOLO, 123_457), 123_457);
+            // Reallocation never moves a solo tenant's quota.
+            for tick in 1..=20u64 {
+                a.maybe_realloc(tick * 100_000_000, &[misses(1, 1_000)]);
+            }
+            assert_eq!(a.quota_pages(TenantId::SOLO), 512);
+            assert!(a.conserved());
+        }
+    }
+
+    #[test]
+    fn equal_split_distributes_the_remainder_deterministically() {
+        let a = DramArbiter::new(ArbiterPolicy::StaticShares, 10, 3);
+        assert_eq!(a.quotas(), &[4, 3, 3]);
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn static_shares_never_move() {
+        let mut a = DramArbiter::new(ArbiterPolicy::StaticShares, 512, 2);
+        let before = a.quotas().to_vec();
+        let moved = a.maybe_realloc(1_000_000_000, &[misses(0, 1_000), misses(1_000, 0)]);
+        assert!(!moved);
+        assert_eq!(a.quotas(), &before[..]);
+    }
+
+    #[test]
+    fn proportional_shares_follow_hot_set_size() {
+        let mut a = DramArbiter::new(ArbiterPolicy::ProportionalShares, 512, 2);
+        a.maybe_realloc(100_000_000, &[hot(3 << 30), hot(1 << 30)]);
+        assert!(a.conserved());
+        assert!(
+            a.quota_pages(TenantId(0)) > a.quota_pages(TenantId(1)),
+            "hotter tenant gets the larger share: {:?}",
+            a.quotas()
+        );
+        // Neither tenant falls below the floor.
+        assert!(a.quota_pages(TenantId(1)) >= 512 / 16);
+    }
+
+    #[test]
+    fn greedy_moves_quota_toward_the_missing_tenant() {
+        let mut a = DramArbiter::new(ArbiterPolicy::GreedyMissRatio, 512, 2);
+        let before = a.quota_pages(TenantId(0));
+        // Tenant 0 misses half its loads; tenant 1 misses none.
+        a.maybe_realloc(100_000_000, &[misses(500, 500), misses(1_000, 0)]);
+        assert!(a.conserved());
+        assert_eq!(a.quota_pages(TenantId(0)), before + a.realloc_step_pages());
+        // A negligible gap does not move quota.
+        let held = a.quotas().to_vec();
+        a.maybe_realloc(200_000_000, &[misses(10_000, 1), misses(10_000, 0)]);
+        assert_eq!(a.quotas(), &held[..]);
+    }
+
+    #[test]
+    fn greedy_respects_the_quota_floor() {
+        let mut a = DramArbiter::new(ArbiterPolicy::GreedyMissRatio, 512, 2);
+        a.set_realloc_step_pages(1 << 20); // absurdly large step
+        a.maybe_realloc(100_000_000, &[misses(0, 1_000), misses(1_000, 0)]);
+        assert!(a.conserved());
+        assert!(a.quota_pages(TenantId(1)) >= 512 / 16);
+    }
+
+    #[test]
+    fn realloc_fires_once_per_period() {
+        let mut a = DramArbiter::new(ArbiterPolicy::GreedyMissRatio, 512, 2);
+        let s = [misses(0, 1_000), misses(1_000, 0)];
+        assert!(!a.maybe_realloc(50_000_000, &s), "period not elapsed");
+        assert!(a.maybe_realloc(100_000_000, &s));
+        assert!(!a.maybe_realloc(150_000_000, &s), "already fired");
+        assert!(a.maybe_realloc(1_000_000_000, &s), "late tick catches up");
+        assert_eq!(a.reallocations(), 2);
+    }
+
+    #[test]
+    fn share_of_is_quota_proportional_for_multi_tenant() {
+        let a = DramArbiter::new(ArbiterPolicy::StaticShares, 512, 2);
+        assert_eq!(a.share_of(TenantId(0), 10_000_000_000), 5_000_000_000);
+        assert_eq!(a.share_of(TenantId(1), 10_000_000_000), 5_000_000_000);
+    }
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in ArbiterPolicy::ALL {
+            assert_eq!(ArbiterPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(ArbiterPolicy::parse("bogus"), None);
+    }
+}

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use hemem_vmm::{PageState, PhysPage, RegionKind, Tier};
+use hemem_vmm::{PageState, PhysPage, RegionKind, TenantId, Tier};
 
 use crate::journal::TxnState;
 use crate::machine::MachineCore;
@@ -72,6 +72,47 @@ pub enum AuditViolation {
         /// swapped).
         mapped: Option<Tier>,
     },
+    /// One physical frame is referenced by regions (or in-flight
+    /// migrations) of two different tenants — tenant isolation is broken
+    /// at the frame level.
+    CrossTenantFrame {
+        /// The tier of the shared frame.
+        tier: Tier,
+        /// The frame referenced by both tenants.
+        phys: PhysPage,
+        /// The first tenant observed referencing the frame.
+        first: TenantId,
+        /// The second, different tenant referencing the same frame.
+        second: TenantId,
+    },
+    /// A tenant holds more resident DRAM than its arbiter quota allows,
+    /// beyond the grace window for in-flight demotions after a quota cut
+    /// (reported through `TieredBackend::audit`).
+    QuotaExceeded {
+        /// The over-quota tenant.
+        tenant: TenantId,
+        /// DRAM pages the tenant has resident (mapped + in-flight into
+        /// DRAM).
+        resident_pages: u64,
+        /// The tenant's current quota, in pages.
+        quota_pages: u64,
+        /// Pages of transient overshoot the auditor tolerates (one
+        /// reallocation step plus the in-flight migration cap).
+        grace_pages: u64,
+    },
+    /// A backend tracker's per-tenant residency totals disagree with the
+    /// address space's per-tenant frame accounting (reported through
+    /// `TieredBackend::audit`).
+    TenantFrameMismatch {
+        /// The tenant whose books disagree.
+        tenant: TenantId,
+        /// The tier being counted.
+        tier: Tier,
+        /// Pages the address space maps for this tenant on this tier.
+        space_pages: u64,
+        /// Pages the tracker believes are resident there.
+        tracked_pages: u64,
+    },
 }
 
 impl std::fmt::Display for AuditViolation {
@@ -109,6 +150,33 @@ impl std::fmt::Display for AuditViolation {
                 f,
                 "tracker places {page:?} on {tracked:?} but the space maps it on {mapped:?}"
             ),
+            AuditViolation::CrossTenantFrame {
+                tier,
+                phys,
+                first,
+                second,
+            } => write!(
+                f,
+                "{tier:?} frame {phys:?} referenced by both {first} and {second}"
+            ),
+            AuditViolation::QuotaExceeded {
+                tenant,
+                resident_pages,
+                quota_pages,
+                grace_pages,
+            } => write!(
+                f,
+                "{tenant} holds {resident_pages} DRAM pages over quota {quota_pages} (+{grace_pages} grace)"
+            ),
+            AuditViolation::TenantFrameMismatch {
+                tenant,
+                tier,
+                space_pages,
+                tracked_pages,
+            } => write!(
+                f,
+                "{tenant} {tier:?}: space maps {space_pages} pages but tracker holds {tracked_pages}"
+            ),
         }
     }
 }
@@ -139,6 +207,19 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
     // in-flight migration destinations. SmallAnon regions are
     // kernel-backed and do not draw from the tiered pools.
     let mut refs: HashMap<(Tier, PhysPage), u64> = HashMap::new();
+    let mut owners: HashMap<(Tier, PhysPage), TenantId> = HashMap::new();
+    let mut crossed: Vec<(Tier, PhysPage, TenantId, TenantId)> = Vec::new();
+    let mut note_owner = |key: (Tier, PhysPage), tenant: TenantId| match owners.entry(key) {
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(tenant);
+        }
+        std::collections::hash_map::Entry::Occupied(e) => {
+            let first = *e.get();
+            if first != tenant {
+                crossed.push((key.0, key.1, first, tenant));
+            }
+        }
+    };
     for region in m.space.regions() {
         if region.kind() != RegionKind::ManagedHeap {
             continue;
@@ -146,12 +227,14 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
         for i in 0..region.page_count() {
             if let PageState::Mapped { tier, phys, .. } = region.state(i) {
                 *refs.entry((tier, phys)).or_insert(0) += 1;
+                note_owner((tier, phys), region.tenant());
             }
         }
     }
     for (_, e) in m.journal.entries() {
         if e.state == TxnState::Prepared {
             *refs.entry((e.dst_tier, e.dst_phys)).or_insert(0) += 1;
+            note_owner((e.dst_tier, e.dst_phys), e.tenant);
         }
     }
     let mut doubled: Vec<(Tier, PhysPage)> = refs
@@ -162,6 +245,18 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
     doubled.sort_by_key(|&(tier, phys)| (tier == Tier::Nvm, phys.0));
     for (tier, phys) in doubled {
         v.push(AuditViolation::DoubleMappedFrame { tier, phys });
+    }
+
+    // 2b. No frame shared across tenants, counting both mappings and
+    // in-flight migration destinations.
+    crossed.sort_by_key(|&(tier, phys, ..)| (tier == Tier::Nvm, phys.0));
+    for (tier, phys, first, second) in crossed {
+        v.push(AuditViolation::CrossTenantFrame {
+            tier,
+            phys,
+            first,
+            second,
+        });
     }
 
     // 3. Allocated counts agree with the reference walk.
@@ -197,7 +292,9 @@ mod tests {
     }
 
     fn map_one(m: &mut MachineCore) -> (RegionId, PhysPage) {
-        let id = m.space.mmap(4 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let id = m
+            .space
+            .mmap(4 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
         let phys = m.dram_pool.alloc().expect("frame");
         m.space.region_mut(id).map_page(0, Tier::Dram, phys);
         (id, phys)
@@ -243,6 +340,32 @@ mod tests {
     }
 
     #[test]
+    fn cross_tenant_frame_is_flagged() {
+        let mut m = machine();
+        let (_, phys) = map_one(&mut m);
+        // A second tenant's region mapped onto the same frame: both a
+        // double reference and a tenant-isolation breach.
+        let other = m.space.mmap_tagged(
+            4 << 21,
+            PageSize::Huge2M,
+            RegionKind::ManagedHeap,
+            TenantId(1),
+        );
+        m.space.region_mut(other).map_page(0, Tier::Dram, phys);
+        let v = audit_machine(&m, true);
+        assert!(v.contains(&AuditViolation::DoubleMappedFrame {
+            tier: Tier::Dram,
+            phys
+        }));
+        assert!(v.contains(&AuditViolation::CrossTenantFrame {
+            tier: Tier::Dram,
+            phys,
+            first: TenantId::SOLO,
+            second: TenantId(1),
+        }));
+    }
+
+    #[test]
     fn prepared_journal_entry_accounts_for_its_frame() {
         let mut m = machine();
         let (id, src_phys) = map_one(&mut m);
@@ -251,8 +374,15 @@ mod tests {
             region: id,
             index: 0,
         };
-        m.journal
-            .prepare(0, page, Tier::Dram, src_phys, Tier::Nvm, dst);
+        m.journal.prepare(
+            0,
+            page,
+            TenantId::SOLO,
+            Tier::Dram,
+            src_phys,
+            Tier::Nvm,
+            dst,
+        );
         // Non-quiescent audit: the in-flight destination frame balances
         // the NVM pool's allocated count.
         assert_eq!(audit_machine(&m, false), Vec::new());

@@ -56,6 +56,8 @@ mod tests {
             region: RegionId(1),
             index: 7,
         };
-        assert!(MemError::ReclaimVictimBusy(p).to_string().contains("victim"));
+        assert!(MemError::ReclaimVictimBusy(p)
+            .to_string()
+            .contains("victim"));
     }
 }

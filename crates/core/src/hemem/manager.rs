@@ -6,13 +6,14 @@
 //! PEBS samples processed by a dedicated thread, and migrates pages
 //! asynchronously under the 10 ms policy thread using DMA offload.
 
-use hemem_pebs::SampleRecord;
+use hemem_pebs::{SampleRecord, SampleType, TenantDemux, TenantStreamStats};
 use hemem_sim::Ns;
-use hemem_vmm::{PageId, RegionId, Tier, VirtAddr};
+use hemem_vmm::{PageId, RegionId, TenantId, Tier, VirtAddr};
 
+use crate::arbiter::{ArbiterPolicy, DramArbiter, TenantSignal};
 use crate::backend::{TickOutput, TieredBackend};
-use crate::hemem::policy::{run_policy, PolicyConfig};
-use crate::hemem::tracker::{PageTracker, TrackerConfig};
+use crate::hemem::policy::{run_policy, run_policy_scoped, PolicyConfig, PolicyScope};
+use crate::hemem::tracker::{PageTracker, Queue, TrackerConfig};
 use crate::machine::MachineCore;
 
 /// Full HeMem configuration.
@@ -76,10 +77,67 @@ pub struct HeMemStats {
     pub forwarded_allocs: u64,
 }
 
+/// Per-tenant manager state: one hot/cold tracker plus the demand
+/// signals the DRAM arbiter reallocates on.
+struct TenantState {
+    id: TenantId,
+    tracker: PageTracker,
+    /// Load mix since the last arbiter reallocation.
+    window: TenantSignal,
+    /// Cumulative loads, for per-tenant miss-ratio reporting.
+    total_dram_loads: u64,
+    total_nvm_loads: u64,
+    /// Samples this tenant's tracker consumed.
+    samples_applied: u64,
+}
+
+impl TenantState {
+    fn new(id: TenantId, cfg: TrackerConfig) -> TenantState {
+        TenantState {
+            id,
+            tracker: PageTracker::new(cfg),
+            window: TenantSignal::default(),
+            total_dram_loads: 0,
+            total_nvm_loads: 0,
+            samples_applied: 0,
+        }
+    }
+
+    fn note_sample(&mut self, kind: SampleType) {
+        self.samples_applied += 1;
+        match kind {
+            SampleType::DramLoad => {
+                self.window.dram_loads += 1;
+                self.total_dram_loads += 1;
+            }
+            SampleType::NvmLoad => {
+                self.window.nvm_loads += 1;
+                self.total_nvm_loads += 1;
+            }
+            SampleType::Store => {}
+        }
+    }
+}
+
 /// The HeMem backend.
+///
+/// One instance manages one or more tenants: each tenant has its own
+/// tracker and policy scope, while the pools, DMA engine, and PEBS unit
+/// stay shared. Multi-tenant instances carry a [`DramArbiter`] that
+/// owns the DRAM capacity split; single-tenant instances (the default)
+/// run the exact pre-colocation code path.
 pub struct HeMem {
     cfg: HeMemConfig,
-    tracker: PageTracker,
+    tenants: Vec<TenantState>,
+    /// Global DRAM arbiter; created lazily on the first callback that
+    /// sees the machine (quotas need the pool's capacity).
+    arbiter: Option<DramArbiter>,
+    arbiter_policy: Option<ArbiterPolicy>,
+    /// Arbiter knob overrides applied at creation.
+    realloc_period_ns: Option<u64>,
+    realloc_step_pages: Option<u64>,
+    /// Per-tenant PEBS stream budgets; multi-tenant only.
+    demux: Option<TenantDemux>,
     stats: HeMemStats,
     /// Cumulative bytes of forwarded small allocations: once a growing
     /// region family crosses the manage threshold, HeMem starts managing
@@ -93,15 +151,106 @@ pub struct HeMem {
 }
 
 impl HeMem {
-    /// Creates a HeMem instance with the given configuration.
+    /// Creates a single-tenant HeMem instance with the given
+    /// configuration.
     pub fn new(cfg: HeMemConfig) -> HeMem {
+        let tenants = vec![TenantState::new(TenantId::SOLO, cfg.tracker.clone())];
         HeMem {
-            tracker: PageTracker::new(cfg.tracker.clone()),
+            tenants,
             cfg,
+            arbiter: None,
+            arbiter_policy: None,
+            realloc_period_ns: None,
+            realloc_step_pages: None,
+            demux: None,
             stats: HeMemStats::default(),
             small_growth: 0,
             pin_new_regions: false,
             pinned: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Creates a multi-tenant HeMem instance: `tenants` per-tenant
+    /// trackers and policy scopes over the shared machine, with the
+    /// global DRAM arbiter splitting the fast tier under `policy`. A
+    /// 1-tenant instance built this way behaves byte-identically to
+    /// [`HeMem::new`].
+    pub fn multi_tenant(cfg: HeMemConfig, tenants: usize, policy: ArbiterPolicy) -> HeMem {
+        assert!(tenants > 0, "need at least one tenant");
+        let mut h = HeMem::new(cfg);
+        h.tenants = (0..tenants as u32)
+            .map(|i| TenantState::new(TenantId(i), h.cfg.tracker.clone()))
+            .collect();
+        h.arbiter_policy = Some(policy);
+        h
+    }
+
+    /// Overrides the arbiter's reallocation period and greedy step
+    /// (applied when the arbiter is created).
+    pub fn set_arbiter_realloc(&mut self, period: Ns, step_pages: u64) {
+        self.realloc_period_ns = Some(period.0);
+        self.realloc_step_pages = Some(step_pages);
+        if let Some(arb) = &mut self.arbiter {
+            arb.set_realloc_period_ns(period.0);
+            arb.set_realloc_step_pages(step_pages);
+        }
+    }
+
+    /// Creates the arbiter once the machine (and so the DRAM capacity)
+    /// is known. No-op for single-instance configurations without an
+    /// arbiter policy.
+    fn ensure_arbiter(&mut self, m: &MachineCore) {
+        if self.arbiter.is_some() || self.arbiter_policy.is_none() {
+            return;
+        }
+        let policy = self.arbiter_policy.expect("checked above");
+        let mut arb = DramArbiter::new(policy, m.dram_pool.total_pages(), self.tenants.len());
+        if let Some(ns) = self.realloc_period_ns {
+            arb.set_realloc_period_ns(ns);
+        }
+        if let Some(step) = self.realloc_step_pages {
+            arb.set_realloc_step_pages(step);
+        }
+        self.arbiter = Some(arb);
+    }
+
+    /// Index of the tenant owning `region`.
+    fn tenant_index(&self, m: &MachineCore, region: RegionId) -> usize {
+        let t = m.space.region(region).tenant();
+        let idx = t.0 as usize;
+        debug_assert!(idx < self.tenants.len(), "region owned by unknown {t}");
+        idx.min(self.tenants.len() - 1)
+    }
+
+    /// Tenant `i`'s policy scope: its unclaimed quota and its shares of
+    /// the global watermark, migration budget, and in-flight cap.
+    fn scope_for(&self, i: usize, m: &MachineCore) -> PolicyScope {
+        let arb = self
+            .arbiter
+            .as_ref()
+            .expect("multi-tenant scope needs the arbiter");
+        let t = self.tenants[i].id;
+        let page_bytes = m.cfg.managed_page.bytes();
+        let quota_bytes = arb.quota_pages(t) * page_bytes;
+        let claim_bytes = (m.space.tenant_frames(t).dram_pages
+            + m.journal.prepared_into_for(t, Tier::Dram))
+            * page_bytes;
+        // When a reallocation pulls the quota below the tenant's current
+        // claim, `free` saturates at zero and would hide the size of the
+        // deficit; fold the overshoot into the watermark so demotion
+        // pressure scales with how far over quota the tenant is. The
+        // budget is floored at one page so a small-quota tenant can
+        // always make migration progress toward its (shrinking) quota.
+        let overshoot = claim_bytes.saturating_sub(quota_bytes);
+        PolicyScope {
+            tenant: t,
+            free_dram_bytes: quota_bytes.saturating_sub(claim_bytes),
+            dram_watermark: arb.share_of(t, self.cfg.policy.dram_watermark) + overshoot,
+            budget: arb
+                .share_of(t, self.cfg.policy.budget_per_period())
+                .max(page_bytes),
+            max_inflight_pages: arb.share_of(t, self.cfg.policy.max_inflight_pages).max(1),
+            tag_tenant: true,
         }
     }
 
@@ -127,9 +276,47 @@ impl HeMem {
         &self.stats
     }
 
-    /// The hotness tracker (for experiment introspection).
+    /// The hotness tracker (for experiment introspection). On a
+    /// multi-tenant instance this is tenant 0's tracker; see
+    /// [`HeMem::tracker_for`].
     pub fn tracker(&self) -> &PageTracker {
-        &self.tracker
+        &self.tenants[0].tracker
+    }
+
+    /// Tenant `t`'s hotness tracker.
+    pub fn tracker_for(&self, t: TenantId) -> &PageTracker {
+        &self.tenants[t.0 as usize].tracker
+    }
+
+    /// Number of tenants this instance manages.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The DRAM arbiter, once created (multi-tenant instances only).
+    pub fn arbiter(&self) -> Option<&DramArbiter> {
+        self.arbiter.as_ref()
+    }
+
+    /// Tenant `t`'s cumulative `(dram_loads, nvm_loads)` sample counts —
+    /// the raw material of its miss ratio.
+    pub fn tenant_loads(&self, t: TenantId) -> (u64, u64) {
+        let ts = &self.tenants[t.0 as usize];
+        (ts.total_dram_loads, ts.total_nvm_loads)
+    }
+
+    /// Samples applied to tenant `t`'s tracker.
+    pub fn tenant_samples(&self, t: TenantId) -> u64 {
+        self.tenants[t.0 as usize].samples_applied
+    }
+
+    /// Tenant `t`'s PEBS stream counters (zero when the single-tenant
+    /// path bypasses the demux).
+    pub fn tenant_stream_stats(&self, t: TenantId) -> TenantStreamStats {
+        self.demux
+            .as_ref()
+            .map(|d| d.stream_stats(t.0 as usize))
+            .unwrap_or_default()
     }
 
     /// Configuration in effect.
@@ -155,6 +342,7 @@ impl TieredBackend for HeMem {
     }
 
     fn on_mmap(&mut self, m: &mut MachineCore, region: RegionId) {
+        self.ensure_arbiter(m);
         let r = m.space.region(region);
         if r.kind() == hemem_vmm::RegionKind::ManagedHeap {
             if self.pin_new_regions {
@@ -164,7 +352,9 @@ impl TieredBackend for HeMem {
                 self.stats.managed_regions += 1;
                 return;
             }
-            self.tracker.add_region(region, r.page_count());
+            let pages = r.page_count();
+            let idx = self.tenant_index(m, region);
+            self.tenants[idx].tracker.add_region(region, pages);
             self.stats.managed_regions += 1;
         } else {
             self.small_growth += r.range().len;
@@ -174,7 +364,11 @@ impl TieredBackend for HeMem {
 
     fn on_munmap(&mut self, _m: &mut MachineCore, region: RegionId) {
         self.pinned.remove(&region);
-        self.tracker.remove_region(region);
+        // The owning tenant's tracker drops the region; for the others
+        // this is a no-op.
+        for ts in &mut self.tenants {
+            ts.tracker.remove_region(region);
+        }
     }
 
     fn place(&mut self, m: &mut MachineCore, page: PageId, _is_write: bool) -> Tier {
@@ -183,16 +377,29 @@ impl TieredBackend for HeMem {
         }
         // Allocate DRAM while any is free; the policy thread keeps a
         // watermark free asynchronously. Otherwise spill to NVM and rely
-        // on sampling to promote hot pages later (§3.3).
-        if m.dram_pool.free_pages() > 0 {
-            Tier::Dram
-        } else {
-            Tier::Nvm
+        // on sampling to promote hot pages later (§3.3). Under the
+        // arbiter, a tenant whose DRAM claim has reached its quota spills
+        // to NVM even while the pool has free pages — that headroom
+        // belongs to the other tenants.
+        if m.dram_pool.free_pages() == 0 {
+            return Tier::Nvm;
         }
+        if self.tenants.len() > 1 {
+            self.ensure_arbiter(m);
+            let arb = self.arbiter.as_ref().expect("arbiter for multi-tenant");
+            let t = self.tenants[self.tenant_index(m, page.region)].id;
+            let claim =
+                m.space.tenant_frames(t).dram_pages + m.journal.prepared_into_for(t, Tier::Dram);
+            if claim >= arb.quota_pages(t) {
+                return Tier::Nvm;
+            }
+        }
+        Tier::Dram
     }
 
-    fn placed(&mut self, _m: &mut MachineCore, page: PageId, tier: Tier) {
-        self.tracker.placed(page, tier);
+    fn placed(&mut self, m: &mut MachineCore, page: PageId, tier: Tier) {
+        let idx = self.tenant_index(m, page.region);
+        self.tenants[idx].tracker.placed(page, tier);
     }
 
     fn uses_pebs(&self) -> bool {
@@ -200,25 +407,106 @@ impl TieredBackend for HeMem {
     }
 
     fn on_samples(&mut self, m: &mut MachineCore, samples: &[SampleRecord], now: Ns) {
+        if self.tenants.len() == 1 {
+            // Solo fast path: no demux, no budget split — byte-identical
+            // to a single-process machine.
+            let ts = &mut self.tenants[0];
+            for s in samples {
+                if let Some(page) = m.space.page_at(VirtAddr(s.vaddr)) {
+                    if ts.tracker.tracks(page.region) {
+                        ts.tracker.record(page, s.kind.is_store(), now);
+                        ts.note_sample(s.kind);
+                        self.stats.samples_applied += 1;
+                    }
+                }
+            }
+            return;
+        }
+        // Multi-tenant: the shared drain budget is split evenly, so one
+        // tenant's sample flood cannot starve the others' classifiers.
+        let per_tenant = (m.pebs.drain_budget() as u64 / self.tenants.len() as u64).max(1);
+        let mut demux = self
+            .demux
+            .take()
+            .unwrap_or_else(|| TenantDemux::new(self.tenants.len(), per_tenant));
+        demux.set_per_pass_budget(per_tenant);
+        demux.begin_pass();
         for s in samples {
             if let Some(page) = m.space.page_at(VirtAddr(s.vaddr)) {
-                if self.tracker.tracks(page.region) {
-                    self.tracker.record(page, s.kind.is_store(), now);
+                let idx = self.tenant_index(m, page.region);
+                let ts = &mut self.tenants[idx];
+                if ts.tracker.tracks(page.region) && demux.admit(idx) {
+                    ts.tracker.record(page, s.kind.is_store(), now);
+                    ts.note_sample(s.kind);
                     self.stats.samples_applied += 1;
                 }
             }
         }
+        self.demux = Some(demux);
     }
 
     fn tick(&mut self, m: &mut MachineCore, now: Ns) -> TickOutput {
         self.stats.policy_runs += 1;
-        let migrations = if self.cfg.enable_migration {
-            run_policy(&self.cfg.policy, &mut self.tracker, m, now)
-        } else {
+        self.ensure_arbiter(m);
+        let multi = self.tenants.len() > 1;
+        // Reallocate DRAM quotas from the tenants' demand signals.
+        if let Some(arb) = &mut self.arbiter {
+            let page_bytes = m.cfg.managed_page.bytes();
+            let signals: Vec<TenantSignal> = self
+                .tenants
+                .iter()
+                .map(|ts| TenantSignal {
+                    hot_bytes: (ts.tracker.queue_len(Queue::DramHot)
+                        + ts.tracker.queue_len(Queue::NvmHot))
+                        as u64
+                        * page_bytes,
+                    dram_loads: ts.window.dram_loads,
+                    nvm_loads: ts.window.nvm_loads,
+                })
+                .collect();
+            if arb.maybe_realloc(now.0, &signals) {
+                for ts in &mut self.tenants {
+                    ts.window = TenantSignal::default();
+                }
+                if multi {
+                    m.trace.instant(
+                        now,
+                        "arbiter_realloc",
+                        "arbiter",
+                        &[
+                            ("reallocations", arb.reallocations()),
+                            ("quota_t0", arb.quota_pages(TenantId(0))),
+                        ],
+                    );
+                }
+            }
+        }
+        let migrations = if !self.cfg.enable_migration {
             Vec::new()
+        } else if !multi {
+            run_policy(&self.cfg.policy, &mut self.tenants[0].tracker, m, now)
+        } else {
+            // One scoped policy pass per tenant, in tenant order. Each
+            // pass sees its own quota headroom and budget share, so a
+            // thrashing tenant exhausts only its own migration budget.
+            let mut jobs = Vec::new();
+            for i in 0..self.tenants.len() {
+                let scope = self.scope_for(i, m);
+                let ts = &mut self.tenants[i];
+                jobs.extend(run_policy_scoped(
+                    &self.cfg.policy,
+                    &mut ts.tracker,
+                    m,
+                    now,
+                    &scope,
+                ));
+            }
+            jobs
         };
         // Third tier (§3.4): when NVM itself runs low, page the coldest
-        // NVM pages out to the swap device.
+        // NVM pages out to the swap device. Tenants are victimized
+        // round-robin; with one tenant this degenerates to the plain
+        // pop loop.
         let mut swap_outs = Vec::new();
         if self.cfg.swap_watermark > 0 && m.disk.is_some() {
             let page_bytes = m.cfg.managed_page.bytes();
@@ -227,11 +515,20 @@ impl TieredBackend for HeMem {
                 .swap_watermark
                 .saturating_sub(m.nvm_pool.free_bytes());
             while need > 0 && swap_outs.len() < 64 {
-                let Some(victim) = self.tracker.pop_swap_victim() else {
+                let mut popped = false;
+                for ts in &mut self.tenants {
+                    if need == 0 || swap_outs.len() >= 64 {
+                        break;
+                    }
+                    if let Some(victim) = ts.tracker.pop_swap_victim() {
+                        swap_outs.push(victim);
+                        need = need.saturating_sub(page_bytes);
+                        popped = true;
+                    }
+                }
+                if !popped {
                     break;
-                };
-                swap_outs.push(victim);
-                need = need.saturating_sub(page_bytes);
+                }
             }
         }
         TickOutput {
@@ -242,26 +539,39 @@ impl TieredBackend for HeMem {
         }
     }
 
-    fn swapped_out(&mut self, _m: &mut MachineCore, page: PageId) {
-        self.tracker.evicted(page);
+    fn swapped_out(&mut self, m: &mut MachineCore, page: PageId) {
+        let idx = self.tenant_index(m, page.region);
+        self.tenants[idx].tracker.evicted(page);
     }
 
     fn reclaim_victim(&mut self, m: &mut MachineCore) -> Option<PageId> {
         m.disk.as_ref()?;
         // Coldest NVM page first; fall back to cold DRAM under extreme
         // pressure (kernel direct reclaim walks the inactive lists).
-        self.tracker
-            .pop_swap_victim()
-            .or_else(|| self.tracker.pop_demotion(false))
+        // Tenants are scanned in order; with one tenant this is the
+        // plain two-step lookup.
+        for ts in &mut self.tenants {
+            if let Some(victim) = ts.tracker.pop_swap_victim() {
+                return Some(victim);
+            }
+        }
+        for ts in &mut self.tenants {
+            if let Some(victim) = ts.tracker.pop_demotion(false) {
+                return Some(victim);
+            }
+        }
+        None
     }
 
-    fn migration_done(&mut self, _m: &mut MachineCore, page: PageId, dst: Tier) {
-        self.tracker.placed(page, dst);
+    fn migration_done(&mut self, m: &mut MachineCore, page: PageId, dst: Tier) {
+        let idx = self.tenant_index(m, page.region);
+        self.tenants[idx].tracker.placed(page, dst);
     }
 
-    fn migration_aborted(&mut self, _m: &mut MachineCore, page: PageId, current: Tier) {
+    fn migration_aborted(&mut self, m: &mut MachineCore, page: PageId, current: Tier) {
         // The page never left `current`; put it back on the right queue.
-        self.tracker.placed(page, current);
+        let idx = self.tenant_index(m, page.region);
+        self.tenants[idx].tracker.placed(page, current);
     }
 
     fn background_threads(&self) -> u32 {
@@ -278,23 +588,87 @@ impl TieredBackend for HeMem {
     fn recover(&mut self, m: &mut MachineCore, _now: Ns) {
         // The restarted manager re-derives its hot/cold lists from what
         // survives the crash: per-page sample counters (tracker metadata)
-        // and the authoritative address-space residency. Pinned regions
+        // and the authoritative address-space residency. Each tenant's
+        // tracker rebuilds only the regions it registered. Pinned regions
         // carry no queues, so nothing to rebuild there.
-        self.tracker.rebuild_from(&m.space);
+        for ts in &mut self.tenants {
+            ts.tracker.rebuild_from(&m.space);
+        }
     }
 
     fn audit(&self, m: &MachineCore) -> Vec<crate::audit::AuditViolation> {
-        self.tracker
-            .residency_mismatches(&m.space)
-            .into_iter()
-            .map(
+        let mut v: Vec<crate::audit::AuditViolation> = Vec::new();
+        for ts in &self.tenants {
+            v.extend(ts.tracker.residency_mismatches(&m.space).into_iter().map(
                 |(page, tracked, mapped)| crate::audit::AuditViolation::TrackerMismatch {
                     page,
                     tracked,
                     mapped,
                 },
-            )
-            .collect()
+            ));
+        }
+        // Tenant-scoped invariants, multi-tenant only: every tenant's
+        // DRAM claim stays within its quota (plus a grace window for
+        // in-flight work after a quota cut), and the per-tenant frame
+        // books balance between the address space, the tracker queues,
+        // and the journal's in-flight entries.
+        let Some(arb) = self.arbiter.as_ref().filter(|_| self.tenants.len() > 1) else {
+            return v;
+        };
+        for ts in &self.tenants {
+            let t = ts.id;
+            let tf = m.space.tenant_frames(t);
+            let resident = tf.dram_pages + m.journal.prepared_into_for(t, Tier::Dram);
+            let quota = arb.quota_pages(t);
+            // Two realloc steps of grace: the step the last reallocation
+            // just moved, plus at most one period of demotion backlog
+            // still draining from the step before it; in-flight
+            // promotions on top.
+            let grace = 2 * arb.realloc_step_pages()
+                + arb.share_of(t, self.cfg.policy.max_inflight_pages).max(1);
+            if resident > quota + grace {
+                v.push(crate::audit::AuditViolation::QuotaExceeded {
+                    tenant: t,
+                    resident_pages: resident,
+                    quota_pages: quota,
+                    grace_pages: grace,
+                });
+            }
+            // Frame conservation per tier: a resident page is either in
+            // one of the tenant's queues or in flight (its journal entry
+            // names the tier it is still mapped on). Swap-outs in flight
+            // and pinned regions sit outside the queues, so the check
+            // only runs when neither feature is active.
+            if self.cfg.swap_watermark == 0 && self.pinned.is_empty() && m.disk.is_none() {
+                let queued =
+                    |a: Queue, b: Queue| (ts.tracker.queue_len(a) + ts.tracker.queue_len(b)) as u64;
+                let checks = [
+                    (
+                        Tier::Dram,
+                        tf.dram_pages,
+                        queued(Queue::DramHot, Queue::DramCold)
+                            + m.journal.prepared_freeing_for(t, Tier::Dram),
+                    ),
+                    (
+                        Tier::Nvm,
+                        tf.nvm_pages,
+                        queued(Queue::NvmHot, Queue::NvmCold)
+                            + m.journal.prepared_freeing_for(t, Tier::Nvm),
+                    ),
+                ];
+                for (tier, space_pages, tracked_pages) in checks {
+                    if space_pages != tracked_pages {
+                        v.push(crate::audit::AuditViolation::TenantFrameMismatch {
+                            tenant: t,
+                            tier,
+                            space_pages,
+                            tracked_pages,
+                        });
+                    }
+                }
+            }
+        }
+        v
     }
 }
 
@@ -438,7 +812,10 @@ mod tests {
         s.populate(id, true);
         s.advance(Ns::secs(3));
         assert_eq!(s.m.recovery.manager_kills, 2);
-        assert!(s.m.recovery.watchdog_restarts >= 2, "restarted after each kill");
+        assert!(
+            s.m.recovery.watchdog_restarts >= 2,
+            "restarted after each kill"
+        );
         assert!(!s.manager_down());
         let r = s.m.space.region(id);
         assert_eq!(r.mapped_pages(), 1024, "no page lost across kills");

@@ -11,5 +11,5 @@ pub mod policy;
 pub mod tracker;
 
 pub use manager::{HeMem, HeMemConfig, HeMemStats};
-pub use policy::{run_policy, PolicyConfig};
+pub use policy::{run_policy, run_policy_scoped, PolicyConfig, PolicyScope};
 pub use tracker::{PageTracker, Queue, TrackerConfig, TrackerStats};

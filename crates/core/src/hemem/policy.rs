@@ -9,7 +9,7 @@
 //! is capped so the application is not disturbed (10 GB/s).
 
 use hemem_sim::Ns;
-use hemem_vmm::Tier;
+use hemem_vmm::{TenantId, Tier};
 
 use crate::backend::{CopyMechanism, MigrationJob};
 use crate::hemem::tracker::PageTracker;
@@ -90,16 +90,77 @@ impl PolicyConfig {
     }
 }
 
-/// Runs one policy pass, returning the migrations to start.
+/// The slice of the machine one policy pass operates over: on a
+/// single-process machine this is the whole machine (see
+/// [`PolicyScope::solo`]); under the DRAM arbiter each tenant's pass gets
+/// its quota-derived free-DRAM view, its share of the migration-rate
+/// budget, and its slice of the in-flight cap, so one thrashing tenant
+/// cannot starve another's policy passes.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyScope {
+    /// Tenant the pass runs for (journal in-flight accounting keys off
+    /// this).
+    pub tenant: TenantId,
+    /// DRAM bytes the tenant may still claim: quota minus resident and
+    /// in-flight-inbound pages. The solo scope uses the machine's free
+    /// pool, which is the same quantity at quota = total.
+    pub free_dram_bytes: u64,
+    /// Free-DRAM watermark for this tenant (the config watermark scaled
+    /// by quota share).
+    pub dram_watermark: u64,
+    /// Migration byte budget for this pass (the per-period budget scaled
+    /// by quota share).
+    pub budget: u64,
+    /// In-flight page cap for this tenant.
+    pub max_inflight_pages: u64,
+    /// Tag trace events with the tenant id (off for solo runs, keeping
+    /// their traces byte-identical to the pre-tenant code).
+    pub tag_tenant: bool,
+}
+
+impl PolicyScope {
+    /// The whole-machine scope of a single-process run.
+    pub fn solo(cfg: &PolicyConfig, m: &MachineCore) -> PolicyScope {
+        PolicyScope {
+            tenant: TenantId::SOLO,
+            free_dram_bytes: m.dram_free_bytes(),
+            dram_watermark: cfg.dram_watermark,
+            budget: cfg.budget_per_period(),
+            max_inflight_pages: cfg.max_inflight_pages,
+            tag_tenant: false,
+        }
+    }
+}
+
+/// Runs one policy pass over the whole machine, returning the migrations
+/// to start.
 pub fn run_policy(
     cfg: &PolicyConfig,
     tracker: &mut PageTracker,
     m: &mut MachineCore,
     now: Ns,
 ) -> Vec<MigrationJob> {
+    let scope = PolicyScope::solo(cfg, m);
+    run_policy_scoped(cfg, tracker, m, now, &scope)
+}
+
+/// Runs one policy pass over `scope`'s slice of the machine.
+///
+/// With the solo scope this is exactly the historical single-process
+/// pass: `free_dram_bytes` equals the DRAM pool's free bytes, the
+/// watermark, budget, and in-flight cap are the config values, and every
+/// journal entry belongs to [`TenantId::SOLO`], so the per-tenant journal
+/// counts equal the global ones.
+pub fn run_policy_scoped(
+    cfg: &PolicyConfig,
+    tracker: &mut PageTracker,
+    m: &mut MachineCore,
+    now: Ns,
+    scope: &PolicyScope,
+) -> Vec<MigrationJob> {
     let page_bytes = m.cfg.managed_page.bytes();
     let mechanism = cfg.mechanism_for(m);
-    let mut budget = cfg.budget_per_period();
+    let mut budget = scope.budget;
     let mut jobs = Vec::new();
 
     // Backpressure: NVM write bandwidth is far below the migration rate
@@ -112,25 +173,42 @@ pub fn run_policy(
     // after a crash (rolled-back transactions leave the journal, while a
     // stats-based count would overestimate in-flight forever).
     m.trace.policy.passes += 1;
-    let in_flight = m.journal.prepared_len();
-    if in_flight >= cfg.max_inflight_pages {
+    let in_flight = m.journal.prepared_len_for(scope.tenant);
+    if in_flight >= scope.max_inflight_pages {
         m.trace.policy.throttled += 1;
-        m.trace
-            .instant(now, "policy_pass", "policy", &[("throttled", 1), ("in_flight", in_flight)]);
+        if scope.tag_tenant {
+            m.trace.instant(
+                now,
+                "policy_pass",
+                "policy",
+                &[
+                    ("throttled", 1),
+                    ("in_flight", in_flight),
+                    ("tenant", scope.tenant.0 as u64),
+                ],
+            );
+        } else {
+            m.trace.instant(
+                now,
+                "policy_pass",
+                "policy",
+                &[("throttled", 1), ("in_flight", in_flight)],
+            );
+        }
         return jobs;
     }
-    budget = budget.min((cfg.max_inflight_pages - in_flight) * page_bytes);
+    budget = budget.min((scope.max_inflight_pages - in_flight) * page_bytes);
 
     // Phase 1: replenish the DRAM free watermark by demoting pages.
     // In-flight demotions (journaled Prepared entries whose source frame
     // is DRAM) will free their frames when they commit; count that memory
     // as already on its way to free, so back-to-back passes do not demote
     // the same deficit twice while the first pass's copies are in flight.
-    let pending_free = m.journal.prepared_freeing(Tier::Dram) * page_bytes;
-    let free = m.dram_free_bytes().saturating_add(pending_free);
+    let pending_free = m.journal.prepared_freeing_for(scope.tenant, Tier::Dram) * page_bytes;
+    let free = scope.free_dram_bytes.saturating_add(pending_free);
     let mut demoted_wm = 0u64;
-    if free < cfg.dram_watermark {
-        let mut need = cfg.dram_watermark - free;
+    if free < scope.dram_watermark {
+        let mut need = scope.dram_watermark - free;
         while need > 0 && budget >= page_bytes {
             // Prefer cold pages; fall back to arbitrary (oldest hot) DRAM
             // pages, as the paper demotes random data when nothing is cold.
@@ -163,7 +241,9 @@ pub fn run_policy(
         let Some(hot) = tracker.pop_promotion() else {
             break;
         };
-        let have_free = m.dram_free_bytes() >= page_bytes + claimed;
+        // A promotion needs a free frame in the global pool *and* room
+        // under the tenant's quota; solo scopes see the same number twice.
+        let have_free = scope.free_dram_bytes.min(m.dram_free_bytes()) >= page_bytes + claimed;
         if have_free {
             jobs.push(MigrationJob {
                 page: hot,
@@ -198,17 +278,32 @@ pub fn run_policy(
     m.trace.policy.demote_watermark += demoted_wm;
     m.trace.policy.promote += promoted;
     m.trace.policy.swap_deferrals += deferred;
-    m.trace.instant(
-        now,
-        "policy_pass",
-        "policy",
-        &[
-            ("demote_watermark", demoted_wm),
-            ("promote", promoted),
-            ("swap_deferral", deferred),
-            ("in_flight", in_flight),
-        ],
-    );
+    if scope.tag_tenant {
+        m.trace.instant(
+            now,
+            "policy_pass",
+            "policy",
+            &[
+                ("demote_watermark", demoted_wm),
+                ("promote", promoted),
+                ("swap_deferral", deferred),
+                ("in_flight", in_flight),
+                ("tenant", scope.tenant.0 as u64),
+            ],
+        );
+    } else {
+        m.trace.instant(
+            now,
+            "policy_pass",
+            "policy",
+            &[
+                ("demote_watermark", demoted_wm),
+                ("promote", promoted),
+                ("swap_deferral", deferred),
+                ("in_flight", in_flight),
+            ],
+        );
+    }
     jobs
 }
 
@@ -282,8 +377,15 @@ mod tests {
                 other => panic!("victim not mapped: {other:?}"),
             };
             let dst = m.pool_mut(Tier::Nvm).alloc().expect("nvm space");
-            m.journal
-                .prepare(id as u64, job.page, Tier::Dram, phys, Tier::Nvm, dst);
+            m.journal.prepare(
+                id as u64,
+                job.page,
+                TenantId::SOLO,
+                Tier::Dram,
+                phys,
+                Tier::Nvm,
+                dst,
+            );
         }
         // DRAM free is still 0, but 8 pages are already on their way out.
         let second = run_policy(&cfg, &mut t, &mut m, Ns::millis(10));

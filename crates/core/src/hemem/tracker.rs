@@ -497,7 +497,14 @@ impl PageTracker {
                     _ => None,
                 };
                 if tracked != mapped {
-                    out.push((PageId { region: rid, index: i }, tracked, mapped));
+                    out.push((
+                        PageId {
+                            region: rid,
+                            index: i,
+                        },
+                        tracked,
+                        mapped,
+                    ));
                 }
             }
         }
@@ -711,24 +718,54 @@ mod tests {
         let mut t = PageTracker::new(cfg);
         t.add_region(rid, 4);
         for i in 0..3 {
-            t.placed(PageId { region: rid, index: i }, Tier::Nvm); // 0: stale tier
+            t.placed(
+                PageId {
+                    region: rid,
+                    index: i,
+                },
+                Tier::Nvm,
+            ); // 0: stale tier
         }
         // Page 1 earns hot counters that must survive the crash.
         for _ in 0..8 {
-            t.record(PageId { region: rid, index: 1 }, false, Ns::ZERO);
+            t.record(
+                PageId {
+                    region: rid,
+                    index: 1,
+                },
+                false,
+                Ns::ZERO,
+            );
         }
         assert_eq!(
             t.residency_mismatches(&space),
-            vec![(PageId { region: rid, index: 0 }, Some(Tier::Nvm), Some(Tier::Dram))]
+            vec![(
+                PageId {
+                    region: rid,
+                    index: 0
+                },
+                Some(Tier::Nvm),
+                Some(Tier::Dram)
+            )]
         );
         t.rebuild_from(&space);
         assert_eq!(t.residency_mismatches(&space), Vec::new());
         assert_eq!(t.queue_len(Queue::DramCold), 1, "page 0 follows the space");
         assert_eq!(t.queue_len(Queue::NvmHot), 1, "page 1 keeps its counters");
         assert_eq!(t.queue_len(Queue::NvmCold), 1, "page 2");
-        assert_eq!(t.counters(PageId { region: rid, index: 1 }).0, 8);
         assert_eq!(
-            t.counters(PageId { region: rid, index: 3 }),
+            t.counters(PageId {
+                region: rid,
+                index: 1
+            })
+            .0,
+            8
+        );
+        assert_eq!(
+            t.counters(PageId {
+                region: rid,
+                index: 3
+            }),
             (0, 0),
             "unmapped page forgotten"
         );

@@ -21,7 +21,7 @@
 
 use std::collections::BTreeMap;
 
-use hemem_vmm::{PageId, PhysPage, Tier};
+use hemem_vmm::{PageId, PhysPage, TenantId, Tier};
 
 /// Lifecycle state of one journaled migration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -40,6 +40,9 @@ pub enum TxnState {
 pub struct JournalEntry {
     /// The page being migrated.
     pub page: PageId,
+    /// Tenant owning the page's region (per-tenant in-flight accounting
+    /// and migration budgets key off this).
+    pub tenant: TenantId,
     /// Tier the page was mapped in when the transaction prepared.
     pub src_tier: Tier,
     /// Frame the page was mapped to when the transaction prepared.
@@ -68,11 +71,13 @@ impl MigrationJournal {
         MigrationJournal::default()
     }
 
-    /// Records the prepare phase of migration `id`.
+    /// Records the prepare phase of migration `id` on behalf of `tenant`.
+    #[allow(clippy::too_many_arguments)]
     pub fn prepare(
         &mut self,
         id: u64,
         page: PageId,
+        tenant: TenantId,
         src_tier: Tier,
         src_phys: PhysPage,
         dst_tier: Tier,
@@ -82,6 +87,7 @@ impl MigrationJournal {
             id,
             JournalEntry {
                 page,
+                tenant,
                 src_tier,
                 src_phys,
                 dst_tier,
@@ -144,6 +150,36 @@ impl MigrationJournal {
             .count() as u64
     }
 
+    /// Per-tenant form of [`MigrationJournal::prepared_len`]: in-flight
+    /// transactions belonging to `tenant`. On a single-tenant machine
+    /// every entry carries [`TenantId::SOLO`], so this equals the global
+    /// count.
+    pub fn prepared_len_for(&self, tenant: TenantId) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.state == TxnState::Prepared && e.tenant == tenant)
+            .count() as u64
+    }
+
+    /// Per-tenant form of [`MigrationJournal::prepared_freeing`].
+    pub fn prepared_freeing_for(&self, tenant: TenantId, tier: Tier) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.state == TxnState::Prepared && e.tenant == tenant && e.src_tier == tier)
+            .count() as u64
+    }
+
+    /// Per-tenant in-flight transactions *into* `tier`: their destination
+    /// frame is already allocated from `tier`'s pool but not yet mapped.
+    /// The arbiter counts `prepared_into_for(t, Tier::Dram)` toward
+    /// tenant `t`'s DRAM claim.
+    pub fn prepared_into_for(&self, tenant: TenantId, tier: Tier) -> u64 {
+        self.entries
+            .values()
+            .filter(|e| e.state == TxnState::Prepared && e.tenant == tenant && e.dst_tier == tier)
+            .count() as u64
+    }
+
     /// True when no transaction is outstanding — the quiescent state the
     /// auditor expects when the machine is idle.
     pub fn is_empty(&self) -> bool {
@@ -164,7 +200,7 @@ impl MigrationJournal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hemem_vmm::RegionId;
+    use hemem_vmm::{RegionId, TenantId};
 
     fn page(i: u64) -> PageId {
         PageId {
@@ -174,7 +210,15 @@ mod tests {
     }
 
     fn prepare(j: &mut MigrationJournal, id: u64) {
-        j.prepare(id, page(id), Tier::Nvm, PhysPage(id), Tier::Dram, PhysPage(100 + id));
+        j.prepare(
+            id,
+            page(id),
+            TenantId::SOLO,
+            Tier::Nvm,
+            PhysPage(id),
+            Tier::Dram,
+            PhysPage(100 + id),
+        );
     }
 
     #[test]
@@ -193,15 +237,49 @@ mod tests {
     #[test]
     fn prepared_freeing_counts_by_source_tier_and_state() {
         let mut j = MigrationJournal::new();
-        // Two demotions (Dram -> Nvm) and one promotion (Nvm -> Dram).
-        j.prepare(0, page(0), Tier::Dram, PhysPage(0), Tier::Nvm, PhysPage(100));
-        j.prepare(1, page(1), Tier::Dram, PhysPage(1), Tier::Nvm, PhysPage(101));
-        j.prepare(2, page(2), Tier::Nvm, PhysPage(2), Tier::Dram, PhysPage(102));
+        // Two demotions (Dram -> Nvm) and one promotion (Nvm -> Dram),
+        // across two tenants.
+        let (t0, t1) = (TenantId(0), TenantId(1));
+        j.prepare(
+            0,
+            page(0),
+            t0,
+            Tier::Dram,
+            PhysPage(0),
+            Tier::Nvm,
+            PhysPage(100),
+        );
+        j.prepare(
+            1,
+            page(1),
+            t1,
+            Tier::Dram,
+            PhysPage(1),
+            Tier::Nvm,
+            PhysPage(101),
+        );
+        j.prepare(
+            2,
+            page(2),
+            t0,
+            Tier::Nvm,
+            PhysPage(2),
+            Tier::Dram,
+            PhysPage(102),
+        );
         assert_eq!(j.prepared_freeing(Tier::Dram), 2);
         assert_eq!(j.prepared_freeing(Tier::Nvm), 1);
+        // Per-tenant views partition the global counts.
+        assert_eq!(j.prepared_len_for(t0), 2);
+        assert_eq!(j.prepared_len_for(t1), 1);
+        assert_eq!(j.prepared_freeing_for(t0, Tier::Dram), 1);
+        assert_eq!(j.prepared_freeing_for(t1, Tier::Dram), 1);
+        assert_eq!(j.prepared_into_for(t0, Tier::Dram), 1);
+        assert_eq!(j.prepared_into_for(t1, Tier::Dram), 0);
         // A committed demotion has already freed its frame: not counted.
         j.mark_committed(0);
         assert_eq!(j.prepared_freeing(Tier::Dram), 1);
+        assert_eq!(j.prepared_freeing_for(t0, Tier::Dram), 0);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arbiter;
 pub mod audit;
 pub mod backend;
 pub mod error;
@@ -27,6 +28,7 @@ pub mod machine;
 pub mod runtime;
 pub mod telemetry;
 
+pub use arbiter::{ArbiterPolicy, DramArbiter, TenantSignal};
 pub use audit::{audit_machine, AuditViolation};
 pub use backend::{
     AccessBatch, CopyMechanism, MigrationJob, SegmentAccess, TickOutput, TieredBackend, Traffic,
@@ -36,4 +38,4 @@ pub use hemem::{HeMem, HeMemConfig};
 pub use journal::{JournalEntry, MigrationJournal, TxnState};
 pub use machine::{MachineConfig, MachineCore, MachineStats, RecoveryStats, WatchdogConfig};
 pub use runtime::{BatchReceipt, Event, Sim};
-pub use telemetry::{IntervalRates, Snapshot, Telemetry};
+pub use telemetry::{IntervalRates, Snapshot, Telemetry, TenantSnapshot, TenantTelemetry};

@@ -87,6 +87,11 @@ pub struct Sim<B: TieredBackend> {
     watchdog_missed: u32,
     /// A [`Event::ManagerRecover`] is already scheduled.
     recover_pending: bool,
+    /// Tenant that owns regions created by [`Sim::mmap`] from here on.
+    /// [`TenantId::SOLO`] (the default) reproduces the single-process
+    /// machine; a colocation driver switches this before each tenant's
+    /// setup phase so unmodified workload code tags its regions.
+    active_tenant: hemem_vmm::TenantId,
 }
 
 impl<B: TieredBackend> Sim<B> {
@@ -110,6 +115,7 @@ impl<B: TieredBackend> Sim<B> {
             tick_deadline: None,
             watchdog_missed: 0,
             recover_pending: false,
+            active_tenant: hemem_vmm::TenantId::SOLO,
         };
         sim.queue.push_at(Ns::ZERO, Event::BackendTick);
         if sim.backend.uses_pebs() {
@@ -161,6 +167,18 @@ impl<B: TieredBackend> Sim<B> {
         self.app_threads = n;
     }
 
+    /// Switches the tenant that owns subsequently created regions (see
+    /// the field docs; colocation drivers call this around each tenant's
+    /// setup).
+    pub fn set_active_tenant(&mut self, tenant: hemem_vmm::TenantId) {
+        self.active_tenant = tenant;
+    }
+
+    /// The tenant new regions are currently attributed to.
+    pub fn active_tenant(&self) -> hemem_vmm::TenantId {
+        self.active_tenant
+    }
+
     /// Time-dilation factor from core oversubscription: application plus
     /// backend helper threads versus physical cores.
     pub fn dilation(&self) -> f64 {
@@ -182,7 +200,7 @@ impl<B: TieredBackend> Sim<B> {
         } else {
             (PageSize::Base4K, RegionKind::SmallAnon)
         };
-        let id = self.m.space.mmap(len, ps, kind);
+        let id = self.m.space.mmap_tagged(len, ps, kind, self.active_tenant);
         self.backend.on_mmap(&mut self.m, id);
         id
     }
@@ -344,7 +362,9 @@ impl<B: TieredBackend> Sim<B> {
         match ev {
             Event::BackendTick => {
                 let out = self.backend.tick(&mut self.m, now);
-                self.m.trace.observe_ns(LatencyClass::PolicyPass, out.cpu_time);
+                self.m
+                    .trace
+                    .observe_ns(LatencyClass::PolicyPass, out.cpu_time);
                 self.start_migrations(now, &out.migrations);
                 self.start_swap_outs(now, &out.swap_outs);
                 if let Some(next) = out.next_wake {
@@ -537,14 +557,14 @@ impl<B: TieredBackend> Sim<B> {
                     let service = Ns::from_secs_f64(bytes as f64 / rate);
                     let e = *self.m.journal.entry(id).expect("prepared job is journaled");
                     let cap = Some(10.0e9);
-                    let r1 = self
-                        .m
-                        .device_mut(e.src_tier)
-                        .reserve_bulk(now, MemOp::Read, bytes, cap);
-                    let r2 = self
-                        .m
-                        .device_mut(e.dst_tier)
-                        .reserve_bulk(now, MemOp::Write, bytes, cap);
+                    let r1 =
+                        self.m
+                            .device_mut(e.src_tier)
+                            .reserve_bulk(now, MemOp::Read, bytes, cap);
+                    let r2 =
+                        self.m
+                            .device_mut(e.dst_tier)
+                            .reserve_bulk(now, MemOp::Write, bytes, cap);
                     let done = (now + service).max(r1.finish).max(r2.finish);
                     self.queue.push_at(done, Event::MigrationDone(id));
                 }
@@ -651,6 +671,7 @@ impl<B: TieredBackend> Sim<B> {
     fn prepare_migration(&mut self, now: Ns, job: &MigrationJob) -> Option<(u64, u64)> {
         let region = self.m.space.region(job.page.region);
         let bytes = region.page_size().bytes();
+        let tenant = region.tenant();
         let (src_tier, src_phys) = match region.state(job.page.index) {
             hemem_vmm::PageState::Mapped { tier, phys, wp } => {
                 if tier == job.dst || wp {
@@ -674,7 +695,7 @@ impl<B: TieredBackend> Sim<B> {
         self.next_mig += 1;
         self.m
             .journal
-            .prepare(id, job.page, src_tier, src_phys, job.dst, dst_phys);
+            .prepare(id, job.page, tenant, src_tier, src_phys, job.dst, dst_phys);
         self.m.stats.migrations_started += 1;
         // The migration span opens at prepare: end-to-end latency is
         // policy issue to mapping flip, not just the copy.
@@ -704,7 +725,8 @@ impl<B: TieredBackend> Sim<B> {
                     hemem_vmm::PageState::Mapped { tier, .. } => tier,
                     other => panic!("migrating page {:?} in state {other:?}", e.page),
                 };
-                self.backend.migration_aborted(&mut self.m, e.page, src_tier);
+                self.backend
+                    .migration_aborted(&mut self.m, e.page, src_tier);
                 self.m
                     .trace
                     .span_drop(now, "migration", "migration", id, &[("aborted", 1)]);
@@ -1636,7 +1658,10 @@ mod tests {
         let id = s.mmap(GIB / 2);
         s.populate(id, true);
         s.advance(Ns::millis(105));
-        assert_eq!(format!("{:?}", s.m.recovery), format!("{:?}", crate::machine::RecoveryStats::default()));
+        assert_eq!(
+            format!("{:?}", s.m.recovery),
+            format!("{:?}", crate::machine::RecoveryStats::default())
+        );
     }
 
     #[test]

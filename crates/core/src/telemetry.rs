@@ -250,6 +250,107 @@ impl Telemetry {
     }
 }
 
+/// One per-tenant sample of a multi-tenant run.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct TenantSnapshot {
+    /// Virtual time of the sample.
+    pub at: Ns,
+    /// The tenant this row describes.
+    pub tenant: hemem_vmm::TenantId,
+    /// DRAM-resident pages across the tenant's managed regions.
+    pub dram_pages: u64,
+    /// NVM-resident pages across the tenant's managed regions.
+    pub nvm_pages: u64,
+    /// The tenant's DRAM quota in pages (whole tier when no arbiter).
+    pub quota_pages: u64,
+    /// Cumulative PEBS DRAM-load samples attributed to the tenant.
+    pub dram_loads: u64,
+    /// Cumulative PEBS NVM-load samples attributed to the tenant.
+    pub nvm_loads: u64,
+    /// Cumulative samples applied to the tenant's tracker.
+    pub pebs_samples: u64,
+}
+
+/// Per-tenant time-series sampler for multi-tenant runs: one row per
+/// tenant per period, long format. Deliberately a separate type from
+/// [`Telemetry`] so the single-process CSV schema stays byte-stable.
+#[derive(Debug, Clone)]
+pub struct TenantTelemetry {
+    period: Ns,
+    next_at: Ns,
+    samples: Vec<TenantSnapshot>,
+}
+
+impl TenantTelemetry {
+    /// Creates a sampler with the given period.
+    pub fn new(period: Ns) -> TenantTelemetry {
+        assert!(period > Ns::ZERO, "period must be positive");
+        TenantTelemetry {
+            period,
+            next_at: Ns::ZERO,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one row per tenant if at least one period elapsed since
+    /// the last sample. Returns `true` if rows were taken.
+    pub fn maybe_sample(&mut self, sim: &Sim<crate::hemem::HeMem>) -> bool {
+        let now = sim.now();
+        if now < self.next_at {
+            return false;
+        }
+        self.next_at = now + self.period;
+        let hemem = &sim.backend;
+        for i in 0..hemem.tenant_count() {
+            let t = hemem_vmm::TenantId(i as u32);
+            let tf = sim.m.space.tenant_frames(t);
+            let quota = hemem
+                .arbiter()
+                .map(|a| a.quota_pages(t))
+                .unwrap_or_else(|| sim.m.dram_pool.total_pages());
+            let (dram_loads, nvm_loads) = hemem.tenant_loads(t);
+            self.samples.push(TenantSnapshot {
+                at: now,
+                tenant: t,
+                dram_pages: tf.dram_pages,
+                nvm_pages: tf.nvm_pages,
+                quota_pages: quota,
+                dram_loads,
+                nvm_loads,
+                pebs_samples: hemem.tenant_samples(t),
+            });
+        }
+        true
+    }
+
+    /// All rows taken so far.
+    pub fn snapshots(&self) -> &[TenantSnapshot] {
+        &self.samples
+    }
+
+    /// Renders rows as CSV (`time_s,tenant,dram_pages,nvm_pages,
+    /// quota_pages,dram_loads,nvm_loads,pebs_samples`).
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "time_s,tenant,dram_pages,nvm_pages,quota_pages,dram_loads,nvm_loads,pebs_samples\n",
+        );
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.3},{},{},{},{},{},{},{}\n",
+                s.at.as_secs_f64(),
+                s.tenant.0,
+                s.dram_pages,
+                s.nvm_pages,
+                s.quota_pages,
+                s.dram_loads,
+                s.nvm_loads,
+                s.pebs_samples
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +458,36 @@ mod tests {
         // manager_kills..audit_violations occupy columns 12..=17.
         let fields: Vec<&str> = lines[2].split(',').collect();
         assert_eq!(&fields[12..18], &["1", "0", "0", "0", "0", "0"]);
+    }
+
+    #[test]
+    fn tenant_rows_cover_every_tenant_and_quotas_conserve() {
+        use crate::arbiter::ArbiterPolicy;
+        let mc = MachineConfig::small(1, 8);
+        let hc = HeMemConfig::scaled_for(&mc);
+        let mut sim = Sim::new(mc, HeMem::multi_tenant(hc, 2, ArbiterPolicy::StaticShares));
+        sim.set_active_tenant(hemem_vmm::TenantId(0));
+        let a = sim.mmap(GIB);
+        sim.populate(a, true);
+        sim.set_active_tenant(hemem_vmm::TenantId(1));
+        let b = sim.mmap(GIB);
+        sim.populate(b, true);
+        let mut t = TenantTelemetry::new(Ns::millis(10));
+        assert!(t.maybe_sample(&sim));
+        sim.advance(Ns::millis(15));
+        assert!(t.maybe_sample(&sim));
+        let snaps = t.snapshots();
+        assert_eq!(snaps.len(), 4, "two tenants, two periods");
+        let total = sim.m.dram_pool.total_pages();
+        assert_eq!(snaps[0].quota_pages + snaps[1].quota_pages, total);
+        assert!(snaps.iter().all(|s| s.dram_pages + s.nvm_pages > 0));
+        let csv = t.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "time_s,tenant,dram_pages,nvm_pages,quota_pages,dram_loads,nvm_loads,pebs_samples"
+        );
+        assert_eq!(lines.len(), 5);
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl core::fmt::Display for DmaError {
             DmaError::EmptyCopy => write!(f, "zero-length copy request"),
             DmaError::DeviceFailure => write!(f, "DMA engine failed the submission"),
             DmaError::TooManyChannels { got, max } => {
-                write!(f, "channel mask holds at most {max} channels, asked for {got}")
+                write!(
+                    f,
+                    "channel mask holds at most {max} channels, asked for {got}"
+                )
             }
         }
     }
@@ -234,7 +237,12 @@ impl DmaEngine {
     /// round-robin to the selected channels, matching the driver's
     /// striping. A successful submission clears the consecutive-failure
     /// counter feeding [`DmaEngine::degraded`].
-    pub fn submit(&mut self, now: Ns, copy_sizes: &[u64], n_channels: usize) -> Result<Ns, DmaError> {
+    pub fn submit(
+        &mut self,
+        now: Ns,
+        copy_sizes: &[u64],
+        n_channels: usize,
+    ) -> Result<Ns, DmaError> {
         self.validate(copy_sizes, n_channels)?;
         let start = now + self.config.ioctl_overhead;
         self.stats.ioctls += 1;

@@ -124,10 +124,7 @@ mod tests {
         for _ in 0..e.config().channels {
             c.alloc_channel(&mut e).expect("channel");
         }
-        assert_eq!(
-            c.alloc_channel(&mut e),
-            Err(DmaError::NoChannelsAvailable)
-        );
+        assert_eq!(c.alloc_channel(&mut e), Err(DmaError::NoChannelsAvailable));
     }
 
     #[test]

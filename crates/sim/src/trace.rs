@@ -189,7 +189,13 @@ impl Tracer {
     }
 
     /// Records an instant event.
-    pub fn instant(&mut self, ts: Ns, name: &'static str, cat: &'static str, args: &[(&'static str, u64)]) {
+    pub fn instant(
+        &mut self,
+        ts: Ns,
+        name: &'static str,
+        cat: &'static str,
+        args: &[(&'static str, u64)],
+    ) {
         if self.enabled {
             self.events.push(TraceEvent {
                 ts,
@@ -300,7 +306,9 @@ impl Tracer {
         let unmatched: u64 = begins.values().sum();
         let open = self.open.len() as u64;
         if unmatched != if self.enabled { open } else { 0 } {
-            return Err(format!("{unmatched} begins never ended ({open} legitimately open)"));
+            return Err(format!(
+                "{unmatched} begins never ended ({open} legitimately open)"
+            ));
         }
         Ok(())
     }
@@ -446,7 +454,14 @@ mod tests {
     fn disabled_tracer_keeps_histograms_but_no_events() {
         let mut t = Tracer::new(false);
         t.span_begin(Ns::nanos(10), "migration", "mig", 1);
-        let d = t.span_end(Ns::nanos(40), LatencyClass::Migration, "migration", "mig", 1, &[]);
+        let d = t.span_end(
+            Ns::nanos(40),
+            LatencyClass::Migration,
+            "migration",
+            "mig",
+            1,
+            &[],
+        );
         assert_eq!(d, Some(Ns::nanos(30)));
         assert!(t.events().is_empty());
         assert_eq!(t.hist(LatencyClass::Migration).count(), 1);
@@ -460,7 +475,14 @@ mod tests {
         t.instant(Ns::nanos(6), "policy_pass", "policy", &[("promote", 2)]);
         assert!(t.validate(true).is_ok());
         assert!(t.validate(false).is_err(), "span 7 still open");
-        t.span_end(Ns::nanos(9), LatencyClass::Migration, "migration", "mig", 7, &[]);
+        t.span_end(
+            Ns::nanos(9),
+            LatencyClass::Migration,
+            "migration",
+            "mig",
+            7,
+            &[],
+        );
         assert!(t.validate(false).is_ok());
         assert_eq!(t.events().len(), 3);
     }
@@ -468,7 +490,14 @@ mod tests {
     #[test]
     fn span_end_without_begin_is_ignored() {
         let mut t = Tracer::new(true);
-        let d = t.span_end(Ns::nanos(9), LatencyClass::Migration, "migration", "mig", 3, &[]);
+        let d = t.span_end(
+            Ns::nanos(9),
+            LatencyClass::Migration,
+            "migration",
+            "mig",
+            3,
+            &[],
+        );
         assert_eq!(d, None);
         assert!(t.events().is_empty(), "no dangling end event");
         assert_eq!(t.hist(LatencyClass::Migration).count(), 0);
@@ -489,11 +518,29 @@ mod tests {
         t.span_begin(Ns::micros(2), "migration", "mig", 1);
         t.span_begin(Ns::micros(3), "migration", "mig", 2);
         t.instant(Ns::micros(4), "fault", "fault", &[("stall_ns", 1234)]);
-        t.span_end(Ns::micros(5), LatencyClass::Migration, "migration", "mig", 2, &[]);
-        t.span_end(Ns::micros(6), LatencyClass::Migration, "migration", "mig", 1, &[]);
+        t.span_end(
+            Ns::micros(5),
+            LatencyClass::Migration,
+            "migration",
+            "mig",
+            2,
+            &[],
+        );
+        t.span_end(
+            Ns::micros(6),
+            LatencyClass::Migration,
+            "migration",
+            "mig",
+            1,
+            &[],
+        );
         let json = t.export_chrome();
         assert!(json_is_wellformed(&json));
-        assert!(validate_chrome(&json).is_ok(), "{:?}", validate_chrome(&json));
+        assert!(
+            validate_chrome(&json).is_ok(),
+            "{:?}",
+            validate_chrome(&json)
+        );
         assert!(json.contains("\"ph\":\"b\""));
         assert!(json.contains("\"stall_ns\":1234"));
     }

@@ -129,6 +129,37 @@ impl VirtRange {
     }
 }
 
+/// Identifier of a tenant (one colocated process) sharing the machine.
+///
+/// Every [`crate::Region`] carries the tenant that mapped it; a
+/// single-process machine uses [`TenantId::SOLO`] everywhere, which is
+/// why the tenant dimension is invisible to single-tenant runs.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The only tenant of a single-process machine.
+    pub const SOLO: TenantId = TenantId(0);
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// Identifier of a managed memory region (one `mmap`).
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,

@@ -18,12 +18,13 @@ pub mod ptscan;
 pub mod space;
 pub mod tlb;
 
-pub use addr::{PageId, PageSize, RegionId, Tier, VirtAddr, VirtRange};
+pub use addr::{PageId, PageSize, RegionId, TenantId, Tier, VirtAddr, VirtRange};
 pub use fault::{Fault, FaultConfig, FaultKind, FaultStats, FaultThread};
 pub use ledger::{touched_probability, AccessLedger};
 pub use pool::{PhysPage, PhysPool};
 pub use ptscan::ScanConfig;
 pub use space::{
     AddressSpace, PageState, Region, RegionKind, RegionSnapshot, SpaceSnapshot, StateError,
+    TenantFrames,
 };
 pub use tlb::{Tlb, TlbConfig, TlbStats};

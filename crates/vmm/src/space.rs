@@ -7,7 +7,7 @@
 //! DRAM, NVM, and faults in logarithmic time, plus an [`AccessLedger`]
 //! for the page-table-scanning baselines.
 
-use crate::addr::{PageId, PageSize, RegionId, Tier, VirtAddr, VirtRange};
+use crate::addr::{PageId, PageSize, RegionId, TenantId, Tier, VirtAddr, VirtRange};
 use crate::fenwick::FlagTree;
 use crate::ledger::AccessLedger;
 use crate::pool::PhysPage;
@@ -99,6 +99,7 @@ pub struct Region {
     range: VirtRange,
     page_size: PageSize,
     kind: RegionKind,
+    tenant: TenantId,
     states: Vec<PageState>,
     dram_idx: FlagTree,
     mapped_idx: FlagTree,
@@ -110,13 +111,20 @@ pub struct Region {
 }
 
 impl Region {
-    fn new(id: RegionId, range: VirtRange, page_size: PageSize, kind: RegionKind) -> Region {
+    fn new(
+        id: RegionId,
+        range: VirtRange,
+        page_size: PageSize,
+        kind: RegionKind,
+        tenant: TenantId,
+    ) -> Region {
         let pages = range.page_count(page_size) as usize;
         Region {
             id,
             range,
             page_size,
             kind,
+            tenant,
             states: vec![PageState::Unmapped; pages],
             dram_idx: FlagTree::new(pages),
             mapped_idx: FlagTree::new(pages),
@@ -145,6 +153,12 @@ impl Region {
     /// Allocation kind.
     pub fn kind(&self) -> RegionKind {
         self.kind
+    }
+
+    /// Tenant that mapped the region ([`TenantId::SOLO`] on a
+    /// single-process machine).
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// Number of pages.
@@ -189,7 +203,11 @@ impl Region {
     }
 
     /// Fallible form of [`Region::swap_out_page`].
-    pub fn try_swap_out_page(&mut self, index: u64, slot: u64) -> Result<(Tier, PhysPage), StateError> {
+    pub fn try_swap_out_page(
+        &mut self,
+        index: u64,
+        slot: u64,
+    ) -> Result<(Tier, PhysPage), StateError> {
         let i = index as usize;
         match self.states[i] {
             PageState::Mapped { wp: true, .. } => Err(StateError::WriteProtected { index }),
@@ -480,6 +498,7 @@ impl Region {
             range: self.range,
             page_size: self.page_size,
             kind: self.kind,
+            tenant: self.tenant,
             states: self.states.clone(),
         }
     }
@@ -488,7 +507,7 @@ impl Region {
     /// flag counts are reconstructed from the page states; the access
     /// ledger restarts empty (scan evidence does not survive a restart).
     pub fn restore(snap: RegionSnapshot) -> Region {
-        let mut r = Region::new(snap.id, snap.range, snap.page_size, snap.kind);
+        let mut r = Region::new(snap.id, snap.range, snap.page_size, snap.kind, snap.tenant);
         for (i, &state) in snap.states.iter().enumerate() {
             match state {
                 PageState::Unmapped => {}
@@ -519,6 +538,8 @@ pub struct RegionSnapshot {
     pub page_size: PageSize,
     /// Allocation kind.
     pub kind: RegionKind,
+    /// Tenant that mapped the region.
+    pub tenant: TenantId,
     /// Per-page mapping states.
     pub states: Vec<PageState>,
 }
@@ -531,6 +552,26 @@ pub struct SpaceSnapshot {
     pub regions: Vec<Option<RegionSnapshot>>,
     /// Next mmap base address.
     pub next_base: u64,
+}
+
+/// Frame counts for one tenant's managed regions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantFrames {
+    /// Pages resident in DRAM (including write-protected ones).
+    pub dram_pages: u64,
+    /// Pages resident in NVM (including write-protected ones).
+    pub nvm_pages: u64,
+    /// Pages currently write-protected (migration in flight).
+    pub wp_pages: u64,
+    /// Pages swapped out to disk.
+    pub swapped_pages: u64,
+}
+
+impl TenantFrames {
+    /// Pages resident on either tier.
+    pub fn resident_pages(&self) -> u64 {
+        self.dram_pages + self.nvm_pages
+    }
 }
 
 /// A process's virtual address space: a set of non-overlapping regions.
@@ -552,8 +593,23 @@ impl AddressSpace {
         }
     }
 
-    /// Creates a region of `len` bytes (rounded up to the page size).
+    /// Creates a region of `len` bytes (rounded up to the page size) for
+    /// the solo tenant.
     pub fn mmap(&mut self, len: u64, page_size: PageSize, kind: RegionKind) -> RegionId {
+        self.mmap_tagged(len, page_size, kind, TenantId::SOLO)
+    }
+
+    /// Creates a region of `len` bytes owned by `tenant`. On a colocated
+    /// machine each tenant's regions carry its id so frame accounting,
+    /// tracking, and migration budgets can be scoped per tenant;
+    /// [`AddressSpace::mmap`] delegates here with [`TenantId::SOLO`].
+    pub fn mmap_tagged(
+        &mut self,
+        len: u64,
+        page_size: PageSize,
+        kind: RegionKind,
+        tenant: TenantId,
+    ) -> RegionId {
         let pages = page_size.pages_for(len);
         let len = pages * page_size.bytes();
         let id = RegionId(self.regions.len() as u32);
@@ -561,7 +617,7 @@ impl AddressSpace {
         self.next_base = range.end() + GUARD;
         self.next_base = self.next_base.next_multiple_of(PageSize::Giga1G.bytes());
         self.regions
-            .push(Some(Region::new(id, range, page_size, kind)));
+            .push(Some(Region::new(id, range, page_size, kind, tenant)));
         id
     }
 
@@ -626,6 +682,32 @@ impl AddressSpace {
         self.regions()
             .map(|r| r.mapped_pages() * r.page_size().bytes())
             .sum()
+    }
+
+    /// Distinct tenants owning at least one live region, ascending.
+    pub fn tenants(&self) -> Vec<TenantId> {
+        let mut t: Vec<TenantId> = self.regions().map(Region::tenant).collect();
+        t.sort_unstable();
+        t.dedup();
+        t
+    }
+
+    /// Per-tenant frame accounting over the tenant's managed regions
+    /// (kernel-backed [`RegionKind::SmallAnon`] regions live outside the
+    /// tiered pools and are excluded).
+    pub fn tenant_frames(&self, tenant: TenantId) -> TenantFrames {
+        let mut f = TenantFrames::default();
+        for r in self.regions() {
+            if r.tenant() != tenant || r.kind() != RegionKind::ManagedHeap {
+                continue;
+            }
+            let dram = r.dram_pages();
+            f.dram_pages += dram;
+            f.nvm_pages += r.mapped_pages() - dram;
+            f.wp_pages += r.wp_pages();
+            f.swapped_pages += r.swapped_pages();
+        }
+        f
     }
 
     /// Captures a serializable snapshot of the whole address space.

@@ -260,6 +260,43 @@ impl Bc {
         }
     }
 
+    /// One thread's share of a BC iteration chunk, as the four batch
+    /// kinds [`Bc::run_iteration`] submits — for the colocation driver,
+    /// which runs chunks as free-running rounds instead of barriered
+    /// levels. Pure: depends only on the configuration and the region
+    /// geometry captured at setup.
+    pub(crate) fn round_batches(&self, csr_pages: u64) -> Vec<AccessBatch> {
+        const CHUNKS: u64 = 8;
+        let cfg = &self.cfg;
+        let v = cfg.vertices();
+        let e = cfg.edge_entries();
+        let threads = cfg.threads as u64;
+        vec![
+            self.csr_batch(
+                (0, csr_pages),
+                e / 16 / threads / CHUNKS,
+                128,
+                0.0,
+                Pattern::Random,
+            ),
+            self.csr_batch(
+                (0, csr_pages),
+                v / threads / CHUNKS,
+                8,
+                0.0,
+                Pattern::Random,
+            ),
+            self.csr_batch(
+                (0, csr_pages),
+                e / 2 / threads / CHUNKS,
+                8,
+                0.5,
+                Pattern::Sequential,
+            ),
+            self.aux_batch(2 * e / threads / CHUNKS, 0.55, cfg.aux_bytes()),
+        ]
+    }
+
     /// Runs one BC iteration (forward BFS + backward accumulation),
     /// returning its wall time.
     pub fn run_iteration<B: TieredBackend>(&self, sim: &mut Sim<B>) -> IterationResult {

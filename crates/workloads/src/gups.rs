@@ -247,7 +247,7 @@ impl Gups {
         segments
     }
 
-    fn batch_for(&self, tid: u32) -> AccessBatch {
+    pub(crate) fn batch_for(&self, tid: u32) -> AccessBatch {
         let p = &self.parts[tid as usize];
         let cfg = &self.cfg;
         // Each update is a read plus a write to the same object.

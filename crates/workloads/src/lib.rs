@@ -9,12 +9,16 @@
 
 #![warn(missing_docs)]
 
+pub mod colo;
 pub mod graph;
 pub mod gups;
 pub mod kvs;
 pub mod silo;
 pub mod stream;
 
+pub use colo::{
+    run_colo, run_colo_with, ColoConfig, ColoResult, TenantKind, TenantOutcome, TenantSpec,
+};
 pub use graph::{Bc, BcResult, GraphConfig};
 pub use gups::{run_gups, Gups, GupsConfig, GupsResult};
 pub use kvs::{run_kvs, Kvs, KvsConfig, KvsResult, TierRho};

@@ -116,7 +116,7 @@ impl Silo {
     }
 
     /// One thread's transaction batch.
-    fn batch_for(&self, tid: u32, log_pages: u64) -> (AccessBatch, AccessBatch) {
+    pub(crate) fn batch_for(&self, tid: u32, log_pages: u64) -> (AccessBatch, AccessBatch) {
         let cfg = &self.cfg;
         let txns = cfg.batch_txns;
         // Home-warehouse page span for this thread.

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
 # --workspace everywhere: the root package is the only default member,
 # so bare cargo commands would skip the other crates.
 echo "== cargo build --release --workspace"
@@ -33,5 +36,14 @@ cargo build --release -p hemem-bench --bin crashbench
 echo "== observability smoke"
 cargo build --release -p hemem-bench --bin obsbench
 ./target/release/obsbench --scale 96 --seconds 1
+
+# colobench asserts internally that a one-tenant run under the arbiter
+# is byte-identical to the single-process manager, that the two-tenant
+# mix replays byte-identically, that every run passes the tenant-scoped
+# audit, and that greedy arbitration strictly beats static equal shares
+# on the hot + cold mix.
+echo "== colocation smoke"
+cargo build --release -p hemem-bench --bin colobench
+./target/release/colobench --scale 96 --seconds 3
 
 echo "== all checks passed"
