@@ -15,6 +15,7 @@ use hemem_vmm::{PageId, RegionId, Tier};
 use crate::memory_mode::MemoryMode;
 use crate::nimble::Nimble;
 use crate::pt_hemem::{HeMemPt, PtMode};
+use crate::spill3::SpillTier3;
 use crate::static_tier::StaticTier;
 use crate::thermostat::Thermostat;
 
@@ -32,6 +33,8 @@ pub enum AnyBackend {
     Static(StaticTier),
     /// Thermostat (PTE-poisoning page sampling).
     Thermostat(Thermostat),
+    /// Naive three-tier spill-at-allocation.
+    Spill3(SpillTier3),
 }
 
 /// Backend selector for experiment configuration files / CLI flags.
@@ -57,11 +60,13 @@ pub enum BackendKind {
     PtAsync,
     /// Thermostat: PTE-poisoning sampling (related work, §6).
     Thermostat,
+    /// Naive three-tier spill-at-allocation baseline (tierbench).
+    Spill3,
 }
 
 impl BackendKind {
     /// All kinds, for sweeps.
-    pub const ALL: [BackendKind; 10] = [
+    pub const ALL: [BackendKind; 11] = [
         BackendKind::HeMem,
         BackendKind::HeMemThreads,
         BackendKind::MemoryMode,
@@ -72,6 +77,7 @@ impl BackendKind {
         BackendKind::PtSync,
         BackendKind::PtAsync,
         BackendKind::Thermostat,
+        BackendKind::Spill3,
     ];
 
     /// Short label used in experiment output.
@@ -87,6 +93,7 @@ impl BackendKind {
             BackendKind::PtSync => "HeMem-PT-Sync",
             BackendKind::PtAsync => "HeMem-PT-Async",
             BackendKind::Thermostat => "Thermostat",
+            BackendKind::Spill3 => "Spill3",
         }
     }
 
@@ -105,6 +112,7 @@ impl BackendKind {
             "ptsync" | "hemem-pt-sync" | "pt-sync" => BackendKind::PtSync,
             "ptasync" | "hemem-pt-async" | "pt-async" => BackendKind::PtAsync,
             "thermostat" => BackendKind::Thermostat,
+            "spill3" | "spill-3" | "spill" => BackendKind::Spill3,
             _ => return None,
         })
     }
@@ -129,6 +137,9 @@ impl BackendKind {
             BackendKind::PtSync => AnyBackend::Pt(HeMemPt::new(cfg, PtMode::Sync)),
             BackendKind::PtAsync => AnyBackend::Pt(HeMemPt::new(cfg, PtMode::Async)),
             BackendKind::Thermostat => AnyBackend::Thermostat(Thermostat::paper()),
+            BackendKind::Spill3 => {
+                AnyBackend::Spill3(SpillTier3::with_threshold(cfg.manage_threshold))
+            }
         }
     }
 }
@@ -142,6 +153,7 @@ macro_rules! delegate {
             AnyBackend::Pt($b) => $e,
             AnyBackend::Static($b) => $e,
             AnyBackend::Thermostat($b) => $e,
+            AnyBackend::Spill3($b) => $e,
         }
     };
 }

@@ -14,6 +14,7 @@ pub mod memory_mode;
 pub mod nimble;
 pub mod pt_hemem;
 pub mod scan;
+pub mod spill3;
 pub mod static_tier;
 pub mod thermostat;
 
@@ -22,5 +23,6 @@ pub use memory_mode::{MemoryMode, MemoryModeStats};
 pub use nimble::{Nimble, NimbleConfig, NimbleStats};
 pub use pt_hemem::{HeMemPt, PtMode, PtStats};
 pub use scan::{scan_and_classify, ScanOutcome};
+pub use spill3::SpillTier3;
 pub use static_tier::{StaticPolicy, StaticTier};
 pub use thermostat::{Thermostat, ThermostatConfig, ThermostatStats};

@@ -172,8 +172,24 @@ pub fn fingerprint<B: TieredBackend>(sim: &Sim<B>) -> String {
         sim.m.nvm_pool.allocated_pages(),
         sim.m.nvm_pool.retired_pages(),
     );
+    // The tier-3 pool segment only appears on tier-3 machines, keeping
+    // two-tier fingerprints byte-identical to their pre-SSD baselines.
+    if sim.m.has_ssd() {
+        s.push_str(&format!(
+            "|ssd:{}/{}/{}",
+            sim.m.ssd_pool.free_pages(),
+            sim.m.ssd_pool.allocated_pages(),
+            sim.m.ssd_pool.retired_pages(),
+        ));
+    }
     for class in LatencyClass::ALL {
         let h = sim.m.trace.hist(class);
+        // Same reasoning: the major-fault histogram can only fill on a
+        // tier-3 machine, so an empty one is omitted rather than printed
+        // as a new all-zero segment.
+        if class == LatencyClass::MajorFault && h.count() == 0 {
+            continue;
+        }
         s.push_str(&format!(
             "|{}:{}/{}/{}/{}/{}",
             class.name(),

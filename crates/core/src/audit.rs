@@ -189,8 +189,9 @@ impl std::error::Error for AuditViolation {}
 pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolation> {
     let mut v = Vec::new();
 
-    // 1. Page conservation per pool.
-    for tier in [Tier::Dram, Tier::Nvm] {
+    // 1. Page conservation per pool, over however many tiers the machine
+    // has configured.
+    for &tier in m.tiers() {
         let p = m.pool(tier);
         if !p.conserved() {
             v.push(AuditViolation::PoolImbalance {
@@ -242,14 +243,14 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
         .filter(|&(_, &n)| n > 1)
         .map(|(&k, _)| k)
         .collect();
-    doubled.sort_by_key(|&(tier, phys)| (tier == Tier::Nvm, phys.0));
+    doubled.sort_by_key(|&(tier, phys)| (tier.rank(), phys.0));
     for (tier, phys) in doubled {
         v.push(AuditViolation::DoubleMappedFrame { tier, phys });
     }
 
     // 2b. No frame shared across tenants, counting both mappings and
     // in-flight migration destinations.
-    crossed.sort_by_key(|&(tier, phys, ..)| (tier == Tier::Nvm, phys.0));
+    crossed.sort_by_key(|&(tier, phys, ..)| (tier.rank(), phys.0));
     for (tier, phys, first, second) in crossed {
         v.push(AuditViolation::CrossTenantFrame {
             tier,
@@ -260,7 +261,7 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
     }
 
     // 3. Allocated counts agree with the reference walk.
-    for tier in [Tier::Dram, Tier::Nvm] {
+    for &tier in m.tiers() {
         let referenced = refs.keys().filter(|&&(t, _)| t == tier).count() as u64;
         let allocated = m.pool(tier).allocated_pages();
         if referenced != allocated {

@@ -287,13 +287,17 @@ pub fn residency_split(
     let pages = seg.pages().max(1);
     let mapped = region.mapped_pages_in(seg.lo_page, seg.hi_page);
     let dram = region.dram_pages_in(seg.lo_page, seg.hi_page);
+    // SSD-resident pages produce no byte traffic here: their accesses
+    // trap as major faults and are charged on the swap device's queue.
+    let ssd = region.ssd_pages_in(seg.lo_page, seg.hi_page);
+    let byte_addressable = mapped - ssd;
     // Unmapped pages fault before being accessed; traffic splits over the
     // mapped portion (or all-DRAM if nothing is mapped yet: the fault path
     // will have placed pages by the time accesses land).
-    let dram_frac = if mapped == 0 {
+    let dram_frac = if byte_addressable == 0 {
         1.0
     } else {
-        dram as f64 / mapped as f64
+        dram as f64 / byte_addressable as f64
     };
     let _ = pages;
     let mut traffic = Vec::with_capacity(4);

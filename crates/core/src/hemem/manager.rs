@@ -32,6 +32,15 @@ pub struct HeMemConfig {
     /// Swap cold NVM pages to the machine's disk once NVM free space falls
     /// below this watermark (§3.4's third tier); 0 disables swapping.
     pub swap_watermark: u64,
+    /// Demote cold NVM pages to the SSD capacity tier once NVM free space
+    /// falls below this watermark, keeping the demotion cascade
+    /// DRAM→NVM→SSD flowing under pressure; 0 disables it. Only
+    /// effective on machines configured with a tier-3 device
+    /// (`MachineConfig::with_tier3`). Unlike `swap_watermark`'s unmap-
+    /// to-slot path, demoted pages stay mapped on `Tier::Ssd` and fault
+    /// back through the device queue on access.
+    #[serde(default)]
+    pub nvm_watermark: u64,
 }
 
 impl Default for HeMemConfig {
@@ -49,6 +58,7 @@ impl HeMemConfig {
             manage_threshold: 1 << 30,
             enable_migration: true,
             swap_watermark: 0,
+            nvm_watermark: 0,
         }
     }
 
@@ -371,9 +381,34 @@ impl TieredBackend for HeMem {
         }
     }
 
-    fn place(&mut self, m: &mut MachineCore, page: PageId, _is_write: bool) -> Tier {
+    fn place(&mut self, m: &mut MachineCore, page: PageId, is_write: bool) -> Tier {
         if self.pinned.contains(&page.region) {
             return Tier::Dram;
+        }
+        // A major fault on an SSD-resident page asks where the page
+        // should come back to. PEBS-hot pages (their counters survived
+        // demotion) jump straight to DRAM when there is room; pages that
+        // re-fault within a cooling window promote one hop, to NVM; a
+        // one-off fault leaves the page on the SSD (second chance).
+        // Without that last rule a cold uniform tail would promote on
+        // every touch and the resulting demotion writes would saturate
+        // the swap device's queue, stalling every subsequent fault.
+        if m.has_ssd() {
+            if let hemem_vmm::PageState::Mapped {
+                tier: Tier::Ssd, ..
+            } = m.space.region(page.region).state(page.index)
+            {
+                let idx = self.tenant_index(m, page.region);
+                let tracker = &mut self.tenants[idx].tracker;
+                let seen = tracker.note_fault(page, is_write);
+                return if tracker.is_hot_page(page) && m.dram_pool.free_pages() > 0 {
+                    Tier::Dram
+                } else if seen >= 2 {
+                    Tier::Nvm
+                } else {
+                    Tier::Ssd
+                };
+            }
         }
         // Allocate DRAM while any is free; the policy thread keeps a
         // watermark free asynchronously. Otherwise spill to NVM and rely
@@ -481,7 +516,7 @@ impl TieredBackend for HeMem {
                 }
             }
         }
-        let migrations = if !self.cfg.enable_migration {
+        let mut migrations = if !self.cfg.enable_migration {
             Vec::new()
         } else if !multi {
             run_policy(&self.cfg.policy, &mut self.tenants[0].tracker, m, now)
@@ -503,6 +538,47 @@ impl TieredBackend for HeMem {
             }
             jobs
         };
+        // SSD capacity tier: when NVM itself runs low, demote the coldest
+        // NVM pages down the cascade as ordinary journaled migrations —
+        // the pages stay mapped, so a later access major-faults them back
+        // up instead of swapping in. Tenants are victimized round-robin.
+        if self.cfg.nvm_watermark > 0 && m.has_ssd() && self.cfg.enable_migration {
+            let page_bytes = m.cfg.managed_page.bytes();
+            let mechanism = self.cfg.policy.mechanism_for(m);
+            // In-flight NVM→SSD demotions free their NVM frames on
+            // commit; count them as already on the way to free so
+            // back-to-back ticks do not demote the same deficit twice.
+            let pending = m
+                .journal
+                .prepared_freeing_for(hemem_vmm::TenantId::SOLO, Tier::Nvm)
+                * page_bytes;
+            let mut need = self
+                .cfg
+                .nvm_watermark
+                .saturating_sub(m.nvm_pool.free_bytes().saturating_add(pending));
+            let mut pushed = 0usize;
+            while need > 0 && pushed < 64 {
+                let mut popped = false;
+                for ts in &mut self.tenants {
+                    if need == 0 || pushed >= 64 {
+                        break;
+                    }
+                    if let Some(victim) = ts.tracker.pop_swap_victim() {
+                        migrations.push(crate::backend::MigrationJob {
+                            page: victim,
+                            dst: Tier::Ssd,
+                            mechanism,
+                        });
+                        need = need.saturating_sub(page_bytes);
+                        pushed += 1;
+                        popped = true;
+                    }
+                }
+                if !popped {
+                    break;
+                }
+            }
+        }
         // Third tier (§3.4): when NVM itself runs low, page the coldest
         // NVM pages out to the swap device. Tenants are victimized
         // round-robin; with one tenant this degenerates to the plain
@@ -545,7 +621,11 @@ impl TieredBackend for HeMem {
     }
 
     fn reclaim_victim(&mut self, m: &mut MachineCore) -> Option<PageId> {
-        m.disk.as_ref()?;
+        // Victims can go somewhere only when a slower tier exists: the
+        // SSD capacity tier or the legacy swap device.
+        if m.disk.is_none() && !m.has_ssd() {
+            return None;
+        }
         // Coldest NVM page first; fall back to cold DRAM under extreme
         // pressure (kernel direct reclaim walks the inactive lists).
         // Tenants are scanned in order; with one tenant this is the
@@ -642,21 +722,15 @@ impl TieredBackend for HeMem {
             if self.cfg.swap_watermark == 0 && self.pinned.is_empty() && m.disk.is_none() {
                 let queued =
                     |a: Queue, b: Queue| (ts.tracker.queue_len(a) + ts.tracker.queue_len(b)) as u64;
-                let checks = [
-                    (
-                        Tier::Dram,
-                        tf.dram_pages,
-                        queued(Queue::DramHot, Queue::DramCold)
-                            + m.journal.prepared_freeing_for(t, Tier::Dram),
-                    ),
-                    (
-                        Tier::Nvm,
-                        tf.nvm_pages,
-                        queued(Queue::NvmHot, Queue::NvmCold)
-                            + m.journal.prepared_freeing_for(t, Tier::Nvm),
-                    ),
-                ];
-                for (tier, space_pages, tracked_pages) in checks {
+                for &tier in m.tiers() {
+                    // SSD-resident pages are off-queue by design; there
+                    // is no queue total to balance against.
+                    if tier == Tier::Ssd {
+                        continue;
+                    }
+                    let space_pages = tf.pages_of(tier);
+                    let tracked_pages = queued(Queue::of(tier, true), Queue::of(tier, false))
+                        + m.journal.prepared_freeing_for(t, tier);
                     if space_pages != tracked_pages {
                         v.push(crate::audit::AuditViolation::TenantFrameMismatch {
                             tenant: t,

@@ -75,13 +75,16 @@ impl Queue {
         }
     }
 
-    /// The queue for `tier` at the given temperature.
+    /// The queue for `tier` at the given temperature. SSD-resident pages
+    /// are off-queue by design (they re-enter via a major fault, not a
+    /// policy pick), so asking for their queue is a logic error.
     pub fn of(tier: Tier, hot: bool) -> Queue {
         match (tier, hot) {
             (Tier::Dram, true) => Queue::DramHot,
             (Tier::Dram, false) => Queue::DramCold,
             (Tier::Nvm, true) => Queue::NvmHot,
             (Tier::Nvm, false) => Queue::NvmCold,
+            (Tier::Ssd, _) => panic!("SSD pages have no hot/cold queue"),
         }
     }
 }
@@ -223,12 +226,18 @@ impl PageTracker {
     }
 
     /// A page was placed on `tier` (first touch or migration done); it
-    /// (re-)enters the appropriate queue.
+    /// (re-)enters the appropriate queue. Pages placed on the SSD tier
+    /// go off-queue: their counters survive (so a page promoted back
+    /// keeps its history) but nothing polls them — the next access
+    /// surfaces as a major fault instead of a queue pick.
     pub fn placed(&mut self, page: PageId, tier: Tier) {
         let Some(slot) = self.slot(page) else { return };
         self.unlink(slot);
         let meta = &mut self.meta[slot as usize];
         meta.tier = Some(tier);
+        if tier == Tier::Ssd {
+            return;
+        }
         let hot = self.is_hot(&self.meta[slot as usize]);
         let wh = self.meta[slot as usize].write_heavy;
         self.push(slot, Queue::of(tier, hot), hot && wh);
@@ -264,6 +273,9 @@ impl PageTracker {
             || m2.writes >= self.cfg.hot_write_threshold.div_ceil(2);
         let tier = self.meta[slot as usize].tier;
         let Some(tier) = tier else { return false };
+        if tier == Tier::Ssd {
+            return false;
+        }
         let on = self.arena.list_of(slot);
         let hot_q = Queue::of(tier, true);
         let cold_q = Queue::of(tier, false);
@@ -314,6 +326,9 @@ impl PageTracker {
             m.writes /= 2;
         }
         let Some(tier) = tier else { return };
+        if tier == Tier::Ssd {
+            return;
+        }
         let on = self.arena.list_of(slot);
         let hot_q = Queue::of(tier, true);
         if hot && on != hot_q.index() as u8 && on != hemem_sim::list::NO_LIST {
@@ -363,6 +378,9 @@ impl PageTracker {
     fn restore_at(&mut self, page: PageId, front: bool) {
         if let Some(slot) = self.slot(page) {
             if let Some(tier) = self.meta[slot as usize].tier {
+                if tier == Tier::Ssd {
+                    return;
+                }
                 let hot = self.is_hot(&self.meta[slot as usize]);
                 self.unlink(slot);
                 self.push(slot, Queue::of(tier, hot), front);
@@ -385,6 +403,9 @@ impl PageTracker {
             meta.write_heavy = true;
         }
         let Some(tier) = meta.tier else { return };
+        if tier == Tier::Ssd {
+            return;
+        }
         let wh = meta.write_heavy;
         let on = self.arena.list_of(slot);
         let hot_q = Queue::of(tier, true);
@@ -403,6 +424,9 @@ impl PageTracker {
         meta.writes = 0;
         meta.write_heavy = false;
         let Some(tier) = meta.tier else { return };
+        if tier == Tier::Ssd {
+            return;
+        }
         let on = self.arena.list_of(slot);
         let cold_q = Queue::of(tier, false);
         if on != cold_q.index() as u8 && on != hemem_sim::list::NO_LIST {
@@ -428,10 +452,39 @@ impl PageTracker {
         }
     }
 
+    /// Records a major fault on an off-queue (SSD-resident) page: bumps
+    /// its access counters with the usual lazy cooling and returns the
+    /// cooled total. The caller uses the total to decide promotion — a
+    /// page re-faulting within a cooling window (total >= 2) is warm
+    /// enough to pull back to NVM, a one-off fault is not. No queue
+    /// linkage changes: SSD pages stay off-queue, and the global cooling
+    /// clock is not advanced (faults carry no sampling timestamp).
+    pub fn note_fault(&mut self, page: PageId, is_write: bool) -> u32 {
+        let Some(slot) = self.slot(page) else {
+            return 0;
+        };
+        self.maybe_cool(slot);
+        let meta = &mut self.meta[slot as usize];
+        if is_write {
+            meta.writes = meta.writes.saturating_add(1);
+        } else {
+            meta.reads = meta.reads.saturating_add(1);
+        }
+        meta.reads + meta.writes
+    }
+
     /// Whether a page is currently classified write-heavy.
     pub fn is_write_heavy(&self, page: PageId) -> bool {
         self.slot(page)
             .is_some_and(|s| self.meta[s as usize].write_heavy)
+    }
+
+    /// Whether a page's surviving counters classify it hot. Used on the
+    /// major-fault path: an SSD page whose pre-demotion history was hot
+    /// promotes straight to DRAM rather than stopping in NVM.
+    pub fn is_hot_page(&self, page: PageId) -> bool {
+        self.slot(page)
+            .is_some_and(|s| self.is_hot(&self.meta[s as usize]))
     }
 
     /// Raw (reads, writes) counters of a page.
@@ -470,6 +523,9 @@ impl PageTracker {
                 match region.state(i) {
                     PageState::Mapped { tier, .. } => {
                         self.meta[slot as usize].tier = Some(tier);
+                        if tier == Tier::Ssd {
+                            continue; // off-queue, counters kept
+                        }
                         let m = self.meta[slot as usize];
                         let hot = self.is_hot(&m);
                         self.push(slot, Queue::of(tier, hot), hot && m.write_heavy);
@@ -543,6 +599,38 @@ mod tests {
         let t = tracker();
         assert_eq!(t.queue_len(Queue::NvmCold), 16);
         assert_eq!(t.queue_len(Queue::NvmHot), 0);
+    }
+
+    #[test]
+    fn note_fault_counts_without_queueing() {
+        let mut t = tracker();
+        t.placed(page(0), Tier::Ssd);
+        let before = t.queue_len(Queue::NvmCold) + t.queue_len(Queue::NvmHot);
+        assert_eq!(t.note_fault(page(0), false), 1, "first fault: one-off");
+        assert_eq!(t.note_fault(page(0), true), 2, "re-fault: warm");
+        assert_eq!(t.counters(page(0)), (1, 1));
+        assert_eq!(
+            t.queue_len(Queue::NvmCold) + t.queue_len(Queue::NvmHot),
+            before,
+            "SSD pages stay off-queue"
+        );
+        // Untracked pages report zero (and are never promoted on fault).
+        let foreign = PageId {
+            region: RegionId(9),
+            index: 0,
+        };
+        assert_eq!(t.note_fault(foreign, false), 0);
+    }
+
+    #[test]
+    fn note_fault_cools_lazily() {
+        let mut t = tracker();
+        t.placed(page(0), Tier::Ssd);
+        assert_eq!(t.note_fault(page(0), false), 1);
+        // A cooling step between faults halves the stale count: the page
+        // reads as a one-off again rather than accumulating forever.
+        t.cool_clock += 1;
+        assert_eq!(t.note_fault(page(0), false), 1, "cooled 1/2 + 1");
     }
 
     #[test]
@@ -769,6 +857,56 @@ mod tests {
             (0, 0),
             "unmapped page forgotten"
         );
+    }
+
+    #[test]
+    fn ssd_pages_go_off_queue_but_keep_counters() {
+        let mut t = tracker();
+        // Page earns hot counters, then is placed on the SSD tier.
+        for _ in 0..8 {
+            t.record(page(0), false, Ns::ZERO);
+        }
+        assert!(t.is_hot_page(page(0)));
+        t.placed(page(0), Tier::Ssd);
+        let total: usize = [
+            Queue::DramHot,
+            Queue::DramCold,
+            Queue::NvmHot,
+            Queue::NvmCold,
+        ]
+        .iter()
+        .map(|&q| t.queue_len(q))
+        .sum();
+        assert_eq!(total, 15, "SSD page left every queue");
+        // Samples and restores on an SSD-resident page are inert.
+        t.record(page(0), true, Ns::ZERO);
+        t.restore(page(0));
+        t.mark_hot(page(0), true);
+        assert_eq!(t.queue_len(Queue::NvmHot), 0);
+        // Counters survive: promotion back to NVM re-enters hot.
+        assert!(t.is_hot_page(page(0)));
+        t.placed(page(0), Tier::Nvm);
+        assert_eq!(t.queue_len(Queue::NvmHot), 1);
+    }
+
+    #[test]
+    fn rebuild_keeps_ssd_pages_off_queue() {
+        use hemem_vmm::{PageSize, PhysPage, RegionKind};
+        let mut space = AddressSpace::new();
+        let rid = space.mmap(2 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = space.region_mut(rid);
+        r.map_page(0, Tier::Ssd, PhysPage(0));
+        r.map_page(1, Tier::Nvm, PhysPage(0));
+        let cfg = TrackerConfig {
+            cooling_min_interval: Ns::ZERO,
+            ..TrackerConfig::default()
+        };
+        let mut t = PageTracker::new(cfg);
+        t.add_region(rid, 2);
+        t.rebuild_from(&space);
+        assert_eq!(t.residency_mismatches(&space), Vec::new());
+        assert_eq!(t.queue_len(Queue::NvmCold), 1, "only the NVM page queues");
+        assert_eq!(t.queue_len(Queue::DramCold), 0);
     }
 
     #[test]

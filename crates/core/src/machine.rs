@@ -7,7 +7,9 @@
 //! 192 GB DDR4, 768 GB Optane DC, a 100 GbE NIC we do not model, and an
 //! I/OAT DMA engine.
 
-use hemem_memdev::{Device, DeviceConfig, DmaConfig, DmaEngine, Llc, MemOp, Reservation, GIB};
+use hemem_memdev::{
+    Device, DeviceConfig, DmaConfig, DmaEngine, Llc, MemOp, Reservation, SsdConfig, SsdDevice, GIB,
+};
 use hemem_pebs::{Pebs, PebsConfig};
 use hemem_sim::{CoreModel, FaultPlan, FaultPlanConfig, Ns, Rng, Tracer};
 use hemem_vmm::{
@@ -71,6 +73,12 @@ pub struct MachineConfig {
     /// Optional swap device behind the memory tiers (§3.4); `None`
     /// disables swapping.
     pub disk: Option<DeviceConfig>,
+    /// Optional third capacity tier: a block-style SSD swap device that
+    /// pages are *placed on* (they stay mapped, tier `Ssd`), unlike
+    /// `disk`, whose pages are unmapped to slots. `None` (the default)
+    /// leaves the machine a two-tier DRAM/NVM box with every tier-3 path
+    /// unreachable.
+    pub ssd: Option<SsdConfig>,
     /// Fault-injection plan; [`FaultPlanConfig::none`] (the default)
     /// injects nothing.
     pub chaos: FaultPlanConfig,
@@ -107,6 +115,7 @@ impl MachineConfig {
             pebs: PebsConfig::default(),
             dma: DmaConfig::ioat(),
             disk: None,
+            ssd: None,
             chaos: FaultPlanConfig::none(),
             watchdog: None,
             audit_period: None,
@@ -124,6 +133,13 @@ impl MachineConfig {
     /// Adds an NVMe swap device of `capacity` bytes behind the tiers.
     pub fn with_swap(mut self, capacity: u64) -> MachineConfig {
         self.disk = Some(DeviceConfig::nvme_ssd(capacity));
+        self
+    }
+
+    /// Adds a third capacity tier: an NVMe swap device of `capacity`
+    /// bytes that holds mapped `Tier::Ssd` pages.
+    pub fn with_tier3(mut self, capacity: u64) -> MachineConfig {
+        self.ssd = Some(SsdConfig::nvme(capacity));
         self
     }
 
@@ -216,6 +232,9 @@ pub struct MachineCore {
     pub dram_pool: PhysPool,
     /// NVM physical page pool.
     pub nvm_pool: PhysPool,
+    /// Tier-3 swap-frame pool. Always present so tier dispatch never
+    /// branches on configuration; zero pages when no SSD is configured.
+    pub ssd_pool: PhysPool,
     /// The process address space under management.
     pub space: AddressSpace,
     /// PEBS unit.
@@ -239,6 +258,8 @@ pub struct MachineCore {
     pub journal: MigrationJournal,
     /// Optional swap device.
     pub disk: Option<Device>,
+    /// Optional tier-3 SSD swap device (queue-depth-limited block model).
+    pub ssd: Option<SsdDevice>,
     /// Fault-injection plan (deterministic; its streams are independent
     /// of `rng`, so enabling faults never perturbs the workload draws).
     pub chaos: FaultPlan,
@@ -262,6 +283,11 @@ impl MachineCore {
             dma: DmaEngine::new(cfg.dma.clone()),
             dram_pool: PhysPool::new(Tier::Dram, cfg.dram.capacity, cfg.managed_page),
             nvm_pool: PhysPool::new(Tier::Nvm, cfg.nvm.capacity, cfg.managed_page),
+            ssd_pool: PhysPool::new(
+                Tier::Ssd,
+                cfg.ssd.as_ref().map_or(0, |s| s.capacity),
+                cfg.managed_page,
+            ),
             space: AddressSpace::new(),
             pebs: Pebs::new(cfg.pebs.clone()),
             cores: CoreModel::new(cfg.cores),
@@ -273,6 +299,7 @@ impl MachineCore {
             recovery: RecoveryStats::default(),
             journal: MigrationJournal::new(),
             disk: cfg.disk.clone().map(Device::new),
+            ssd: cfg.ssd.clone().map(SsdDevice::new),
             chaos: FaultPlan::new(cfg.chaos.clone()),
             next_swap_slot: 0,
             trace: Tracer::new(cfg.trace),
@@ -280,19 +307,37 @@ impl MachineCore {
         }
     }
 
-    /// Device for a tier.
+    /// Whether the third capacity tier is configured.
+    pub fn has_ssd(&self) -> bool {
+        self.ssd.is_some()
+    }
+
+    /// The ordered tier vector of this machine, fastest first. Placement
+    /// and audit code iterates this instead of naming tiers, so a
+    /// two-tier box never even sees `Tier::Ssd`.
+    pub fn tiers(&self) -> &'static [Tier] {
+        let n = if self.has_ssd() { 3 } else { 2 };
+        &Tier::ALL[..n]
+    }
+
+    /// Byte-addressable device for a tier. The SSD is block-style and
+    /// has no fluid-server model; route its traffic through
+    /// [`MachineCore::reserve_tier_bulk`].
     pub fn device(&self, tier: Tier) -> &Device {
         match tier {
             Tier::Dram => &self.dram,
             Tier::Nvm => &self.nvm,
+            Tier::Ssd => panic!("SSD is not byte-addressable; use reserve_tier_bulk"),
         }
     }
 
-    /// Mutable device for a tier.
+    /// Mutable byte-addressable device for a tier (see
+    /// [`MachineCore::device`] for the SSD caveat).
     pub fn device_mut(&mut self, tier: Tier) -> &mut Device {
         match tier {
             Tier::Dram => &mut self.dram,
             Tier::Nvm => &mut self.nvm,
+            Tier::Ssd => panic!("SSD is not byte-addressable; use reserve_tier_bulk"),
         }
     }
 
@@ -301,6 +346,7 @@ impl MachineCore {
         match tier {
             Tier::Dram => &self.dram_pool,
             Tier::Nvm => &self.nvm_pool,
+            Tier::Ssd => &self.ssd_pool,
         }
     }
 
@@ -309,6 +355,36 @@ impl MachineCore {
         match tier {
             Tier::Dram => &mut self.dram_pool,
             Tier::Nvm => &mut self.nvm_pool,
+            Tier::Ssd => &mut self.ssd_pool,
+        }
+    }
+
+    /// Reserves a bulk (page-sized) transfer on any tier's device: the
+    /// fluid bulk servers for DRAM/NVM, the queue-slot model for the SSD.
+    /// `rate_cap` applies only to the byte-addressable tiers.
+    pub fn reserve_tier_bulk(
+        &mut self,
+        now: Ns,
+        tier: Tier,
+        op: MemOp,
+        bytes: u64,
+        rate_cap: Option<f64>,
+    ) -> Reservation {
+        match tier {
+            Tier::Dram | Tier::Nvm => self.device_mut(tier).reserve_bulk(now, op, bytes, rate_cap),
+            Tier::Ssd => self
+                .ssd
+                .as_mut()
+                .expect("tier-3 transfer without an SSD configured")
+                .transfer(now, op, bytes),
+        }
+    }
+
+    /// Queueing delay a bulk transfer would currently see on a tier.
+    pub fn tier_bulk_queue_delay(&self, now: Ns, tier: Tier, op: MemOp) -> Ns {
+        match tier {
+            Tier::Dram | Tier::Nvm => self.device(tier).bulk_queue_delay(now, op),
+            Tier::Ssd => self.ssd.as_ref().map_or(Ns::ZERO, |s| s.queue_delay(now)),
         }
     }
 
@@ -339,8 +415,7 @@ impl MachineCore {
 
 /// Charge helper: zero-fill cost when a fresh page is mapped.
 pub fn zero_fill(m: &mut MachineCore, now: Ns, tier: Tier, page_bytes: u64) -> Reservation {
-    m.device_mut(tier)
-        .reserve_bulk(now, MemOp::Write, page_bytes, None)
+    m.reserve_tier_bulk(now, tier, MemOp::Write, page_bytes, None)
 }
 
 #[cfg(test)]
@@ -407,6 +482,29 @@ mod tests {
         let mut m = MachineCore::new(MachineConfig::small(1, 4));
         zero_fill(&mut m, Ns::ZERO, Tier::Dram, 2 << 20);
         assert_eq!(m.dram.stats().bytes_written, 2 << 20);
+    }
+
+    #[test]
+    fn two_tier_machine_hides_the_third_tier() {
+        let m = MachineCore::new(MachineConfig::small(1, 4));
+        assert!(!m.has_ssd());
+        assert_eq!(m.tiers(), &[Tier::Dram, Tier::Nvm]);
+        assert_eq!(m.pool(Tier::Ssd).total_pages(), 0, "empty placeholder");
+        assert_eq!(
+            m.tier_bulk_queue_delay(Ns::ZERO, Tier::Ssd, MemOp::Read),
+            Ns::ZERO
+        );
+    }
+
+    #[test]
+    fn tier3_machine_exposes_ordered_tier_vector() {
+        let mut m = MachineCore::new(MachineConfig::small(1, 4).with_tier3(8 * GIB));
+        assert!(m.has_ssd());
+        assert_eq!(m.tiers(), Tier::ALL);
+        assert_eq!(m.pool(Tier::Ssd).total_pages(), 8 * 512);
+        let r = m.reserve_tier_bulk(Ns::ZERO, Tier::Ssd, MemOp::Write, 2 << 20, None);
+        assert!(r.finish > Ns::ZERO);
+        assert_eq!(m.ssd.as_ref().unwrap().stats().writes, 1);
     }
 
     #[test]

@@ -249,8 +249,8 @@ impl<B: TieredBackend> Sim<B> {
     fn pace_fill(&mut self, start: Ns, fault_cost: Ns) -> Ns {
         let at = Ns(start.as_nanos() + fault_cost.as_nanos());
         let mut drain = Ns::ZERO;
-        for tier in [Tier::Dram, Tier::Nvm] {
-            drain = drain.max(self.m.device(tier).bulk_queue_delay(at, MemOp::Write));
+        for &tier in self.m.tiers() {
+            drain = drain.max(self.m.tier_bulk_queue_delay(at, tier, MemOp::Write));
         }
         let total = fault_cost + drain;
         self.run_until(Ns(start.as_nanos() + total.as_nanos()));
@@ -262,8 +262,8 @@ impl<B: TieredBackend> Sim<B> {
     fn drain_fill_backlog(&mut self, start: Ns, fault_cost: Ns) -> Ns {
         let after = Ns(start.as_nanos() + fault_cost.as_nanos());
         let mut drain = Ns::ZERO;
-        for tier in [Tier::Dram, Tier::Nvm] {
-            let d = self.m.device(tier).bulk_queue_delay(after, MemOp::Write);
+        for &tier in self.m.tiers() {
+            let d = self.m.tier_bulk_queue_delay(after, tier, MemOp::Write);
             drain = drain.max(d);
         }
         let total = fault_cost + drain;
@@ -557,14 +557,12 @@ impl<B: TieredBackend> Sim<B> {
                     let service = Ns::from_secs_f64(bytes as f64 / rate);
                     let e = *self.m.journal.entry(id).expect("prepared job is journaled");
                     let cap = Some(10.0e9);
-                    let r1 =
-                        self.m
-                            .device_mut(e.src_tier)
-                            .reserve_bulk(now, MemOp::Read, bytes, cap);
-                    let r2 =
-                        self.m
-                            .device_mut(e.dst_tier)
-                            .reserve_bulk(now, MemOp::Write, bytes, cap);
+                    let r1 = self
+                        .m
+                        .reserve_tier_bulk(now, e.src_tier, MemOp::Read, bytes, cap);
+                    let r2 = self
+                        .m
+                        .reserve_tier_bulk(now, e.dst_tier, MemOp::Write, bytes, cap);
                     let done = (now + service).max(r1.finish).max(r2.finish);
                     self.queue.push_at(done, Event::MigrationDone(id));
                 }
@@ -613,12 +611,10 @@ impl<B: TieredBackend> Sim<B> {
             let e = *self.m.journal.entry(id).expect("prepared job is journaled");
             let r1 = self
                 .m
-                .device_mut(e.src_tier)
-                .reserve_bulk(now, MemOp::Read, bytes, cap);
+                .reserve_tier_bulk(now, e.src_tier, MemOp::Read, bytes, cap);
             let r2 = self
                 .m
-                .device_mut(e.dst_tier)
-                .reserve_bulk(now, MemOp::Write, bytes, cap);
+                .reserve_tier_bulk(now, e.dst_tier, MemOp::Write, bytes, cap);
             done = done.max(r1.finish).max(r2.finish);
         }
         for &(id, _, _) in group.iter() {
@@ -712,26 +708,36 @@ impl<B: TieredBackend> Sim<B> {
         // the destination frame is poisoned and retired, the journal entry
         // is dropped, and the source mapping — never touched — stays
         // authoritative. The page is restored to the backend intact.
-        if e.dst_tier == Tier::Nvm {
-            let wear = self.m.nvm_pool.wear(e.dst_phys);
-            if self.m.chaos.nvm_media_error(wear) {
-                self.m.journal.abort(id);
-                self.m.nvm_pool.retire(e.dst_phys);
-                self.m.stats.pages_retired += 1;
-                self.m.stats.migrations_failed += 1;
-                let region = self.m.space.region_mut(e.page.region);
-                region.set_wp(e.page.index, false);
-                let src_tier = match region.state(e.page.index) {
-                    hemem_vmm::PageState::Mapped { tier, .. } => tier,
-                    other => panic!("migrating page {:?} in state {other:?}", e.page),
-                };
-                self.backend
-                    .migration_aborted(&mut self.m, e.page, src_tier);
-                self.m
-                    .trace
-                    .span_drop(now, "migration", "migration", id, &[("aborted", 1)]);
-                return;
+        let media_error = match e.dst_tier {
+            Tier::Nvm => {
+                let wear = self.m.nvm_pool.wear(e.dst_phys);
+                self.m.chaos.nvm_media_error(wear)
             }
+            // SSD destination: error likelihood grows with the frame's
+            // recorded program cycles, mirroring the NVM wear coupling.
+            Tier::Ssd => {
+                let wear = self.m.ssd_pool.wear(e.dst_phys);
+                self.m.chaos.ssd_media_error(wear)
+            }
+            Tier::Dram => false,
+        };
+        if media_error {
+            self.m.journal.abort(id);
+            self.m.pool_mut(e.dst_tier).retire(e.dst_phys);
+            self.m.stats.pages_retired += 1;
+            self.m.stats.migrations_failed += 1;
+            let region = self.m.space.region_mut(e.page.region);
+            region.set_wp(e.page.index, false);
+            let src_tier = match region.state(e.page.index) {
+                hemem_vmm::PageState::Mapped { tier, .. } => tier,
+                other => panic!("migrating page {:?} in state {other:?}", e.page),
+            };
+            self.backend
+                .migration_aborted(&mut self.m, e.page, src_tier);
+            self.m
+                .trace
+                .span_drop(now, "migration", "migration", id, &[("aborted", 1)]);
+            return;
         }
         // Phase two: *commit* — mark the entry committed, flip the
         // mapping, release the source frame, retire the entry. The whole
@@ -743,9 +749,18 @@ impl<B: TieredBackend> Sim<B> {
         let (old_tier, old_phys) = region.remap_page(e.page.index, e.dst_tier, e.dst_phys);
         region.set_wp(e.page.index, false);
         self.m.pool_mut(old_tier).free(old_phys);
-        if e.dst_tier == Tier::Nvm {
-            // A migration into NVM writes the whole frame once.
-            self.m.nvm_pool.note_write(e.dst_phys, 1);
+        match e.dst_tier {
+            Tier::Nvm => {
+                // A migration into NVM writes the whole frame once.
+                self.m.nvm_pool.note_write(e.dst_phys, 1);
+            }
+            Tier::Ssd => {
+                // A demotion onto the SSD programs the frame once and
+                // wears every erase block the frame covers.
+                self.m.ssd_pool.note_write(e.dst_phys, 1);
+                self.note_ssd_block_write(e.dst_phys, bytes);
+            }
+            Tier::Dram => {}
         }
         let cores = self.m.cores.cores();
         self.m.tlb.shootdown(cores);
@@ -824,16 +839,36 @@ impl<B: TieredBackend> Sim<B> {
     fn alloc_frame(&mut self, tier: Tier) -> Option<PhysPage> {
         loop {
             let phys = self.m.pool_mut(tier).alloc()?;
-            if tier == Tier::Nvm {
-                let wear = self.m.nvm_pool.wear(phys);
-                if self.m.chaos.nvm_media_error(wear) {
-                    self.m.nvm_pool.retire(phys);
-                    self.m.stats.pages_retired += 1;
-                    continue;
+            match tier {
+                Tier::Nvm => {
+                    let wear = self.m.nvm_pool.wear(phys);
+                    if self.m.chaos.nvm_media_error(wear) {
+                        self.m.nvm_pool.retire(phys);
+                        self.m.stats.pages_retired += 1;
+                        continue;
+                    }
+                    self.m.nvm_pool.note_write(phys, 1);
                 }
-                self.m.nvm_pool.note_write(phys, 1);
+                Tier::Ssd => {
+                    let wear = self.m.ssd_pool.wear(phys);
+                    if self.m.chaos.ssd_media_error(wear) {
+                        self.m.ssd_pool.retire(phys);
+                        self.m.stats.pages_retired += 1;
+                        continue;
+                    }
+                    self.m.ssd_pool.note_write(phys, 1);
+                }
+                Tier::Dram => {}
             }
             return Some(phys);
+        }
+    }
+
+    /// Records erase-block wear on the SSD device for one page-frame
+    /// write (frames are laid out contiguously by index).
+    fn note_ssd_block_write(&mut self, phys: PhysPage, page_bytes: u64) {
+        if let Some(ssd) = self.m.ssd.as_mut() {
+            ssd.note_block_write(phys.0 * page_bytes, page_bytes);
         }
     }
 
@@ -888,7 +923,7 @@ impl<B: TieredBackend> Sim<B> {
                         None => {
                             // Both tiers full: direct-reclaim a victim to
                             // make room for the page coming in.
-                            extra = self.try_direct_reclaim(now)?;
+                            extra = self.direct_reclaim(now)?;
                             let p = self
                                 .alloc_frame(desired)
                                 .or_else(|| self.alloc_frame(desired.other()))
@@ -934,9 +969,10 @@ impl<B: TieredBackend> Sim<B> {
                     Some(p) => (other, p),
                     None => {
                         // Direct reclaim: synchronously page a victim out
-                        // to disk and reuse its frame; the faulting thread
-                        // eats the disk write (kernel direct reclaim).
-                        extra = self.try_direct_reclaim(now)?;
+                        // to the slowest tier and reuse its frame; the
+                        // faulting thread eats the device write (kernel
+                        // direct reclaim).
+                        extra = self.direct_reclaim(now)?;
                         let p = self
                             .alloc_frame(desired)
                             .or_else(|| self.alloc_frame(desired.other()))
@@ -951,6 +987,9 @@ impl<B: TieredBackend> Sim<B> {
             .region_mut(page.region)
             .map_page(page.index, tier, phys);
         zero_fill(&mut self.m, now, tier, page_bytes);
+        if tier == Tier::Ssd {
+            self.note_ssd_block_write(phys, page_bytes);
+        }
         self.backend.placed(&mut self.m, page, tier);
         self.m.fault_stats.record(FaultKind::Missing, stall);
         let total = stall + extra;
@@ -968,6 +1007,55 @@ impl<B: TieredBackend> Sim<B> {
             "fault",
             &[("service_ns", service.as_nanos()), ("swap_in", swap_in)],
         );
+    }
+
+    /// Synchronously frees one frame under memory pressure: onto the
+    /// tier-3 SSD when one is configured (the page stays mapped on
+    /// `Tier::Ssd`), otherwise out to the legacy swap device.
+    fn direct_reclaim(&mut self, now: Ns) -> Result<Ns, MemError> {
+        if self.m.has_ssd() {
+            self.try_direct_reclaim_tier3(now)
+        } else {
+            self.try_direct_reclaim(now)
+        }
+    }
+
+    /// Synchronously demotes one victim page onto the SSD tier, freeing
+    /// its DRAM/NVM frame; returns the stall the faulting thread pays.
+    /// Unlike the legacy swap path the page stays mapped — a later access
+    /// takes a major fault through the device queue, not a swap-in.
+    fn try_direct_reclaim_tier3(&mut self, now: Ns) -> Result<Ns, MemError> {
+        let victim = self
+            .backend
+            .reclaim_victim(&mut self.m)
+            .ok_or(MemError::OutOfMemory)?;
+        let region = self.m.space.region(victim.region);
+        let bytes = region.page_size().bytes();
+        let src_tier = match region.state(victim.index) {
+            hemem_vmm::PageState::Mapped {
+                tier, wp: false, ..
+            } if tier != Tier::Ssd => tier,
+            _ => return Err(MemError::ReclaimVictimBusy(victim)),
+        };
+        let ssd_phys = self.alloc_frame(Tier::Ssd).ok_or(MemError::SwapExhausted)?;
+        self.m
+            .reserve_tier_bulk(now, src_tier, MemOp::Read, bytes, None);
+        let r = self
+            .m
+            .reserve_tier_bulk(now, Tier::Ssd, MemOp::Write, bytes, None);
+        self.note_ssd_block_write(ssd_phys, bytes);
+        let (old_tier, old_phys) =
+            self.m
+                .space
+                .region_mut(victim.region)
+                .remap_page(victim.index, Tier::Ssd, ssd_phys);
+        debug_assert_eq!(old_tier, src_tier);
+        self.m.pool_mut(old_tier).free(old_phys);
+        self.m.stats.swap_outs += 1;
+        // `placed`, not `swapped_out`: the page keeps its identity (and
+        // its hotness counters) on the SSD tier.
+        self.backend.placed(&mut self.m, victim, Tier::Ssd);
+        Ok(r.service)
     }
 
     /// Synchronously swaps one victim out to free a frame; returns the
@@ -1039,6 +1127,7 @@ impl<B: TieredBackend> Sim<B> {
             let reads = count - writes;
 
             stall += self.fault_unmapped(seg, count, now);
+            stall += self.fault_ssd_resident(seg, count, now);
 
             // LLC filtering.
             let hit = match batch.pattern {
@@ -1178,6 +1267,130 @@ impl<B: TieredBackend> Sim<B> {
         stall
     }
 
+    /// Faults the expected number of distinct SSD-resident pages a batch
+    /// touches in `seg` back through the swap device (major faults).
+    /// Without an SSD tier no page is ever SSD-resident, so this draws
+    /// nothing from the RNG and two-tier runs are unperturbed.
+    fn fault_ssd_resident(
+        &mut self,
+        seg: &crate::backend::SegmentAccess,
+        count: f64,
+        now: Ns,
+    ) -> Ns {
+        let region = self.m.space.region(seg.region);
+        let ssd = region.ssd_pages_in(seg.lo_page, seg.hi_page);
+        if ssd == 0 {
+            return Ns::ZERO;
+        }
+        let pages = seg.pages();
+        // Expected distinct SSD-resident pages touched by `count` uniform
+        // accesses over `pages` pages (same model as `fault_unmapped`).
+        let lam = count / pages as f64;
+        let expect = ssd as f64 * (1.0 - (-lam).exp());
+        let n = self.m.rng.round_stochastic(expect).min(ssd);
+        let mut stall = Ns::ZERO;
+        for _ in 0..n {
+            let region = self.m.space.region(seg.region);
+            let remaining = region.ssd_pages_in(seg.lo_page, seg.hi_page);
+            if remaining == 0 {
+                break;
+            }
+            let k = self.m.rng.gen_range(remaining);
+            let Some(idx) = region.kth_ssd_page_in(seg.lo_page, seg.hi_page, k) else {
+                break;
+            };
+            stall += self.major_fault_page(
+                PageId {
+                    region: seg.region,
+                    index: idx,
+                },
+                true,
+                now,
+            );
+        }
+        stall
+    }
+
+    /// Services a major fault on an SSD-resident page: the thread stalls
+    /// synchronously behind the swap device's queue for the page read,
+    /// and the page is promoted to whichever byte-addressable tier the
+    /// policy picks (or stays put when the policy answers `Ssd`, as the
+    /// spill baseline does).
+    fn major_fault_page(&mut self, page: PageId, is_write: bool, now: Ns) -> Ns {
+        let region = self.m.space.region(page.region);
+        let page_bytes = region.page_size().bytes();
+        let ssd_phys = match region.state(page.index) {
+            hemem_vmm::PageState::Mapped {
+                tier: Tier::Ssd,
+                phys,
+                wp: false,
+            } => phys,
+            // Write-protected means a migration already has the page in
+            // hand; anything else means we raced a remap. Either way the
+            // access is someone else's problem now.
+            _ => return Ns::ZERO,
+        };
+        // Major faults funnel through the same single fault thread as
+        // first-touch faults on managed memory.
+        let cfg = self.m.fault_cfg.clone();
+        if let Some(stall_for) = self.m.chaos.fault_thread_stall() {
+            self.m.fault_thread.stall(now, stall_for);
+        }
+        let queue = self.m.fault_thread.admit(now, &cfg);
+        let read = self
+            .m
+            .reserve_tier_bulk(now, Tier::Ssd, MemOp::Read, page_bytes, None);
+        // Queue wait plus the transfer itself: the thread blocks for both.
+        let device = read.finish.saturating_sub(now);
+        let mut total = self.m.fault_cfg.round_trip() + queue + device;
+        let desired = self.backend.place(&mut self.m, page, is_write);
+        if desired != Tier::Ssd {
+            let frame = match self.alloc_frame(desired) {
+                Some(p) => Some((desired, p)),
+                None => {
+                    let other = desired.other();
+                    match self.alloc_frame(other) {
+                        Some(p) => Some((other, p)),
+                        None => match self.direct_reclaim(now) {
+                            Ok(extra) => {
+                                total += extra;
+                                self.alloc_frame(desired).map(|p| (desired, p))
+                            }
+                            Err(_) => None,
+                        },
+                    }
+                }
+            };
+            if let Some((tier, phys)) = frame {
+                let w = self
+                    .m
+                    .reserve_tier_bulk(now, tier, MemOp::Write, page_bytes, None);
+                total += w.service;
+                let (old_tier, old_phys) = self
+                    .m
+                    .space
+                    .region_mut(page.region)
+                    .remap_page(page.index, tier, phys);
+                debug_assert_eq!(old_tier, Tier::Ssd);
+                debug_assert_eq!(old_phys, ssd_phys);
+                self.m.pool_mut(Tier::Ssd).free(old_phys);
+                self.m.stats.swap_ins += 1;
+                self.backend.placed(&mut self.m, page, tier);
+            }
+            // No frame even after reclaim: the page stays on the SSD —
+            // the access was still served by the device read above.
+        }
+        self.m.fault_stats.record(FaultKind::Missing, total);
+        self.m.trace.observe_ns(LatencyClass::MajorFault, total);
+        self.m.trace.instant(
+            now,
+            "major_fault",
+            "fault",
+            &[("service_ns", total.as_nanos())],
+        );
+        total
+    }
+
     fn wp_stall(&mut self, now: Ns, seg: &crate::backend::SegmentAccess, writes: f64) -> Ns {
         let region = self.m.space.region(seg.region);
         if region.wp_pages() == 0 || writes <= 0.0 {
@@ -1277,9 +1490,12 @@ impl<B: TieredBackend> Sim<B> {
         let (lo, hi) = (seg.lo_page, seg.hi_page);
         let dram = region.dram_pages_in(lo, hi);
         let mapped = region.mapped_pages_in(lo, hi);
+        // SSD-resident pages never appear in PEBS records: their accesses
+        // trap as major faults before any load/store can retire.
+        let ssd = region.ssd_pages_in(lo, hi);
         let idx = match ty {
             SampleType::NvmLoad => {
-                let nvm = mapped - dram;
+                let nvm = mapped - dram - ssd;
                 if nvm == 0 {
                     return None;
                 }
@@ -1294,16 +1510,16 @@ impl<B: TieredBackend> Sim<B> {
                 region.kth_dram_page_in(lo, hi, k)?
             }
             SampleType::Store => {
-                if mapped == 0 {
+                let sampleable = mapped - ssd;
+                if sampleable == 0 {
                     return None;
                 }
-                // Any mapped page: pick proportionally among mapped.
-                let k = self.m.rng.gen_range(mapped);
-                let d = region.dram_pages_in(lo, hi);
-                if k < d {
+                // Any byte-addressable mapped page, picked proportionally.
+                let k = self.m.rng.gen_range(sampleable);
+                if k < dram {
                     region.kth_dram_page_in(lo, hi, k)?
                 } else {
-                    region.kth_nvm_page_in(lo, hi, k - d)?
+                    region.kth_nvm_page_in(lo, hi, k - dram)?
                 }
             }
         };

@@ -250,6 +250,120 @@ impl Telemetry {
     }
 }
 
+/// One sample of a run's per-tier residency and major-fault latency.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct TierSnapshot {
+    /// Virtual time of the sample.
+    pub at: Ns,
+    /// DRAM-resident pages of the tracked region.
+    pub dram_pages: u64,
+    /// NVM-resident pages of the tracked region.
+    pub nvm_pages: u64,
+    /// SSD-resident pages of the tracked region (tier-3 machines only;
+    /// zero otherwise).
+    pub ssd_pages: u64,
+    /// Pages unmapped to legacy swap slots.
+    pub swapped_pages: u64,
+    /// Cumulative major faults serviced (accesses that stalled behind
+    /// the SSD queue).
+    pub major_faults: u64,
+    /// Major-fault service latency p50 (ns); zero until the first one.
+    pub major_p50_ns: u64,
+    /// Major-fault service latency p99 (ns).
+    pub major_p99_ns: u64,
+    /// Major-fault service latency p99.9 (ns).
+    pub major_p999_ns: u64,
+    /// Cumulative synchronous demotions to the slowest tier (SSD
+    /// demotions and legacy swap-outs share the counter).
+    pub swap_outs: u64,
+    /// Cumulative promotions back from the slowest tier.
+    pub swap_ins: u64,
+}
+
+/// Periodic sampler of one region's N-tier residency and major-fault
+/// latency, for tier-3 experiments. Deliberately a separate type from
+/// [`Telemetry`] so the two-tier CSV schema stays byte-stable.
+#[derive(Debug, Clone)]
+pub struct TierTelemetry {
+    region: RegionId,
+    period: Ns,
+    next_at: Ns,
+    samples: Vec<TierSnapshot>,
+}
+
+impl TierTelemetry {
+    /// Creates a sampler for `region` with the given period.
+    pub fn new(region: RegionId, period: Ns) -> TierTelemetry {
+        assert!(period > Ns::ZERO, "period must be positive");
+        TierTelemetry {
+            region,
+            period,
+            next_at: Ns::ZERO,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records a snapshot if at least one period elapsed since the last.
+    /// Returns `true` if a sample was taken.
+    pub fn maybe_sample<B: TieredBackend>(&mut self, sim: &Sim<B>) -> bool {
+        let now = sim.now();
+        if now < self.next_at {
+            return false;
+        }
+        self.next_at = now + self.period;
+        let r = sim.m.space.region(self.region);
+        let (dram, mapped, ssd) = (r.dram_pages(), r.mapped_pages(), r.ssd_pages());
+        let major = sim.m.trace.hist(LatencyClass::MajorFault);
+        self.samples.push(TierSnapshot {
+            at: now,
+            dram_pages: dram,
+            nvm_pages: mapped - dram - ssd,
+            ssd_pages: ssd,
+            swapped_pages: r.swapped_pages(),
+            major_faults: major.count(),
+            major_p50_ns: major.quantile(0.5),
+            major_p99_ns: major.quantile(0.99),
+            major_p999_ns: major.quantile(0.999),
+            swap_outs: sim.m.stats.swap_outs,
+            swap_ins: sim.m.stats.swap_ins,
+        });
+        true
+    }
+
+    /// All snapshots taken so far.
+    pub fn snapshots(&self) -> &[TierSnapshot] {
+        &self.samples
+    }
+
+    /// Renders snapshots as CSV (`time_s,dram_pages,nvm_pages,ssd_pages,
+    /// swapped_pages,major_faults,major_p50_ns,major_p99_ns,
+    /// major_p999_ns,swap_outs,swap_ins`).
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "time_s,dram_pages,nvm_pages,ssd_pages,swapped_pages,\
+             major_faults,major_p50_ns,major_p99_ns,major_p999_ns,\
+             swap_outs,swap_ins\n",
+        );
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.3},{},{},{},{},{},{},{},{},{},{}\n",
+                s.at.as_secs_f64(),
+                s.dram_pages,
+                s.nvm_pages,
+                s.ssd_pages,
+                s.swapped_pages,
+                s.major_faults,
+                s.major_p50_ns,
+                s.major_p99_ns,
+                s.major_p999_ns,
+                s.swap_outs,
+                s.swap_ins
+            ));
+        }
+        out
+    }
+}
+
 /// One per-tenant sample of a multi-tenant run.
 #[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 pub struct TenantSnapshot {
@@ -488,6 +602,31 @@ mod tests {
             "time_s,tenant,dram_pages,nvm_pages,quota_pages,dram_loads,nvm_loads,pebs_samples"
         );
         assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn tier_telemetry_reports_three_tier_residency() {
+        let mc = MachineConfig::small(1, 2).with_tier3(16 * GIB);
+        let hc = HeMemConfig::scaled_for(&mc);
+        let mut sim = Sim::new(mc, HeMem::new(hc));
+        let id = sim.mmap(4 * GIB); // 1 GiB over DRAM+NVM: spills via reclaim
+        sim.populate(id, true);
+        let mut t = TierTelemetry::new(id, Ns::millis(10));
+        assert!(t.maybe_sample(&sim));
+        let s = t.snapshots()[0];
+        assert_eq!(s.dram_pages + s.nvm_pages + s.ssd_pages, 2048);
+        assert!(s.ssd_pages > 0, "overflow demoted to the SSD tier");
+        assert_eq!(s.swapped_pages, 0, "tier-3 pages stay mapped");
+        let csv = t.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert!(lines[0].starts_with("time_s,dram_pages,nvm_pages,ssd_pages"));
+        assert!(lines[0].ends_with("swap_outs,swap_ins"));
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[1].split(',').count(),
+            lines[0].split(',').count(),
+            "ragged row"
+        );
     }
 
     #[test]

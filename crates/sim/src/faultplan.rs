@@ -33,6 +33,14 @@ pub struct FaultPlanConfig {
     /// Additional media-error probability per recorded write of wear on
     /// the target page (media errors grow more likely as cells wear).
     pub nvm_media_wear_scale: f64,
+    /// Base P(an SSD swap-device transfer hits a media error) at zero
+    /// erase-block wear.
+    #[serde(default)]
+    pub ssd_media_error: f64,
+    /// Additional SSD media-error probability per program cycle of wear
+    /// on the target erase block.
+    #[serde(default)]
+    pub ssd_media_wear_scale: f64,
     /// P(one PEBS drain pass finds the buffer clobbered by an overflow
     /// storm and loses everything buffered).
     pub pebs_storm: f64,
@@ -64,6 +72,8 @@ impl FaultPlanConfig {
             dma_channel_loss: 0.0,
             nvm_media_error: 0.0,
             nvm_media_wear_scale: 0.0,
+            ssd_media_error: 0.0,
+            ssd_media_wear_scale: 0.0,
             pebs_storm: 0.0,
             fault_thread_stall: 0.0,
             fault_thread_stall_for: Ns::millis(1),
@@ -79,6 +89,8 @@ impl FaultPlanConfig {
             && self.dma_channel_loss == 0.0
             && self.nvm_media_error == 0.0
             && self.nvm_media_wear_scale == 0.0
+            && self.ssd_media_error == 0.0
+            && self.ssd_media_wear_scale == 0.0
             && self.pebs_storm == 0.0
             && self.fault_thread_stall == 0.0
             && self.manager_kill_at.is_empty()
@@ -131,6 +143,7 @@ pub struct FaultPlan {
     media: Rng,
     pebs: Rng,
     fault: Rng,
+    media_ssd: Rng,
     stats: FaultPlanStats,
     /// Sorted manager-kill instants (explicit plus seeded draws),
     /// materialized at construction so the schedule is fixed up front.
@@ -157,12 +170,16 @@ impl FaultPlan {
             }
         }
         kill_times.sort();
+        // Forked after every pre-existing site (including the kill
+        // stream) so adding the SSD tier never perturbs their draws.
+        let media_ssd = root.fork(0x55D);
         FaultPlan {
             dma,
             chan,
             media,
             pebs,
             fault,
+            media_ssd,
             cfg,
             stats: FaultPlanStats::default(),
             kill_times,
@@ -220,6 +237,20 @@ impl FaultPlan {
         hit
     }
 
+    /// Draws whether an SSD swap transfer touching an erase block with
+    /// `wear` program cycles hits a media error. Counts into the shared
+    /// media-error tally alongside NVM (one counter per media class
+    /// would change the frozen stats layout; consumers that need the
+    /// split read the SSD device's own counters).
+    pub fn ssd_media_error(&mut self, wear: u64) -> bool {
+        let p = self.cfg.ssd_media_error + self.cfg.ssd_media_wear_scale * wear as f64;
+        let hit = self.media_ssd.bernoulli(p.clamp(0.0, 1.0));
+        if hit {
+            self.stats.nvm_media_errors += 1;
+        }
+        hit
+    }
+
     /// Draws whether this PEBS drain pass hits an overflow storm.
     pub fn pebs_storm(&mut self) -> bool {
         let hit = self.pebs.bernoulli(self.cfg.pebs_storm);
@@ -266,6 +297,7 @@ mod tests {
             assert!(!p.dma_submit_fails());
             assert!(!p.dma_channel_lost());
             assert!(!p.nvm_media_error(u64::MAX / 2));
+            assert!(!p.ssd_media_error(u64::MAX / 2));
             assert!(!p.pebs_storm());
             assert!(p.fault_thread_stall().is_none());
         }
@@ -328,6 +360,49 @@ mod tests {
             worn > fresh * 10,
             "wear must raise the error rate: fresh={fresh} worn={worn}"
         );
+    }
+
+    #[test]
+    fn ssd_site_never_perturbs_existing_streams() {
+        // Enabling the SSD media site must leave every pre-existing
+        // site's draw sequence unchanged — this is what keeps seeded
+        // 2-tier chaos runs byte-identical after the tier-3 addition.
+        let mut old = plan(|c| {
+            c.nvm_media_error = 0.4;
+            c.pebs_storm = 0.2;
+        });
+        let mut new = plan(|c| {
+            c.nvm_media_error = 0.4;
+            c.pebs_storm = 0.2;
+            c.ssd_media_error = 0.9;
+        });
+        for _ in 0..300 {
+            new.ssd_media_error(0); // interleaved SSD draws
+            assert_eq!(old.nvm_media_error(3), new.nvm_media_error(3));
+            assert_eq!(old.pebs_storm(), new.pebs_storm());
+        }
+    }
+
+    #[test]
+    fn ssd_media_error_scales_with_erase_wear() {
+        let count = |wear: u64| {
+            let mut p = plan(|c| {
+                c.ssd_media_error = 0.001;
+                c.ssd_media_wear_scale = 0.001;
+            });
+            (0..20_000).filter(|_| p.ssd_media_error(wear)).count()
+        };
+        let fresh = count(0);
+        let worn = count(100);
+        assert!(
+            worn > fresh * 10,
+            "erase wear must raise the rate: fresh={fresh} worn={worn}"
+        );
+        // And the shared tally records the hits.
+        let mut p = plan(|c| c.ssd_media_error = 1.0);
+        assert!(p.enabled());
+        assert!(p.ssd_media_error(0));
+        assert_eq!(p.stats().nvm_media_errors, 1);
     }
 
     #[test]

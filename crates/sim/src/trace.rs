@@ -42,17 +42,21 @@ pub enum LatencyClass {
     PebsBacklog,
     /// DMA batch latency: ioctl submit to last descriptor landed.
     DmaBatch,
+    /// Major-fault service latency: an access to an SSD-resident page,
+    /// stalled behind the swap device's queue plus the promotion copy.
+    MajorFault,
 }
 
 impl LatencyClass {
     /// Every class, indexable by [`LatencyClass::index`].
-    pub const ALL: [LatencyClass; 6] = [
+    pub const ALL: [LatencyClass; 7] = [
         LatencyClass::Migration,
         LatencyClass::Fault,
         LatencyClass::WpStall,
         LatencyClass::PolicyPass,
         LatencyClass::PebsBacklog,
         LatencyClass::DmaBatch,
+        LatencyClass::MajorFault,
     ];
 
     /// Dense index of this class.
@@ -64,6 +68,7 @@ impl LatencyClass {
             LatencyClass::PolicyPass => 3,
             LatencyClass::PebsBacklog => 4,
             LatencyClass::DmaBatch => 5,
+            LatencyClass::MajorFault => 6,
         }
     }
 
@@ -76,6 +81,7 @@ impl LatencyClass {
             LatencyClass::PolicyPass => "policy_pass",
             LatencyClass::PebsBacklog => "pebs_backlog",
             LatencyClass::DmaBatch => "dma_batch",
+            LatencyClass::MajorFault => "major_fault",
         }
     }
 }

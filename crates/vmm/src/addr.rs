@@ -9,14 +9,44 @@ pub enum Tier {
     Dram,
     /// Slow, large NVM.
     Nvm,
+    /// Block-style SSD swap device (third capacity tier; pages here are
+    /// not directly accessible and must be promoted on a major fault).
+    Ssd,
 }
 
 impl Tier {
-    /// The other tier.
+    /// The canonical tier order, fastest first. This table is the single
+    /// source of truth for tier iteration: machine configurations expose
+    /// a prefix of it (see `MachineCore::tiers` in `hemem-core`), and
+    /// `scripts/check.sh` rejects any non-test code that hardcodes the
+    /// DRAM/NVM pair instead of iterating it.
+    pub const ALL: [Tier; 3] = [Tier::Dram, Tier::Nvm, Tier::Ssd];
+
+    /// Position in the canonical order: 0 = fastest.
+    pub const fn rank(self) -> usize {
+        match self {
+            Tier::Dram => 0,
+            Tier::Nvm => 1,
+            Tier::Ssd => 2,
+        }
+    }
+
+    /// The next slower tier (demotion target), if any.
+    pub const fn next_lower(self) -> Option<Tier> {
+        match self {
+            Tier::Dram => Some(Tier::Nvm),
+            Tier::Nvm => Some(Tier::Ssd),
+            Tier::Ssd => None,
+        }
+    }
+
+    /// The fallback byte-addressable tier for allocation: the companion
+    /// tier a fault handler tries when `self` is exhausted. SSD is never
+    /// a fallback target — it is reached only by explicit demotion.
     pub fn other(self) -> Tier {
         match self {
             Tier::Dram => Tier::Nvm,
-            Tier::Nvm => Tier::Dram,
+            Tier::Nvm | Tier::Ssd => Tier::Dram,
         }
     }
 }
@@ -26,6 +56,7 @@ impl fmt::Display for Tier {
         match self {
             Tier::Dram => write!(f, "DRAM"),
             Tier::Nvm => write!(f, "NVM"),
+            Tier::Ssd => write!(f, "SSD"),
         }
     }
 }
@@ -225,7 +256,21 @@ mod tests {
     fn tier_other() {
         assert_eq!(Tier::Dram.other(), Tier::Nvm);
         assert_eq!(Tier::Nvm.other(), Tier::Dram);
-        assert_eq!(format!("{}/{}", Tier::Dram, Tier::Nvm), "DRAM/NVM");
+        assert_eq!(Tier::Ssd.other(), Tier::Dram);
+        assert_eq!(
+            format!("{}/{}/{}", Tier::Dram, Tier::Nvm, Tier::Ssd),
+            "DRAM/NVM/SSD"
+        );
+    }
+
+    #[test]
+    fn tier_table_is_ordered_by_rank() {
+        for (i, t) in Tier::ALL.iter().enumerate() {
+            assert_eq!(t.rank(), i);
+        }
+        assert_eq!(Tier::Dram.next_lower(), Some(Tier::Nvm));
+        assert_eq!(Tier::Nvm.next_lower(), Some(Tier::Ssd));
+        assert_eq!(Tier::Ssd.next_lower(), None);
     }
 
     #[test]

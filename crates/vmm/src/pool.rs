@@ -32,6 +32,11 @@ pub struct PhysPool {
     allocated: u64,
     retired: Vec<PhysPage>,
     wear: Vec<u64>,
+    /// Optional wear ceiling: [`PhysPool::note_write`] reports when a
+    /// page's cumulative wear reaches it so the caller can retire the
+    /// page at the boundary. `None` disables the check.
+    #[serde(default)]
+    retire_threshold: Option<u64>,
 }
 
 impl PhysPool {
@@ -50,6 +55,7 @@ impl PhysPool {
             allocated: 0,
             retired: Vec::new(),
             wear: vec![0; total as usize],
+            retire_threshold: None,
         }
     }
 
@@ -105,14 +111,29 @@ impl PhysPool {
     }
 
     /// Records `writes` page-granularity writes of wear on an allocated
-    /// page.
+    /// page. Returns `true` when a retire threshold is set and the
+    /// page's cumulative wear has reached it — true exactly at the
+    /// boundary-crossing write, never one write late — so the caller
+    /// retires the page at the threshold.
     ///
     /// # Panics
     ///
     /// Panics if the page is out of range.
-    pub fn note_write(&mut self, page: PhysPage, writes: u64) {
+    pub fn note_write(&mut self, page: PhysPage, writes: u64) -> bool {
         assert!(page.0 < self.total, "page {page:?} out of range");
-        self.wear[page.0 as usize] = self.wear[page.0 as usize].saturating_add(writes);
+        let worn = self.wear[page.0 as usize].saturating_add(writes);
+        self.wear[page.0 as usize] = worn;
+        self.retire_threshold.is_some_and(|t| worn >= t)
+    }
+
+    /// Sets or clears the wear ceiling [`PhysPool::note_write`] checks.
+    pub fn set_retire_threshold(&mut self, threshold: Option<u64>) {
+        self.retire_threshold = threshold;
+    }
+
+    /// The configured wear ceiling, if any.
+    pub fn retire_threshold(&self) -> Option<u64> {
+        self.retire_threshold
     }
 
     /// Write wear recorded on a page.
@@ -253,6 +274,38 @@ mod tests {
         assert_eq!(p.retired_pages(), 1);
         assert_eq!(p.wear(a), 7);
         assert!(p.conserved());
+    }
+
+    #[test]
+    fn retire_signal_fires_exactly_at_threshold() {
+        let mut p = pool(2);
+        p.set_retire_threshold(Some(5));
+        assert_eq!(p.retire_threshold(), Some(5));
+        let a = p.alloc().expect("page");
+        assert!(!p.note_write(a, 4), "below threshold: page stays");
+        assert!(
+            p.note_write(a, 1),
+            "the write that reaches the threshold signals, not the next one"
+        );
+        assert_eq!(p.wear(a), 5, "signalled at the boundary, not past it");
+        p.retire(a);
+        assert!(p.conserved());
+    }
+
+    #[test]
+    fn retire_signal_reports_overshoot_too() {
+        let mut p = pool(1);
+        p.set_retire_threshold(Some(3));
+        let a = p.alloc().expect("page");
+        assert!(p.note_write(a, 10), "a burst past the threshold signals");
+    }
+
+    #[test]
+    fn no_threshold_never_signals() {
+        let mut p = pool(1);
+        let a = p.alloc().expect("page");
+        assert!(!p.note_write(a, u64::MAX));
+        assert_eq!(p.retire_threshold(), None);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 //! contiguous range carved into fixed-size pages, each of which is
 //! unmapped or resident on one tier. Regions keep Fenwick-tree residency
 //! indices so the machine can split any sub-range's accesses between
-//! DRAM, NVM, and faults in logarithmic time, plus an [`AccessLedger`]
-//! for the page-table-scanning baselines.
+//! DRAM, NVM, SSD-resident major faults, and first-touch faults in
+//! logarithmic time, plus an [`AccessLedger`] for the page-table-scanning
+//! baselines.
 
 use crate::addr::{PageId, PageSize, RegionId, TenantId, Tier, VirtAddr, VirtRange};
 use crate::fenwick::FlagTree;
@@ -102,6 +103,9 @@ pub struct Region {
     tenant: TenantId,
     states: Vec<PageState>,
     dram_idx: FlagTree,
+    /// SSD-resident pages; NVM residency is derived as
+    /// `mapped - dram - ssd` so two indices cover three tiers.
+    ssd_idx: FlagTree,
     mapped_idx: FlagTree,
     wp_idx: FlagTree,
     wp_pages: u64,
@@ -127,6 +131,7 @@ impl Region {
             tenant,
             states: vec![PageState::Unmapped; pages],
             dram_idx: FlagTree::new(pages),
+            ssd_idx: FlagTree::new(pages),
             mapped_idx: FlagTree::new(pages),
             wp_idx: FlagTree::new(pages),
             wp_pages: 0,
@@ -176,9 +181,22 @@ impl Region {
         self.dram_idx.count()
     }
 
-    /// Pages currently mapped on either tier.
+    /// Pages currently resident on the SSD swap tier.
+    pub fn ssd_pages(&self) -> u64 {
+        self.ssd_idx.count()
+    }
+
+    /// Pages currently mapped on any tier.
     pub fn mapped_pages(&self) -> u64 {
         self.mapped_idx.count()
+    }
+
+    /// Updates the per-tier residency indices for page `i`, now resident
+    /// on `tier` (`None` = not resident on any tier). NVM keeps no index
+    /// of its own: it is the mapped remainder.
+    fn set_residency(&mut self, i: usize, tier: Option<Tier>) {
+        self.dram_idx.set(i, tier == Some(Tier::Dram));
+        self.ssd_idx.set(i, tier == Some(Tier::Ssd));
     }
 
     /// Pages currently write-protected.
@@ -214,7 +232,7 @@ impl Region {
             PageState::Mapped { tier, phys, .. } => {
                 self.states[i] = PageState::Swapped { slot };
                 self.mapped_idx.set(i, false);
-                self.dram_idx.set(i, false);
+                self.set_residency(i, None);
                 self.swapped_pages += 1;
                 Ok((tier, phys))
             }
@@ -252,7 +270,7 @@ impl Region {
                     wp: false,
                 };
                 self.mapped_idx.set(i, true);
-                self.dram_idx.set(i, tier == Tier::Dram);
+                self.set_residency(i, Some(tier));
                 self.swapped_pages -= 1;
                 Ok(slot)
             }
@@ -267,6 +285,11 @@ impl Region {
     /// DRAM-resident pages within `[lo, hi)` page indices.
     pub fn dram_pages_in(&self, lo: u64, hi: u64) -> u64 {
         self.dram_idx.count_range(lo as usize, hi as usize)
+    }
+
+    /// SSD-resident pages within `[lo, hi)` page indices.
+    pub fn ssd_pages_in(&self, lo: u64, hi: u64) -> u64 {
+        self.ssd_idx.count_range(lo as usize, hi as usize)
     }
 
     /// Mapped pages within `[lo, hi)` page indices.
@@ -305,7 +328,7 @@ impl Region {
                     wp: false,
                 };
                 self.mapped_idx.set(i, true);
-                self.dram_idx.set(i, tier == Tier::Dram);
+                self.set_residency(i, Some(tier));
                 Ok(())
             }
             PageState::Mapped { .. } => Err(StateError::AlreadyMapped { index }),
@@ -337,7 +360,7 @@ impl Region {
                 }
                 self.states[i] = PageState::Unmapped;
                 self.mapped_idx.set(i, false);
-                self.dram_idx.set(i, false);
+                self.set_residency(i, None);
                 Ok((tier, phys))
             }
             state => Err(StateError::BadTransition {
@@ -374,7 +397,7 @@ impl Region {
                 wp,
             } => {
                 self.states[i] = PageState::Mapped { tier, phys, wp };
-                self.dram_idx.set(i, tier == Tier::Dram);
+                self.set_residency(i, Some(tier));
                 Ok((old_tier, old_phys))
             }
             state => Err(StateError::BadTransition {
@@ -429,11 +452,20 @@ impl Region {
         })
     }
 
-    /// Index of the `k`-th NVM-resident page within `[lo, hi)`.
+    /// Index of the `k`-th NVM-resident page within `[lo, hi)` (the
+    /// mapped pages on neither the DRAM nor the SSD index).
     pub fn kth_nvm_page_in(&self, lo: u64, hi: u64, k: u64) -> Option<u64> {
         self.kth_by(lo, hi, k, |r, l, h| {
             r.mapped_idx.count_range(l as usize, h as usize)
                 - r.dram_idx.count_range(l as usize, h as usize)
+                - r.ssd_idx.count_range(l as usize, h as usize)
+        })
+    }
+
+    /// Index of the `k`-th SSD-resident page within `[lo, hi)`.
+    pub fn kth_ssd_page_in(&self, lo: u64, hi: u64, k: u64) -> Option<u64> {
+        self.kth_by(lo, hi, k, |r, l, h| {
+            r.ssd_idx.count_range(l as usize, h as usize)
         })
     }
 
@@ -513,7 +545,7 @@ impl Region {
                 PageState::Unmapped => {}
                 PageState::Mapped { tier, wp, .. } => {
                     r.mapped_idx.set(i, true);
-                    r.dram_idx.set(i, tier == Tier::Dram);
+                    r.set_residency(i, Some(tier));
                     if wp {
                         r.wp_idx.set(i, true);
                         r.wp_pages += 1;
@@ -561,6 +593,8 @@ pub struct TenantFrames {
     pub dram_pages: u64,
     /// Pages resident in NVM (including write-protected ones).
     pub nvm_pages: u64,
+    /// Pages resident on the SSD swap tier.
+    pub ssd_pages: u64,
     /// Pages currently write-protected (migration in flight).
     pub wp_pages: u64,
     /// Pages swapped out to disk.
@@ -568,9 +602,19 @@ pub struct TenantFrames {
 }
 
 impl TenantFrames {
-    /// Pages resident on either tier.
+    /// Pages resident on any tier.
     pub fn resident_pages(&self) -> u64 {
-        self.dram_pages + self.nvm_pages
+        self.dram_pages + self.nvm_pages + self.ssd_pages
+    }
+
+    /// Pages resident on `tier`; the accessor audit code uses when
+    /// iterating the machine's tier vector.
+    pub fn pages_of(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::Dram => self.dram_pages,
+            Tier::Nvm => self.nvm_pages,
+            Tier::Ssd => self.ssd_pages,
+        }
     }
 }
 
@@ -702,8 +746,10 @@ impl AddressSpace {
                 continue;
             }
             let dram = r.dram_pages();
+            let ssd = r.ssd_pages();
             f.dram_pages += dram;
-            f.nvm_pages += r.mapped_pages() - dram;
+            f.nvm_pages += r.mapped_pages() - dram - ssd;
+            f.ssd_pages += ssd;
             f.wp_pages += r.wp_pages();
             f.swapped_pages += r.swapped_pages();
         }
@@ -898,6 +944,53 @@ mod tests {
                 assert_eq!(r.kth_nvm_page_in(lo, hi, k), Some(nvm[k as usize]));
             }
         }
+    }
+
+    #[test]
+    fn ssd_residency_tracked_across_transitions() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(6 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Dram, PhysPage(0));
+        r.map_page(1, Tier::Nvm, PhysPage(0));
+        r.map_page(2, Tier::Ssd, PhysPage(0));
+        r.map_page(3, Tier::Ssd, PhysPage(1));
+        assert_eq!(r.ssd_pages(), 2);
+        assert_eq!(r.kth_ssd_page_in(0, 6, 0), Some(2));
+        assert_eq!(r.kth_ssd_page_in(0, 6, 1), Some(3));
+        assert_eq!(r.kth_nvm_page_in(0, 6, 0), Some(1), "SSD pages are not NVM");
+        assert_eq!(r.kth_nvm_page_in(0, 6, 1), None);
+        // Promotion SSD -> DRAM clears the SSD bit; demotion sets it.
+        r.remap_page(2, Tier::Dram, PhysPage(1));
+        assert_eq!((r.ssd_pages(), r.dram_pages()), (1, 2));
+        r.remap_page(1, Tier::Ssd, PhysPage(2));
+        assert_eq!(r.ssd_pages(), 2);
+        r.unmap_page(3);
+        assert_eq!(r.ssd_pages(), 1);
+        assert_eq!(r.ssd_pages_in(0, 2), 1);
+    }
+
+    #[test]
+    fn tenant_frames_split_three_tiers() {
+        let mut s = AddressSpace::new();
+        let id = s.mmap(6 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = s.region_mut(id);
+        r.map_page(0, Tier::Dram, PhysPage(0));
+        r.map_page(1, Tier::Nvm, PhysPage(0));
+        r.map_page(2, Tier::Nvm, PhysPage(1));
+        r.map_page(3, Tier::Ssd, PhysPage(0));
+        let tf = s.tenant_frames(TenantId::SOLO);
+        assert_eq!(tf.dram_pages, 1);
+        assert_eq!(tf.nvm_pages, 2);
+        assert_eq!(tf.ssd_pages, 1);
+        assert_eq!(tf.resident_pages(), 4);
+        assert_eq!(tf.pages_of(Tier::Dram), 1);
+        assert_eq!(tf.pages_of(Tier::Nvm), 2);
+        assert_eq!(tf.pages_of(Tier::Ssd), 1);
+        // Snapshot/restore rebuilds the SSD index from page states.
+        let back = AddressSpace::restore(s.snapshot());
+        assert_eq!(back.region(id).ssd_pages(), 1);
+        assert_eq!(back.region(id).kth_ssd_page_in(0, 6, 0), Some(3));
     }
 
     #[test]

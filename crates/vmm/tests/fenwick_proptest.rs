@@ -1,0 +1,81 @@
+//! Property tests: the Fenwick-backed [`FlagTree`] matches a naive
+//! `Vec<bool>` model under arbitrary operation sequences. The residency
+//! indices in `space` lean on `count_range` prefix sums for every
+//! access split and order-statistics query, so the tree being exactly a
+//! bit vector with fast prefix sums is a correctness keystone.
+
+use proptest::prelude::*;
+
+use hemem_vmm::FlagTree;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Set or clear a flag (idempotent sets included on purpose).
+    Set { idx: usize, value: bool },
+    /// Compare a range count against the model.
+    CountRange { lo: usize, hi: usize },
+    /// Compare the total count against the model.
+    Count,
+    /// Compare a point read against the model.
+    Get { idx: usize },
+}
+
+fn op_strategy(len: usize) -> impl Strategy<Value = Op> {
+    // Set arms repeated to bias toward mutations (the vendored
+    // `prop_oneof!` picks arms uniformly, without weights).
+    prop_oneof![
+        (0..len, any::<bool>()).prop_map(|(idx, value)| Op::Set { idx, value }),
+        (0..len, any::<bool>()).prop_map(|(idx, value)| Op::Set { idx, value }),
+        (0..len, any::<bool>()).prop_map(|(idx, value)| Op::Set { idx, value }),
+        (0..len + 1, 0..len + 2).prop_map(|(lo, hi)| Op::CountRange { lo, hi }),
+        Just(Op::Count),
+        (0..len).prop_map(|idx| Op::Get { idx }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn matches_naive_bitvec_model(
+        len in 1usize..300,
+        seq in prop::collection::vec(op_strategy(300), 1..500),
+    ) {
+        let mut tree = FlagTree::new(len);
+        let mut model = vec![false; len];
+        prop_assert_eq!(tree.len(), len);
+        for op in seq {
+            match op {
+                Op::Set { idx, value } => {
+                    let idx = idx % len;
+                    tree.set(idx, value);
+                    model[idx] = value;
+                }
+                Op::CountRange { lo, hi } => {
+                    // `count_range` clamps hi to len; empty/inverted
+                    // ranges count zero, mirroring the model slice.
+                    let lo = lo.min(len);
+                    let hi = hi.min(len + 1);
+                    let expect = if lo < hi {
+                        model[lo..hi.min(len)].iter().filter(|&&b| b).count() as u64
+                    } else {
+                        0
+                    };
+                    prop_assert_eq!(tree.count_range(lo, hi), expect);
+                }
+                Op::Count => {
+                    let expect = model.iter().filter(|&&b| b).count() as u64;
+                    prop_assert_eq!(tree.count(), expect);
+                }
+                Op::Get { idx } => {
+                    let idx = idx % len;
+                    prop_assert_eq!(tree.get(idx), model[idx]);
+                }
+            }
+        }
+        // Final full agreement: every prefix sum matches the model.
+        let mut running = 0u64;
+        for (i, &b) in model.iter().enumerate() {
+            running += b as u64;
+            prop_assert_eq!(tree.count_range(0, i + 1), running);
+        }
+    }
+}

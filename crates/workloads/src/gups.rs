@@ -146,15 +146,14 @@ impl Gups {
         // Advance past the zero-fill device traffic (the load-from-disk
         // warm-up in the paper); otherwise its bulk backlog stalls every
         // later migration.
-        let drain = sim
-            .m
-            .nvm
-            .bulk_queue_delay(now + fill_cost, hemem_memdev::MemOp::Write)
-            .max(
-                sim.m
-                    .dram
-                    .bulk_queue_delay(now + fill_cost, hemem_memdev::MemOp::Write),
-            );
+        let mut drain = Ns::ZERO;
+        for &tier in sim.m.tiers() {
+            drain = drain.max(sim.m.tier_bulk_queue_delay(
+                now + fill_cost,
+                tier,
+                hemem_memdev::MemOp::Write,
+            ));
+        }
         sim.run_until(Ns(now.as_nanos() + fill_cost.as_nanos() + drain.as_nanos()));
         let hot_pages_per = (cfg.hot_set / cfg.threads as u64)
             .div_ceil(page_bytes)

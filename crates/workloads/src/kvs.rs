@@ -353,6 +353,9 @@ impl TierRho {
         match tier {
             Tier::Dram => self.dram,
             Tier::Nvm => self.nvm,
+            // KVS values never live on the block tier; an SSD-resident
+            // page contributes a major fault, not device utilization.
+            Tier::Ssd => 0.0,
         }
     }
 

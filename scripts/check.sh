@@ -7,6 +7,21 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+# N-tier hygiene: placement, audit, and quota machinery must iterate
+# the machine's tier vector, never a hardcoded DRAM/NVM pair. The only
+# allowed pair literal lives in the tier table (vmm/src/addr.rs);
+# #[cfg(test)] modules (which sit at the bottom of each file) are
+# exempt, so scanning stops at the first cfg(test) marker.
+echo "== tier-literal gate"
+bad=$(find crates -name '*.rs' -path '*/src/*' ! -path '*/vmm/src/addr.rs' -print0 \
+  | xargs -0 -n1 awk '/#\[cfg\(test\)\]/{exit} {print FILENAME ":" FNR ": " $0}' \
+  | grep -E '\[Tier::Dram, *Tier::Nvm\]|\[Tier::Nvm, *Tier::Dram\]' || true)
+if [ -n "$bad" ]; then
+  echo "hardcoded DRAM/NVM tier-pair literal outside the tier table:"
+  echo "$bad"
+  exit 1
+fi
+
 # --workspace everywhere: the root package is the only default member,
 # so bare cargo commands would skip the other crates.
 echo "== cargo build --release --workspace"
@@ -45,5 +60,14 @@ cargo build --release -p hemem-bench --bin obsbench
 echo "== colocation smoke"
 cargo build --release -p hemem-bench --bin colobench
 ./target/release/colobench --scale 96 --seconds 3
+
+# tierbench asserts internally that (a) the 2-tier machine is
+# byte-identical to the committed pre-SSD baseline, (b) the managed
+# 3-tier policy beats spill-at-allocation under 1.5x oversubscription,
+# and (c) 3-tier runs (plain and with seeded SSD faults) replay
+# byte-identically.
+echo "== tier-3 smoke"
+cargo build --release -p hemem-bench --bin tierbench
+./target/release/tierbench
 
 echo "== all checks passed"

@@ -39,6 +39,10 @@ fn check_accounting(sim: &Sim<AnyBackend>) {
                     tier: hemem_repro::vmm::Tier::Nvm,
                     ..
                 } => nvm_mapped += 1,
+                PageState::Mapped {
+                    tier: hemem_repro::vmm::Tier::Ssd,
+                    ..
+                } => {}
                 PageState::Unmapped | PageState::Swapped { .. } => {}
             }
         }
