@@ -25,7 +25,7 @@
 //!    greedy-miss-ratio must be strictly higher than under static equal
 //!    shares, and every run must pass the tenant-scoped audit.
 
-use hemem_bench::{f3, fingerprint, write_results, ExpArgs, Report};
+use hemem_bench::{f3, fingerprint, record_wallclock, write_results, ExpArgs, Report};
 use hemem_core::arbiter::ArbiterPolicy;
 use hemem_core::hemem::{HeMem, HeMemConfig};
 use hemem_core::runtime::Sim;
@@ -151,8 +151,13 @@ fn main() {
     let args = ExpArgs::parse();
     let seconds = args.seconds.unwrap_or(8);
     let dram = args.machine().dram.capacity;
+    let wall = std::time::Instant::now();
+    // Simulated time covered by the run, accumulated per gate/sweep
+    // (each run pays 1 s of warmup on top of its measured window).
+    let mut sim_secs = 0.0f64;
 
     solo_identity_gate(&args, seconds.min(3));
+    sim_secs += 2.0 * (1 + seconds.min(3)) as f64;
 
     // Gate 2: two-tenant replay determinism (short static-share run).
     let gate_secs = seconds.min(3);
@@ -177,6 +182,7 @@ fn main() {
         ra.fingerprint, rb.fingerprint,
         "identical submission streams"
     );
+    sim_secs += 2.0 * (2 + gate_secs) as f64;
     println!("replay: OK — two colocated runs are byte-identical");
 
     // The sweep: hot + cold under every arbiter policy.
@@ -197,6 +203,7 @@ fn main() {
     let mut aggregate = Vec::new();
     for policy in ArbiterPolicy::ALL {
         let (sim, res, tel) = run_mix(&args, policy, hot_cold_mix(dram), seconds);
+        sim_secs += (2 + seconds) as f64;
         let arb = sim
             .backend
             .arbiter()
@@ -255,4 +262,6 @@ fn main() {
         "colocation: OK — greedy {greedy_ops} ops vs static {static_ops} ops (+{:.1}%)",
         (greedy_ops as f64 / static_ops as f64 - 1.0) * 100.0
     );
+
+    record_wallclock("colobench", wall.elapsed().as_secs_f64(), sim_secs);
 }

@@ -24,7 +24,7 @@
 use std::path::Path;
 
 use hemem_baselines::{AnyBackend, BackendKind};
-use hemem_bench::{f3, fingerprint, write_results, ExpArgs, Report};
+use hemem_bench::{f3, fingerprint, record_wallclock, write_results, ExpArgs, Report};
 use hemem_core::backend::AccessBatch;
 use hemem_core::hemem::{HeMem, HeMemConfig};
 use hemem_core::machine::MachineConfig;
@@ -180,6 +180,10 @@ fn compare_or_seed(filename: &str, contents: &str, what: &str) {
 
 fn main() {
     let _args = ExpArgs::parse(); // accepted for CLI uniformity; gates are fixed
+    let wall = std::time::Instant::now();
+    // Every gate/telemetry run simulates 2 s warmup + 2 s measured.
+    const RUN_SECS: f64 = 4.0;
+    let mut sim_secs = 0.0f64;
 
     // Gate (a): the 2-tier machine is byte-identical to the pre-PR build.
     let (sim2, res2) = two_tier_run();
@@ -264,4 +268,9 @@ fn main() {
         &three_tier_telemetry(),
         "3-tier telemetry",
     );
+    // 8 simulated runs: 2-tier gate + its telemetry capture, five 3-tier
+    // runs (managed, spill, replay, 2x seeded-fault), 3-tier telemetry.
+    sim_secs += 8.0 * RUN_SECS;
+
+    record_wallclock("tierbench", wall.elapsed().as_secs_f64(), sim_secs);
 }

@@ -27,8 +27,41 @@
 //! always assigns the whole tier to the tenant, under every policy —
 //! that degenerate case is what keeps the arbitrated path byte-identical
 //! to the solo path.
+//!
+//! Tenants are a *lifecycle*, not a constant: slots can be admitted and
+//! retired mid-run ([`DramArbiter::admit`] / [`DramArbiter::retire`]),
+//! and a live tenant can be ballooned down to release pages back to a
+//! host reserve ([`DramArbiter::balloon`]). The quota floor is always
+//! recomputed from the live tenant set, admission is rejected when the
+//! floor would be unsatisfiable, and the conservation invariant extends
+//! to `sum(quotas) + unassigned == total` with every retired slot at
+//! zero — which is what the `ZombieTenantQuota` audit checks.
 
 use hemem_vmm::TenantId;
+
+/// Why an [`DramArbiter::admit`] call was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The slot index is outside the arbiter's capacity.
+    NoSuchSlot,
+    /// The slot is already live.
+    AlreadyLive,
+    /// Admitting one more tenant would make the per-tenant quota floor
+    /// unsatisfiable (`floor * live > total_pages`).
+    FloorUnsatisfiable,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::NoSuchSlot => write!(f, "tenant slot out of range"),
+            AdmitError::AlreadyLive => write!(f, "tenant already live"),
+            AdmitError::FloorUnsatisfiable => {
+                write!(f, "quota floor unsatisfiable for the grown live set")
+            }
+        }
+    }
+}
 
 /// How the arbiter divides the DRAM tier among tenants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,8 +140,17 @@ pub struct DramArbiter {
     policy: ArbiterPolicy,
     total_pages: u64,
     quotas: Vec<u64>,
-    /// Floor below which no tenant's quota is cut, in pages.
-    min_quota_pages: u64,
+    /// Liveness per slot: retired (or not-yet-admitted) slots hold zero
+    /// quota and are skipped by reallocation.
+    live: Vec<bool>,
+    /// Pages held by the host reserve rather than any tenant — the
+    /// destination of ballooned-out quota and the first source for
+    /// admission grants.
+    unassigned: u64,
+    /// Per-slot quota ceiling (`u64::MAX` = uncapped). A balloon pins
+    /// the cap at its target so periodic reallocation cannot regrow the
+    /// tenant past it; admit/retire reset the slot's cap.
+    caps: Vec<u64>,
     /// Quota moved per greedy reallocation, in pages.
     realloc_step_pages: u64,
     /// Reallocation period in simulated nanoseconds.
@@ -135,7 +177,29 @@ impl DramArbiter {
             policy,
             total_pages,
             quotas,
-            min_quota_pages: (total_pages / (8 * n)).max(1),
+            live: vec![true; tenants],
+            unassigned: 0,
+            caps: vec![u64::MAX; tenants],
+            realloc_step_pages: (total_pages / 64).max(1),
+            realloc_period_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
+            next_realloc_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
+            reallocations: 0,
+        }
+    }
+
+    /// Creates an arbiter with `capacity` tenant slots, none of them
+    /// live: every page sits in the host reserve until slots are
+    /// admitted one by one. This is the entry point for churny runs
+    /// where tenants arrive on a schedule rather than at construction.
+    pub fn deferred(policy: ArbiterPolicy, total_pages: u64, capacity: usize) -> DramArbiter {
+        assert!(capacity > 0, "arbiter needs at least one tenant slot");
+        DramArbiter {
+            policy,
+            total_pages,
+            quotas: vec![0; capacity],
+            live: vec![false; capacity],
+            unassigned: total_pages,
+            caps: vec![u64::MAX; capacity],
             realloc_step_pages: (total_pages / 64).max(1),
             realloc_period_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
             next_realloc_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
@@ -153,9 +217,34 @@ impl DramArbiter {
         self.total_pages
     }
 
-    /// Number of tenants sharing the tier.
+    /// Number of tenant slots (live or retired) the arbiter tracks.
     pub fn tenants(&self) -> usize {
         self.quotas.len()
+    }
+
+    /// Number of currently live tenants.
+    pub fn live_tenants(&self) -> usize {
+        self.live.iter().filter(|l| **l).count()
+    }
+
+    /// True while tenant `t` is live (admitted and not retired).
+    pub fn is_live(&self, t: TenantId) -> bool {
+        self.live.get(t.0 as usize).copied().unwrap_or(false)
+    }
+
+    /// Pages currently held by the host reserve.
+    pub fn unassigned_pages(&self) -> u64 {
+        self.unassigned
+    }
+
+    /// The per-tenant quota floor, recomputed from the *live* tenant
+    /// set: an eighth of an equal share, never below one page. With
+    /// every constructed slot live this equals the floor the arbiter
+    /// froze at construction before lifecycle support, so steady-state
+    /// runs replay byte-identically.
+    pub fn floor_pages(&self) -> u64 {
+        let n = (self.live_tenants() as u64).max(1);
+        (self.total_pages / (8 * n)).max(1)
     }
 
     /// Tenant `t`'s current DRAM quota, in pages.
@@ -189,10 +278,158 @@ impl DramArbiter {
         self.reallocations
     }
 
-    /// True while the quota vector still sums to the tier's capacity —
+    /// True while the quota vector plus the host reserve still sums to
+    /// the tier's capacity and every retired slot holds zero quota —
     /// the arbiter's conservation invariant, checked by the audit.
     pub fn conserved(&self) -> bool {
-        self.quotas.iter().sum::<u64>() == self.total_pages
+        self.quotas.iter().sum::<u64>() + self.unassigned == self.total_pages
+            && self
+                .quotas
+                .iter()
+                .zip(&self.live)
+                .all(|(q, l)| *l || *q == 0)
+    }
+
+    /// Admits tenant slot `t` into the live set, returning its granted
+    /// quota. The grant targets an equal share of the tier, drawn from
+    /// the host reserve first and then by shaving live tenants toward
+    /// the recomputed floor in index order. Admission is rejected when
+    /// the grown live set could not all sit at the floor.
+    pub fn admit(&mut self, t: TenantId) -> Result<u64, AdmitError> {
+        let i = t.0 as usize;
+        if i >= self.quotas.len() {
+            return Err(AdmitError::NoSuchSlot);
+        }
+        if self.live[i] {
+            return Err(AdmitError::AlreadyLive);
+        }
+        let n_new = self.live_tenants() as u64 + 1;
+        let floor = (self.total_pages / (8 * n_new)).max(1);
+        match floor.checked_mul(n_new) {
+            Some(need) if need <= self.total_pages => {}
+            _ => return Err(AdmitError::FloorUnsatisfiable),
+        }
+        debug_assert_eq!(self.quotas[i], 0, "retired slot held quota");
+        let want = self.total_pages / n_new;
+        let mut grant = self.unassigned.min(want.max(floor));
+        self.unassigned -= grant;
+        // The reserve alone may not reach the floor; shave live tenants
+        // down toward the floor, lowest index first. The admission check
+        // above guarantees this loop reaches the floor.
+        if grant < floor {
+            let mut need = floor - grant;
+            for (q, l) in self.quotas.iter_mut().zip(&self.live) {
+                if !*l || need == 0 {
+                    continue;
+                }
+                let cut = q.saturating_sub(floor).min(need);
+                *q -= cut;
+                grant += cut;
+                need -= cut;
+            }
+            assert_eq!(need, 0, "admission check let an unsatisfiable join in");
+        }
+        self.quotas[i] = grant;
+        self.live[i] = true;
+        self.caps[i] = u64::MAX;
+        debug_assert!(self.conserved(), "admit broke conservation");
+        Ok(grant)
+    }
+
+    /// Retires tenant `t`: the live-set shrink raises the floor, so the
+    /// reclaimed quota first lifts every straggling survivor (and its
+    /// balloon cap) up to the recomputed floor — drawing from the host
+    /// reserve if the retiree alone is not enough — and the remainder
+    /// is split equally (remainder pages to the lowest indices), or
+    /// returned to the reserve when no tenant survives. Returns the
+    /// reclaimed quota. Idempotent on already-retired slots.
+    pub fn retire(&mut self, t: TenantId) -> u64 {
+        let i = t.0 as usize;
+        if i >= self.quotas.len() || !self.live[i] {
+            return 0;
+        }
+        let reclaimed = std::mem::take(&mut self.quotas[i]);
+        self.live[i] = false;
+        self.caps[i] = u64::MAX;
+        let survivors: Vec<usize> = (0..self.quotas.len()).filter(|&j| self.live[j]).collect();
+        if survivors.is_empty() {
+            self.unassigned += reclaimed;
+        } else {
+            let floor = self.floor_pages();
+            let mut pool = reclaimed;
+            for &j in &survivors {
+                // The floor is the tenant's guarantee; a balloon cap
+                // below it no longer binds.
+                self.caps[j] = self.caps[j].max(floor);
+                if self.quotas[j] < floor {
+                    let need = floor - self.quotas[j];
+                    let take = need.min(pool);
+                    pool -= take;
+                    let pull = (need - take).min(self.unassigned);
+                    self.unassigned -= pull;
+                    self.quotas[j] += take + pull;
+                }
+            }
+            let n = survivors.len() as u64;
+            let base = pool / n;
+            let rem = pool % n;
+            let mut left = pool;
+            for (k, &j) in survivors.iter().enumerate() {
+                let give = (base + u64::from((k as u64) < rem))
+                    .min(self.caps[j].saturating_sub(self.quotas[j]));
+                self.quotas[j] += give;
+                left -= give;
+            }
+            // Survivors pinned at a balloon cap cannot absorb their
+            // share; the remainder goes to the host reserve.
+            self.unassigned += left;
+        }
+        debug_assert!(self.conserved(), "retire broke conservation");
+        reclaimed
+    }
+
+    /// Balloons live tenant `t` toward `target_pages`: a shrink releases
+    /// the difference to the host reserve, a grow draws from whatever
+    /// the reserve holds. The target is clamped to the live-set floor so
+    /// ballooning can never starve the tenant below its guarantee, and
+    /// it pins the slot's quota cap so periodic reallocation cannot
+    /// quietly regrow the tenant past it ([`DramArbiter::unballoon`]
+    /// lifts the cap). Returns the quota actually in effect afterwards.
+    pub fn balloon(&mut self, t: TenantId, target_pages: u64) -> u64 {
+        let i = t.0 as usize;
+        if i >= self.quotas.len() || !self.live[i] {
+            return 0;
+        }
+        let target = target_pages.max(self.floor_pages());
+        let q = self.quotas[i];
+        if target < q {
+            self.unassigned += q - target;
+            self.quotas[i] = target;
+        } else if target > q {
+            let take = (target - q).min(self.unassigned);
+            self.unassigned -= take;
+            self.quotas[i] += take;
+        }
+        self.caps[i] = if target_pages == u64::MAX {
+            u64::MAX
+        } else {
+            target
+        };
+        debug_assert!(self.conserved(), "balloon broke conservation");
+        self.quotas[i]
+    }
+
+    /// Lifts tenant `t`'s balloon cap without touching its quota; the
+    /// next reallocation may grow it again.
+    pub fn unballoon(&mut self, t: TenantId) {
+        if let Some(cap) = self.caps.get_mut(t.0 as usize) {
+            *cap = u64::MAX;
+        }
+    }
+
+    /// Tenant `t`'s quota ceiling (`u64::MAX` when uncapped).
+    pub fn quota_cap(&self, t: TenantId) -> u64 {
+        self.caps[t.0 as usize]
     }
 
     /// Tenant `t`'s share of a global per-period quantity (migration
@@ -217,10 +454,10 @@ impl DramArbiter {
         while self.next_realloc_ns <= now_ns {
             self.next_realloc_ns += self.realloc_period_ns;
         }
-        if self.quotas.len() < 2 || self.policy == ArbiterPolicy::StaticShares {
+        if self.live_tenants() < 2 || self.policy == ArbiterPolicy::StaticShares {
             return false;
         }
-        assert_eq!(signals.len(), self.quotas.len(), "one signal per tenant");
+        assert_eq!(signals.len(), self.quotas.len(), "one signal per slot");
         match self.policy {
             ArbiterPolicy::StaticShares => unreachable!(),
             ArbiterPolicy::ProportionalShares => self.realloc_proportional(signals),
@@ -232,35 +469,78 @@ impl DramArbiter {
     }
 
     /// Quota proportional to hot-set size, above a common floor. Integer
-    /// division remainders go to the lowest-indexed tenants, so the sum
-    /// is preserved exactly and the split is deterministic.
+    /// division remainders go to the lowest-indexed live tenants, so the
+    /// sum is preserved exactly and the split is deterministic. Only the
+    /// live set participates; the host reserve is never spent here. The
+    /// floor is recomputed from the live count and subtracted with
+    /// saturating arithmetic, so a live set churned down to one tenant
+    /// cannot underflow `spendable`.
     fn realloc_proportional(&mut self, signals: &[TenantSignal]) {
-        let n = self.quotas.len() as u64;
-        let floor = self.min_quota_pages.min(self.total_pages / n);
-        let spendable = self.total_pages - floor * n;
+        let live: Vec<usize> = (0..self.quotas.len()).filter(|&i| self.live[i]).collect();
+        let n = live.len() as u64;
+        let assignable = self.total_pages - self.unassigned;
+        let floor = self.floor_pages().min(assignable / n.max(1));
+        let spendable = assignable.saturating_sub(floor * n);
         // +1 keeps the weights non-degenerate when every tenant is cold.
-        let weights: Vec<u128> = signals.iter().map(|s| s.hot_bytes as u128 + 1).collect();
+        let weights: Vec<u128> = live
+            .iter()
+            .map(|&i| signals[i].hot_bytes as u128 + 1)
+            .collect();
         let sum: u128 = weights.iter().sum();
         let mut acc = 0u64;
-        for (q, w) in self.quotas.iter_mut().zip(&weights) {
-            *q = floor + (spendable as u128 * w / sum) as u64;
-            acc += *q;
+        for (&i, w) in live.iter().zip(&weights) {
+            self.quotas[i] = floor + (spendable as u128 * w / sum) as u64;
+            acc += self.quotas[i];
         }
-        let mut left = self.total_pages - acc;
+        let mut left = assignable - acc;
         let mut i = 0usize;
-        let n = self.quotas.len();
+        let n = live.len();
         while left > 0 {
-            self.quotas[i % n] += 1;
+            self.quotas[live[i % n]] += 1;
             left -= 1;
             i += 1;
         }
+        self.apply_caps(&live);
     }
 
-    /// Moves one quota step from the lowest-miss-rate tenant to the
+    /// Clamps every live quota to its balloon cap, redistributing the
+    /// excess round-robin to live tenants with cap headroom; whatever no
+    /// one can absorb goes to the host reserve. A no-op while every cap
+    /// is `u64::MAX`, which keeps cap-free runs byte-identical.
+    fn apply_caps(&mut self, live: &[usize]) {
+        let mut excess = 0u64;
+        for &i in live {
+            if self.quotas[i] > self.caps[i] {
+                excess += self.quotas[i] - self.caps[i];
+                self.quotas[i] = self.caps[i];
+            }
+        }
+        while excess > 0 {
+            let mut moved = false;
+            for &i in live {
+                if excess == 0 {
+                    break;
+                }
+                if self.quotas[i] < self.caps[i] {
+                    self.quotas[i] += 1;
+                    excess -= 1;
+                    moved = true;
+                }
+            }
+            if !moved {
+                self.unassigned += excess;
+                break;
+            }
+        }
+    }
+
+    /// Moves one quota step from the lowest-miss-rate live tenant to the
     /// highest, if the gap is material (≥ 1/64). Ties break toward the
-    /// lowest index, so the step is deterministic.
+    /// lowest index, so the step is deterministic. The floor protecting
+    /// the donor is recomputed from the live set.
     fn realloc_greedy(&mut self, signals: &[TenantSignal]) {
-        let ratios: Vec<(u128, u128)> = signals.iter().map(|s| s.miss_ratio()).collect();
+        let live: Vec<usize> = (0..self.quotas.len()).filter(|&i| self.live[i]).collect();
+        let ratios: Vec<(u128, u128)> = live.iter().map(|&i| signals[i].miss_ratio()).collect();
         let mut hi = 0usize;
         let mut lo = 0usize;
         for i in 1..ratios.len() {
@@ -280,11 +560,14 @@ impl DramArbiter {
         if 64 * (hn * ld).saturating_sub(ln * hd) < hd * ld {
             return;
         }
+        let floor = self.floor_pages();
         let step = self
             .realloc_step_pages
-            .min(self.quotas[lo].saturating_sub(self.min_quota_pages));
-        self.quotas[lo] -= step;
-        self.quotas[hi] += step;
+            .min(self.quotas[live[lo]].saturating_sub(floor))
+            // A ballooned winner cannot grow past its cap.
+            .min(self.caps[live[hi]].saturating_sub(self.quotas[live[hi]]));
+        self.quotas[live[lo]] -= step;
+        self.quotas[live[hi]] += step;
     }
 }
 
@@ -391,6 +674,131 @@ mod tests {
         let a = DramArbiter::new(ArbiterPolicy::StaticShares, 512, 2);
         assert_eq!(a.share_of(TenantId(0), 10_000_000_000), 5_000_000_000);
         assert_eq!(a.share_of(TenantId(1), 10_000_000_000), 5_000_000_000);
+    }
+
+    #[test]
+    fn retire_to_one_tenant_does_not_underflow_proportional() {
+        // Regression (satellite 1): the floor used to be frozen at
+        // construction, so shrinking the live set to 1 made
+        // `total - floor * n` computations fragile. The survivor must
+        // absorb everything and reallocation must stay conserved.
+        let mut a = DramArbiter::new(ArbiterPolicy::ProportionalShares, 512, 4);
+        for t in 1..4 {
+            a.retire(TenantId(t));
+        }
+        assert_eq!(a.live_tenants(), 1);
+        assert_eq!(a.quota_pages(TenantId(0)), 512);
+        // live < 2 short-circuits, but the math must also hold if run.
+        assert!(!a.maybe_realloc(100_000_000, &[hot(1); 4]));
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn admit_retire_at_max_capacity_stays_conserved() {
+        // Regression (satellite 1), n = max: fill every slot of a tiny
+        // tier where floors bind, then churn it.
+        let mut a = DramArbiter::deferred(ArbiterPolicy::ProportionalShares, 64, 8);
+        for t in 0..8 {
+            a.admit(TenantId(t)).expect("floor is satisfiable");
+        }
+        assert_eq!(a.live_tenants(), 8);
+        assert!(a.conserved());
+        assert!(a.maybe_realloc(100_000_000, &[hot(1 << 20); 8]));
+        assert!(a.conserved());
+        let floor = a.floor_pages();
+        for t in 0..8 {
+            assert!(a.quota_pages(TenantId(t)) >= floor);
+        }
+        for t in 0..8 {
+            a.retire(TenantId(t));
+            assert!(a.conserved());
+            assert_eq!(a.quota_pages(TenantId(t)), 0);
+        }
+        assert_eq!(a.unassigned_pages(), 64);
+    }
+
+    #[test]
+    fn admission_control_rejects_unsatisfiable_floor() {
+        // 4 pages cannot give 5 tenants a one-page floor each.
+        let mut a = DramArbiter::deferred(ArbiterPolicy::StaticShares, 4, 6);
+        for t in 0..4 {
+            assert!(a.admit(TenantId(t)).is_ok());
+        }
+        assert_eq!(a.admit(TenantId(4)), Err(AdmitError::FloorUnsatisfiable));
+        assert_eq!(a.admit(TenantId(2)), Err(AdmitError::AlreadyLive));
+        assert_eq!(a.admit(TenantId(9)), Err(AdmitError::NoSuchSlot));
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn admit_shaves_live_tenants_when_the_reserve_is_empty() {
+        let a = DramArbiter::new(ArbiterPolicy::GreedyMissRatio, 512, 2);
+        assert_eq!(a.unassigned_pages(), 0);
+        // Grow the slot table by retiring nobody: build a deferred one.
+        let mut b = DramArbiter::deferred(ArbiterPolicy::GreedyMissRatio, 512, 3);
+        b.admit(TenantId(0)).unwrap();
+        b.admit(TenantId(1)).unwrap();
+        // Balloon tenant 0 up to soak the whole reserve.
+        b.balloon(TenantId(0), u64::MAX);
+        assert_eq!(b.unassigned_pages(), 0);
+        let granted = b.admit(TenantId(2)).unwrap();
+        assert!(granted >= b.floor_pages(), "grant sits at or above floor");
+        assert!(b.conserved());
+        drop(a);
+    }
+
+    #[test]
+    fn balloon_clamps_at_the_floor_and_returns_pages_to_the_reserve() {
+        let mut a = DramArbiter::new(ArbiterPolicy::StaticShares, 512, 2);
+        let floor = a.floor_pages();
+        let after = a.balloon(TenantId(1), 0);
+        assert_eq!(after, floor, "shrink clamps at the live-set floor");
+        assert_eq!(a.unassigned_pages(), 256 - floor);
+        assert!(a.conserved());
+        // Growing back draws from the reserve.
+        let regrown = a.balloon(TenantId(1), 256);
+        assert_eq!(regrown, 256);
+        assert_eq!(a.unassigned_pages(), 0);
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn realloc_cannot_regrow_a_ballooned_tenant_past_its_cap() {
+        let mut a = DramArbiter::new(ArbiterPolicy::ProportionalShares, 512, 2);
+        let capped = a.balloon(TenantId(0), 100);
+        assert_eq!(capped, 100);
+        assert_eq!(a.quota_cap(TenantId(0)), 100);
+        // Tenant 0 looks far hotter, but the cap holds.
+        a.maybe_realloc(100_000_000, &[hot(8 << 30), hot(1 << 20)]);
+        assert!(a.quota_pages(TenantId(0)) <= 100, "{:?}", a.quotas());
+        assert!(a.conserved());
+        // Greedy, too: a capped winner takes no step beyond the cap.
+        let mut g = DramArbiter::new(ArbiterPolicy::GreedyMissRatio, 512, 2);
+        g.balloon(TenantId(0), 200);
+        g.maybe_realloc(100_000_000, &[misses(0, 1_000), misses(1_000, 0)]);
+        assert!(g.quota_pages(TenantId(0)) <= 200);
+        assert!(g.conserved());
+        // Lifting the cap restores mobility.
+        a.unballoon(TenantId(0));
+        a.maybe_realloc(200_000_000, &[hot(8 << 30), hot(1 << 20)]);
+        assert!(a.quota_pages(TenantId(0)) > 100);
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn retired_tenants_hold_zero_quota_and_zero_share() {
+        let mut a = DramArbiter::new(ArbiterPolicy::GreedyMissRatio, 512, 3);
+        a.retire(TenantId(1));
+        assert!(!a.is_live(TenantId(1)));
+        assert_eq!(a.quota_pages(TenantId(1)), 0);
+        assert_eq!(a.share_of(TenantId(1), 1_000_000), 0);
+        // Greedy realloc over the survivors never resurrects the slot.
+        a.maybe_realloc(
+            100_000_000,
+            &[misses(0, 1_000), misses(0, 0), misses(1_000, 0)],
+        );
+        assert_eq!(a.quota_pages(TenantId(1)), 0);
+        assert!(a.conserved());
     }
 
     #[test]

@@ -113,6 +113,27 @@ pub enum AuditViolation {
         /// Pages the tracker believes are resident there.
         tracked_pages: u64,
     },
+    /// A retired tenant still holds resident frames on some tier, or
+    /// in-flight journal entries — teardown reclamation leaked memory
+    /// (reported through `TieredBackend::audit`).
+    FrameLeakAfterRetire {
+        /// The retired tenant that still owns memory.
+        tenant: TenantId,
+        /// The tier the leaked frames live on.
+        tier: Tier,
+        /// Frames (or journal entries, for the journal pseudo-count)
+        /// still attributed to the tenant.
+        leaked_pages: u64,
+    },
+    /// A retired tenant still holds a nonzero DRAM quota in the arbiter —
+    /// its share was never returned to the live set (reported through
+    /// `TieredBackend::audit`).
+    ZombieTenantQuota {
+        /// The retired tenant.
+        tenant: TenantId,
+        /// The quota it still holds, in pages.
+        quota_pages: u64,
+    },
 }
 
 impl std::fmt::Display for AuditViolation {
@@ -176,6 +197,21 @@ impl std::fmt::Display for AuditViolation {
             } => write!(
                 f,
                 "{tenant} {tier:?}: space maps {space_pages} pages but tracker holds {tracked_pages}"
+            ),
+            AuditViolation::FrameLeakAfterRetire {
+                tenant,
+                tier,
+                leaked_pages,
+            } => write!(
+                f,
+                "retired {tenant} still holds {leaked_pages} pages on {tier:?}"
+            ),
+            AuditViolation::ZombieTenantQuota {
+                tenant,
+                quota_pages,
+            } => write!(
+                f,
+                "retired {tenant} still holds a {quota_pages}-page DRAM quota"
             ),
         }
     }

@@ -271,6 +271,20 @@ pub trait TieredBackend {
     fn audit(&self, _m: &MachineCore) -> Vec<crate::audit::AuditViolation> {
         Vec::new()
     }
+
+    /// A seeded tenant kill fired: the backend must *quarantine* the
+    /// tenant — stop scheduling policy work, placements, and sample
+    /// processing for it — so the machine can drain and reclaim its
+    /// resources. The machine rolls back the tenant's prepared journal
+    /// entries after this returns. The default suits single-tenant
+    /// backends, where tenant kills are never scheduled.
+    fn tenant_killed(&mut self, _m: &mut MachineCore, _tenant: hemem_vmm::TenantId, _now: Ns) {}
+
+    /// The killed tenant's DMA traffic has quiesced and the machine has
+    /// reclaimed its frames across every tier: the backend should drop
+    /// remaining per-tenant metadata and return the tenant's quota to
+    /// its arbiter, completing the Quarantined → Retired transition.
+    fn tenant_drained(&mut self, _m: &mut MachineCore, _tenant: hemem_vmm::TenantId, _now: Ns) {}
 }
 
 /// Residency-proportional split: accesses go to whatever tier their page

@@ -41,6 +41,17 @@ pub struct HeMemConfig {
     /// back through the device queue on access.
     #[serde(default)]
     pub nvm_watermark: u64,
+    /// Consecutive migration aborts that trip a tenant's circuit breaker
+    /// on multi-tenant machines; the tripped tenant sits out
+    /// `BREAKER_BACKOFF_TICKS` policy passes and then probes half-open.
+    /// Lower values make the breaker more aggressive under injected
+    /// fault storms; the default of 8 tolerates sporadic aborts.
+    #[serde(default = "default_breaker_threshold")]
+    pub breaker_threshold: u32,
+}
+
+fn default_breaker_threshold() -> u32 {
+    BREAKER_THRESHOLD
 }
 
 impl Default for HeMemConfig {
@@ -59,6 +70,7 @@ impl HeMemConfig {
             enable_migration: true,
             swap_watermark: 0,
             nvm_watermark: 0,
+            breaker_threshold: default_breaker_threshold(),
         }
     }
 
@@ -85,6 +97,46 @@ pub struct HeMemStats {
     pub managed_regions: u64,
     /// Small allocations forwarded to the kernel.
     pub forwarded_allocs: u64,
+    /// Per-tenant circuit-breaker trips (consecutive migration aborts
+    /// that put a tenant into scheduling backoff).
+    #[serde(default)]
+    pub breaker_trips: u64,
+    /// Ticks on which a slipped balloon deadline forced demotions.
+    #[serde(default)]
+    pub balloon_escalations: u64,
+}
+
+/// Where a tenant slot is in its lifecycle. The runtime drives the
+/// transitions: a seeded kill quarantines the slot, the post-quiescence
+/// drain retires it (Live → Quarantined → [drain] → Retired); admission
+/// takes a Retired (or never-admitted) slot back to Live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Lifecycle {
+    /// Scheduled normally.
+    Live,
+    /// Kill taken: nothing new is scheduled for the tenant while the
+    /// runtime rolls back its in-flight work and awaits DMA quiescence.
+    Quarantined,
+    /// Drained: frames reclaimed, quota returned. Also the starting
+    /// state of a deferred slot awaiting admission.
+    Retired,
+}
+
+/// Default for [`HeMemConfig::breaker_threshold`]: consecutive migration
+/// aborts that trip a tenant's circuit breaker.
+const BREAKER_THRESHOLD: u32 = 8;
+/// Policy ticks a tripped breaker holds the tenant out of scheduling.
+const BREAKER_BACKOFF_TICKS: u32 = 16;
+/// Forced demotions per tick once a balloon deadline has slipped.
+const BALLOON_ESCALATION_BATCH: usize = 64;
+
+/// An in-flight balloon shrink: the quota is already cut; the claim has
+/// until `deadline` to drain through watermark demotion before the
+/// manager starts forcing pages toward the slowest tier.
+#[derive(Debug, Clone, Copy)]
+struct BalloonDrain {
+    target_pages: u64,
+    deadline: Ns,
 }
 
 /// Per-tenant manager state: one hot/cold tracker plus the demand
@@ -99,6 +151,14 @@ struct TenantState {
     total_nvm_loads: u64,
     /// Samples this tenant's tracker consumed.
     samples_applied: u64,
+    /// Where the slot is in its admit/kill/drain lifecycle.
+    lifecycle: Lifecycle,
+    /// Consecutive migration aborts feeding the circuit breaker.
+    breaker_fails: u32,
+    /// Remaining ticks the tripped breaker skips this tenant's pass.
+    breaker_skip_ticks: u32,
+    /// In-flight balloon shrink, if any.
+    balloon: Option<BalloonDrain>,
 }
 
 impl TenantState {
@@ -110,6 +170,10 @@ impl TenantState {
             total_dram_loads: 0,
             total_nvm_loads: 0,
             samples_applied: 0,
+            lifecycle: Lifecycle::Live,
+            breaker_fails: 0,
+            breaker_skip_ticks: 0,
+            balloon: None,
         }
     }
 
@@ -158,6 +222,9 @@ pub struct HeMem {
     /// high-priority instance keeps all its data in fast memory).
     pin_new_regions: bool,
     pinned: std::collections::HashSet<RegionId>,
+    /// Churn mode: the arbiter starts with every page in the host
+    /// reserve and tenants join via [`HeMem::admit_tenant`].
+    deferred_admission: bool,
 }
 
 impl HeMem {
@@ -177,6 +244,7 @@ impl HeMem {
             small_growth: 0,
             pin_new_regions: false,
             pinned: std::collections::HashSet::new(),
+            deferred_admission: false,
         }
     }
 
@@ -192,6 +260,21 @@ impl HeMem {
             .map(|i| TenantState::new(TenantId(i), h.cfg.tracker.clone()))
             .collect();
         h.arbiter_policy = Some(policy);
+        h
+    }
+
+    /// Creates a churn-capable instance: `capacity` tenant slots, none
+    /// of them admitted. The arbiter starts with the whole tier in the
+    /// host reserve and tenants join on an arrival schedule through
+    /// [`HeMem::admit_tenant`] (and leave through seeded kills or
+    /// retirement). This is the entry point for open-loop
+    /// arrival/kill/balloon experiments.
+    pub fn churn(cfg: HeMemConfig, capacity: usize, policy: ArbiterPolicy) -> HeMem {
+        let mut h = HeMem::multi_tenant(cfg, capacity, policy);
+        for ts in &mut h.tenants {
+            ts.lifecycle = Lifecycle::Retired;
+        }
+        h.deferred_admission = true;
         h
     }
 
@@ -214,7 +297,11 @@ impl HeMem {
             return;
         }
         let policy = self.arbiter_policy.expect("checked above");
-        let mut arb = DramArbiter::new(policy, m.dram_pool.total_pages(), self.tenants.len());
+        let mut arb = if self.deferred_admission {
+            DramArbiter::deferred(policy, m.dram_pool.total_pages(), self.tenants.len())
+        } else {
+            DramArbiter::new(policy, m.dram_pool.total_pages(), self.tenants.len())
+        };
         if let Some(ns) = self.realloc_period_ns {
             arb.set_realloc_period_ns(ns);
         }
@@ -274,6 +361,96 @@ impl HeMem {
     /// Whether `region` is pinned to DRAM.
     pub fn is_pinned(&self, region: RegionId) -> bool {
         self.pinned.contains(&region)
+    }
+
+    /// Admits tenant `t` (dynamic join): asks the arbiter for a quota
+    /// grant, resets the slot's tracker and breaker state, and marks it
+    /// live. Rejected when the slot is out of range, already live, or
+    /// the grown live set could not all sit at the quota floor. Emits a
+    /// `tenant_admit` lifecycle instant on success.
+    pub fn admit_tenant(
+        &mut self,
+        m: &mut MachineCore,
+        t: TenantId,
+        now: Ns,
+    ) -> Result<u64, crate::arbiter::AdmitError> {
+        self.ensure_arbiter(m);
+        let arb = self
+            .arbiter
+            .as_mut()
+            .expect("admission needs a multi-tenant instance");
+        let granted = arb.admit(t)?;
+        let ts = &mut self.tenants[t.0 as usize];
+        ts.tracker = PageTracker::new(self.cfg.tracker.clone());
+        ts.window = TenantSignal::default();
+        ts.lifecycle = Lifecycle::Live;
+        ts.breaker_fails = 0;
+        ts.breaker_skip_ticks = 0;
+        ts.balloon = None;
+        m.trace.instant(
+            now,
+            "tenant_admit",
+            "lifecycle",
+            &[("tenant", t.0 as u64), ("granted_pages", granted)],
+        );
+        Ok(granted)
+    }
+
+    /// Balloons live tenant `t` down (or up) to `target_pages` with a
+    /// bounded drain deadline: the quota moves immediately and the
+    /// arbiter pins it there, so the scoped policy pass sees the
+    /// overshoot and demotes toward the watermark. A tick past
+    /// `deadline` with the DRAM claim still above target escalates to
+    /// forced demotion toward the slowest tier. Returns the quota in
+    /// effect (zero when the tenant is not live).
+    pub fn balloon_tenant(
+        &mut self,
+        m: &mut MachineCore,
+        t: TenantId,
+        target_pages: u64,
+        deadline: Ns,
+        now: Ns,
+    ) -> u64 {
+        self.ensure_arbiter(m);
+        let Some(arb) = self.arbiter.as_mut() else {
+            return 0;
+        };
+        if !arb.is_live(t) {
+            return 0;
+        }
+        let effective = arb.balloon(t, target_pages);
+        self.tenants[t.0 as usize].balloon = Some(BalloonDrain {
+            target_pages: effective,
+            deadline,
+        });
+        m.trace.instant(
+            now,
+            "tenant_balloon",
+            "lifecycle",
+            &[
+                ("tenant", t.0 as u64),
+                ("target_pages", effective),
+                ("deadline_ns", deadline.as_nanos()),
+            ],
+        );
+        effective
+    }
+
+    /// True while tenant `t` is live (admitted, not quarantined or
+    /// retired).
+    pub fn tenant_is_live(&self, t: TenantId) -> bool {
+        self.tenants
+            .get(t.0 as usize)
+            .map(|ts| ts.lifecycle == Lifecycle::Live)
+            .unwrap_or(false)
+    }
+
+    /// True once tenant `t` has fully drained (or was never admitted).
+    pub fn tenant_is_retired(&self, t: TenantId) -> bool {
+        self.tenants
+            .get(t.0 as usize)
+            .map(|ts| ts.lifecycle == Lifecycle::Retired)
+            .unwrap_or(false)
     }
 
     /// Paper-default HeMem.
@@ -470,7 +647,13 @@ impl TieredBackend for HeMem {
             if let Some(page) = m.space.page_at(VirtAddr(s.vaddr)) {
                 let idx = self.tenant_index(m, page.region);
                 let ts = &mut self.tenants[idx];
-                if ts.tracker.tracks(page.region) && demux.admit(idx) {
+                // Quarantined tenants consume no stream budget: a dying
+                // tenant mid-PEBS-storm cannot crowd out the survivors'
+                // classifiers.
+                if ts.lifecycle == Lifecycle::Live
+                    && ts.tracker.tracks(page.region)
+                    && demux.admit(idx)
+                {
                     ts.tracker.record(page, s.kind.is_store(), now);
                     ts.note_sample(s.kind);
                     self.stats.samples_applied += 1;
@@ -510,7 +693,7 @@ impl TieredBackend for HeMem {
                         "arbiter",
                         &[
                             ("reallocations", arb.reallocations()),
-                            ("quota_t0", arb.quota_pages(TenantId(0))),
+                            ("quota_t0", arb.quota_pages(self.tenants[0].id)),
                         ],
                     );
                 }
@@ -524,9 +707,26 @@ impl TieredBackend for HeMem {
             // One scoped policy pass per tenant, in tenant order. Each
             // pass sees its own quota headroom and budget share, so a
             // thrashing tenant exhausts only its own migration budget.
+            // Quarantined and retired slots schedule nothing, and a
+            // tenant whose circuit breaker tripped sits out its backoff
+            // so its failing migrations cannot camp on the fault
+            // machinery and starve the neighbors.
             let mut jobs = Vec::new();
             for i in 0..self.tenants.len() {
-                let scope = self.scope_for(i, m);
+                if self.tenants[i].lifecycle != Lifecycle::Live {
+                    continue;
+                }
+                if self.tenants[i].breaker_skip_ticks > 0 {
+                    self.tenants[i].breaker_skip_ticks -= 1;
+                    continue;
+                }
+                let mut scope = self.scope_for(i, m);
+                if self.tenants[i].breaker_fails >= self.cfg.breaker_threshold {
+                    // Half-open probe: a one-page rate budget until a
+                    // success closes the breaker.
+                    scope.max_inflight_pages = 1;
+                    scope.budget = m.cfg.managed_page.bytes();
+                }
                 let ts = &mut self.tenants[i];
                 jobs.extend(run_policy_scoped(
                     &self.cfg.policy,
@@ -548,9 +748,14 @@ impl TieredBackend for HeMem {
             // In-flight NVM→SSD demotions free their NVM frames on
             // commit; count them as already on the way to free so
             // back-to-back ticks do not demote the same deficit twice.
-            let pending = m
-                .journal
-                .prepared_freeing_for(hemem_vmm::TenantId::SOLO, Tier::Nvm)
+            // Summed per tenant: the journal indexes entries by owner,
+            // and a multi-tenant machine demotes under every tenant's
+            // id, not just the solo one.
+            let pending = self
+                .tenants
+                .iter()
+                .map(|ts| m.journal.prepared_freeing_for(ts.id, Tier::Nvm))
+                .sum::<u64>()
                 * page_bytes;
             let mut need = self
                 .cfg
@@ -562,6 +767,9 @@ impl TieredBackend for HeMem {
                 for ts in &mut self.tenants {
                     if need == 0 || pushed >= 64 {
                         break;
+                    }
+                    if ts.lifecycle != Lifecycle::Live {
+                        continue;
                     }
                     if let Some(victim) = ts.tracker.pop_swap_victim() {
                         migrations.push(crate::backend::MigrationJob {
@@ -596,6 +804,9 @@ impl TieredBackend for HeMem {
                     if need == 0 || swap_outs.len() >= 64 {
                         break;
                     }
+                    if ts.lifecycle != Lifecycle::Live {
+                        continue;
+                    }
                     if let Some(victim) = ts.tracker.pop_swap_victim() {
                         swap_outs.push(victim);
                         need = need.saturating_sub(page_bytes);
@@ -604,6 +815,66 @@ impl TieredBackend for HeMem {
                 }
                 if !popped {
                     break;
+                }
+            }
+        }
+        // Balloon deadline enforcement: while a shrink drains, the
+        // scoped watermark pass above does the work. Once the claim
+        // reaches the target the cap lifts; past the deadline the
+        // manager escalates and forces the coldest pages toward the
+        // slowest tier itself.
+        if multi && self.cfg.enable_migration {
+            let mechanism = self.cfg.policy.mechanism_for(m);
+            let slowest = if m.has_ssd() { Tier::Ssd } else { Tier::Nvm };
+            for i in 0..self.tenants.len() {
+                let Some(b) = self.tenants[i].balloon else {
+                    continue;
+                };
+                if self.tenants[i].lifecycle != Lifecycle::Live {
+                    self.tenants[i].balloon = None;
+                    continue;
+                }
+                let t = self.tenants[i].id;
+                let claim = m.space.tenant_frames(t).dram_pages
+                    + m.journal.prepared_into_for(t, Tier::Dram);
+                if claim <= b.target_pages {
+                    self.tenants[i].balloon = None;
+                    if let Some(arb) = &mut self.arbiter {
+                        arb.unballoon(t);
+                    }
+                    m.trace.instant(
+                        now,
+                        "tenant_balloon_done",
+                        "lifecycle",
+                        &[("tenant", t.0 as u64), ("claim_pages", claim)],
+                    );
+                    continue;
+                }
+                if now <= b.deadline {
+                    continue;
+                }
+                let mut need = (claim - b.target_pages) as usize;
+                let mut forced = 0usize;
+                while need > 0 && forced < BALLOON_ESCALATION_BATCH {
+                    let Some(victim) = self.tenants[i].tracker.pop_demotion(true) else {
+                        break;
+                    };
+                    migrations.push(crate::backend::MigrationJob {
+                        page: victim,
+                        dst: slowest,
+                        mechanism,
+                    });
+                    need -= 1;
+                    forced += 1;
+                }
+                if forced > 0 {
+                    self.stats.balloon_escalations += 1;
+                    m.trace.instant(
+                        now,
+                        "tenant_balloon_escalate",
+                        "lifecycle",
+                        &[("tenant", t.0 as u64), ("forced_pages", forced as u64)],
+                    );
                 }
             }
         }
@@ -631,11 +902,17 @@ impl TieredBackend for HeMem {
         // Tenants are scanned in order; with one tenant this is the
         // plain two-step lookup.
         for ts in &mut self.tenants {
+            if ts.lifecycle != Lifecycle::Live {
+                continue;
+            }
             if let Some(victim) = ts.tracker.pop_swap_victim() {
                 return Some(victim);
             }
         }
         for ts in &mut self.tenants {
+            if ts.lifecycle != Lifecycle::Live {
+                continue;
+            }
             if let Some(victim) = ts.tracker.pop_demotion(false) {
                 return Some(victim);
             }
@@ -645,13 +922,29 @@ impl TieredBackend for HeMem {
 
     fn migration_done(&mut self, m: &mut MachineCore, page: PageId, dst: Tier) {
         let idx = self.tenant_index(m, page.region);
-        self.tenants[idx].tracker.placed(page, dst);
+        let ts = &mut self.tenants[idx];
+        ts.tracker.placed(page, dst);
+        // A success closes the tenant's circuit breaker.
+        ts.breaker_fails = 0;
     }
 
     fn migration_aborted(&mut self, m: &mut MachineCore, page: PageId, current: Tier) {
         // The page never left `current`; put it back on the right queue.
         let idx = self.tenant_index(m, page.region);
-        self.tenants[idx].tracker.placed(page, current);
+        let ts = &mut self.tenants[idx];
+        ts.tracker.placed(page, current);
+        // Per-tenant circuit breaker (multi-tenant only): consecutive
+        // failures — a tenant camped on 100%-failing media — trip the
+        // slot into a scheduling backoff instead of letting it retry
+        // the same doomed pages through the shared fault threads.
+        if self.tenants.len() > 1 {
+            let ts = &mut self.tenants[idx];
+            ts.breaker_fails += 1;
+            if ts.breaker_fails >= self.cfg.breaker_threshold && ts.breaker_skip_ticks == 0 {
+                ts.breaker_skip_ticks = BREAKER_BACKOFF_TICKS;
+                self.stats.breaker_trips += 1;
+            }
+        }
     }
 
     fn background_threads(&self) -> u32 {
@@ -676,6 +969,38 @@ impl TieredBackend for HeMem {
         }
     }
 
+    fn tenant_killed(&mut self, _m: &mut MachineCore, tenant: TenantId, _now: Ns) {
+        let Some(ts) = self.tenants.get_mut(tenant.0 as usize) else {
+            return;
+        };
+        if ts.lifecycle != Lifecycle::Live {
+            return;
+        }
+        // Quarantine: stop scheduling the tenant. The runtime rolls its
+        // in-flight work back and calls `tenant_drained` once the DMA
+        // engine has quiesced and its frames are reclaimed.
+        ts.lifecycle = Lifecycle::Quarantined;
+        ts.window = TenantSignal::default();
+        ts.balloon = None;
+        ts.breaker_fails = 0;
+        ts.breaker_skip_ticks = 0;
+    }
+
+    fn tenant_drained(&mut self, _m: &mut MachineCore, tenant: TenantId, _now: Ns) {
+        let Some(ts) = self.tenants.get_mut(tenant.0 as usize) else {
+            return;
+        };
+        if ts.lifecycle == Lifecycle::Retired {
+            return;
+        }
+        ts.lifecycle = Lifecycle::Retired;
+        // Quarantined → Retired: the quota goes back to the arbiter,
+        // which redistributes it across the survivors.
+        if let Some(arb) = &mut self.arbiter {
+            arb.retire(tenant);
+        }
+    }
+
     fn audit(&self, m: &MachineCore) -> Vec<crate::audit::AuditViolation> {
         let mut v: Vec<crate::audit::AuditViolation> = Vec::new();
         for ts in &self.tenants {
@@ -697,16 +1022,44 @@ impl TieredBackend for HeMem {
         };
         for ts in &self.tenants {
             let t = ts.id;
+            // Retirement must be complete: a retired slot may hold no
+            // quota (and must read dead to the arbiter) and no frames on
+            // any tier, mapped or in flight. Never-admitted deferred
+            // slots pass both vacuously.
+            if ts.lifecycle == Lifecycle::Retired {
+                if arb.is_live(t) || arb.quota_pages(t) != 0 {
+                    v.push(crate::audit::AuditViolation::ZombieTenantQuota {
+                        tenant: t,
+                        quota_pages: arb.quota_pages(t),
+                    });
+                }
+                let tf = m.space.tenant_frames(t);
+                for &tier in m.tiers() {
+                    let leaked = tf.pages_of(tier)
+                        + m.journal.prepared_into_for(t, tier)
+                        + m.journal.prepared_freeing_for(t, tier);
+                    if leaked != 0 {
+                        v.push(crate::audit::AuditViolation::FrameLeakAfterRetire {
+                            tenant: t,
+                            tier,
+                            leaked_pages: leaked,
+                        });
+                    }
+                }
+                continue;
+            }
             let tf = m.space.tenant_frames(t);
             let resident = tf.dram_pages + m.journal.prepared_into_for(t, Tier::Dram);
             let quota = arb.quota_pages(t);
             // Two realloc steps of grace: the step the last reallocation
             // just moved, plus at most one period of demotion backlog
             // still draining from the step before it; in-flight
-            // promotions on top.
+            // promotions on top. A draining balloon is exempt — the
+            // quota just moved arbitrarily far below the claim, and the
+            // deadline machinery (not this check) polices the drain.
             let grace = 2 * arb.realloc_step_pages()
                 + arb.share_of(t, self.cfg.policy.max_inflight_pages).max(1);
-            if resident > quota + grace {
+            if resident > quota + grace && ts.balloon.is_none() {
                 v.push(crate::audit::AuditViolation::QuotaExceeded {
                     tenant: t,
                     resident_pages: resident,
@@ -996,6 +1349,162 @@ mod swap_tests {
             s.m.stats.swap_outs <= 32,
             "bounded by the swap file: {}",
             s.m.stats.swap_outs
+        );
+    }
+}
+
+#[cfg(test)]
+mod lifecycle_tests {
+    use super::*;
+    use crate::arbiter::ArbiterPolicy;
+    use crate::machine::MachineConfig;
+    use crate::runtime::Sim;
+    use hemem_memdev::GIB;
+    use hemem_sim::TenantKill;
+
+    /// Two tenants, 1 GiB region each, populated in tenant order.
+    fn duo(mc: MachineConfig) -> Sim<HeMem> {
+        let hc = HeMemConfig::scaled_for(&mc);
+        let mut s = Sim::new(
+            mc,
+            HeMem::multi_tenant(hc, 2, ArbiterPolicy::GreedyMissRatio),
+        );
+        s.set_active_tenant(TenantId(0));
+        let a = s.mmap(GIB);
+        s.populate(a, true);
+        s.set_active_tenant(TenantId(1));
+        let b = s.mmap(GIB);
+        s.populate(b, true);
+        s
+    }
+
+    #[test]
+    fn seeded_kill_quarantines_drains_and_reclaims_every_tier() {
+        let mut mc = MachineConfig::small(1, 8).with_tier3(16 * GIB);
+        mc.chaos.tenant_kill_at = vec![TenantKill {
+            tenant: 1,
+            at: Ns::secs(2),
+        }];
+        let mut s = duo(mc);
+        s.advance(Ns::secs(3));
+        assert_eq!(s.m.recovery.tenant_kills, 1);
+        assert_eq!(s.m.recovery.tenant_drains, 1);
+        assert!(s.backend.tenant_is_retired(TenantId(1)));
+        let tf = s.m.space.tenant_frames(TenantId(1));
+        assert_eq!(
+            tf.dram_pages + tf.nvm_pages + tf.ssd_pages,
+            0,
+            "every tier reclaimed"
+        );
+        let arb = s.backend.arbiter().expect("multi-tenant arbiter");
+        assert!(!arb.is_live(TenantId(1)));
+        assert_eq!(arb.quota_pages(TenantId(1)), 0);
+        assert!(arb.conserved());
+        // The survivor keeps its memory and the books stay clean —
+        // FrameLeakAfterRetire and ZombieTenantQuota both have teeth
+        // here because tenant 1 is Retired.
+        let sf = s.m.space.tenant_frames(TenantId(0));
+        assert!(sf.dram_pages + sf.nvm_pages > 0, "survivor untouched");
+        assert_eq!(s.run_audit(false), Vec::new());
+    }
+
+    #[test]
+    fn kill_mid_flight_rolls_back_the_tenants_journal_entries() {
+        // 2 GiB over 1 GiB DRAM: the watermark keeps demotions in
+        // flight, so an injected kill almost always catches tenant 1
+        // with prepared journal entries.
+        let mc = MachineConfig::small(1, 8);
+        let mut s = duo(mc);
+        let in_flight = s.m.journal.prepared_freeing_for(TenantId(1), Tier::Dram)
+            + s.m.journal.prepared_into_for(TenantId(1), Tier::Dram);
+        s.inject_tenant_kill(TenantId(1));
+        s.advance(Ns::millis(500));
+        assert!(s.backend.tenant_is_retired(TenantId(1)));
+        if in_flight > 0 {
+            assert!(
+                s.m.recovery.journal_rollbacks > 0,
+                "prepared entries were rolled back, not leaked"
+            );
+        }
+        assert_eq!(
+            s.m.journal.prepared_freeing_for(TenantId(1), Tier::Dram)
+                + s.m.journal.prepared_into_for(TenantId(1), Tier::Dram),
+            0
+        );
+        assert_eq!(s.run_audit(false), Vec::new());
+        // The machine keeps working for the survivor.
+        s.advance(Ns::secs(1));
+        assert!(!s.manager_down());
+    }
+
+    #[test]
+    fn dynamic_admission_balloon_and_floor_rejection() {
+        let mc = MachineConfig::small(1, 8);
+        let hc = HeMemConfig::scaled_for(&mc);
+        let mut s = Sim::new(mc, HeMem::churn(hc, 3, ArbiterPolicy::ProportionalShares));
+        let now = s.now();
+        s.backend
+            .admit_tenant(&mut s.m, TenantId(0), now)
+            .expect("first join");
+        assert!(s.backend.tenant_is_live(TenantId(0)));
+        s.set_active_tenant(TenantId(0));
+        let a = s.mmap(GIB);
+        s.populate(a, true);
+        let now = s.now();
+        s.backend
+            .admit_tenant(&mut s.m, TenantId(1), now)
+            .expect("second join");
+        let now = s.now();
+        assert_eq!(
+            s.backend.admit_tenant(&mut s.m, TenantId(1), now),
+            Err(crate::arbiter::AdmitError::AlreadyLive)
+        );
+        // Balloon tenant 0 down to an eighth of the tier with a 100 ms
+        // drain deadline; watermark demotion plus post-deadline forced
+        // demotion must bring the claim under target.
+        let target = s.m.dram_pool.total_pages() / 8;
+        let now = s.now();
+        let deadline = now + Ns::millis(100);
+        let q = s
+            .backend
+            .balloon_tenant(&mut s.m, TenantId(0), target, deadline, now);
+        assert_eq!(q, target);
+        s.advance(Ns::secs(3));
+        let tf = s.m.space.tenant_frames(TenantId(0));
+        assert!(
+            tf.dram_pages <= target,
+            "balloon drained: {} pages > {target}",
+            tf.dram_pages
+        );
+        assert_eq!(s.run_audit(false), Vec::new());
+    }
+
+    #[test]
+    fn media_storm_trips_the_per_tenant_breaker_without_wedging() {
+        // Near-total media failure: every aborted demotion also retires
+        // its destination frame, so an unbreakered manager would grind
+        // the NVM pool away retrying doomed pages. The breaker throttles
+        // each tenant to a one-page probe per backoff window.
+        let mut mc = MachineConfig::small(1, 32);
+        mc.chaos.seed = 7;
+        mc.chaos.nvm_media_error = 0.9;
+        mc.chaos.pebs_storm = 0.5;
+        let mut s = duo(mc);
+        let retired_early = s.m.stats.pages_retired;
+        s.advance(Ns::secs(2));
+        assert!(
+            s.backend.stats().breaker_trips > 0,
+            "persistent media errors trip the breaker"
+        );
+        assert!(!s.manager_down(), "fault threads never wedge");
+        assert!(s.m.stats.migrations_failed > 0);
+        // The probe budget bounds the post-populate burn rate: 2 s is
+        // 200 policy ticks; unthrottled retries would retire frames at
+        // the full per-tick migration budget (dozens per tick).
+        let burned = s.m.stats.pages_retired - retired_early;
+        assert!(
+            burned < 800,
+            "breaker bounded the retry burn: {burned} frames retired"
         );
     }
 }

@@ -11,7 +11,7 @@ use hemem_memdev::{
     Device, DeviceConfig, DmaConfig, DmaEngine, Llc, MemOp, Reservation, SsdConfig, SsdDevice, GIB,
 };
 use hemem_pebs::{Pebs, PebsConfig};
-use hemem_sim::{CoreModel, FaultPlan, FaultPlanConfig, Ns, Rng, Tracer};
+use hemem_sim::{CoreModel, FaultPlan, FaultPlanConfig, Histogram, Ns, Rng, Tracer};
 use hemem_vmm::{
     AddressSpace, FaultConfig, FaultStats, FaultThread, PageSize, PhysPool, ScanConfig, Tier, Tlb,
     TlbConfig,
@@ -212,6 +212,12 @@ pub struct RecoveryStats {
     /// Invariant-audit violations observed (each violation instance
     /// counts once per audit that sees it).
     pub audit_violations: u64,
+    /// Injected tenant kills taken.
+    #[serde(default)]
+    pub tenant_kills: u64,
+    /// Tenants fully drained and retired after a kill or departure.
+    #[serde(default)]
+    pub tenant_drains: u64,
 }
 
 /// All hardware and OS state of the simulated machine.
@@ -269,6 +275,12 @@ pub struct MachineCore {
     /// Structured tracing: span/instant events (when enabled), latency
     /// histograms, and policy decision attribution (always).
     pub trace: Tracer,
+    /// Per-tenant major-fault service-time histograms (tier-3 swap-ins),
+    /// keyed by tenant slot. The global `trace` histogram mixes every
+    /// tenant together; fault-isolation gates need the survivor's tail
+    /// separated from a storm-afflicted neighbor's. BTreeMap keeps
+    /// iteration order deterministic.
+    pub tenant_major_faults: std::collections::BTreeMap<u32, Histogram>,
 }
 
 impl MachineCore {
@@ -303,6 +315,7 @@ impl MachineCore {
             chaos: FaultPlan::new(cfg.chaos.clone()),
             next_swap_slot: 0,
             trace: Tracer::new(cfg.trace),
+            tenant_major_faults: std::collections::BTreeMap::new(),
             cfg,
         }
     }

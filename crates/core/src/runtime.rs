@@ -45,6 +45,14 @@ pub enum Event {
     ManagerRecover,
     /// Periodic invariant audit.
     AuditTick,
+    /// Injected kill of one tenant (by slot index): the tenant is
+    /// quarantined — no further policy work is scheduled for it — and a
+    /// [`Event::TenantDrain`] is scheduled for after DMA quiescence.
+    TenantKill(u32),
+    /// The killed tenant's in-flight work has quiesced: roll back its
+    /// prepared journal entries, reclaim its frames across every tier,
+    /// and return its quota to the arbiter.
+    TenantDrain(u32),
     /// Workload-defined timer.
     Custom(u64),
 }
@@ -132,6 +140,11 @@ impl<B: TieredBackend> Sim<B> {
         };
         for t in kills {
             sim.queue.push_at(t, Event::ManagerKill);
+        }
+        // Tenant kills are explicit (tenant, instant) pairs; an empty
+        // schedule pushes nothing, keeping churn-free runs bit-identical.
+        for k in sim.m.chaos.tenant_kills().to_vec() {
+            sim.queue.push_at(k.at, Event::TenantKill(k.tenant));
         }
         if let Some(w) = &sim.watchdog {
             sim.queue.push_at(w.period, Event::WatchdogCheck);
@@ -409,6 +422,8 @@ impl<B: TieredBackend> Sim<B> {
                     self.queue.push_after(p, Event::AuditTick);
                 }
             }
+            Event::TenantKill(t) => self.kill_tenant(now, hemem_vmm::TenantId(t)),
+            Event::TenantDrain(t) => self.drain_tenant(now, hemem_vmm::TenantId(t)),
             Event::ThreadReady(_) | Event::Custom(_) => {
                 // Dropped: run_until discards workload events in its window.
             }
@@ -423,6 +438,117 @@ impl<B: TieredBackend> Sim<B> {
             self.manager_down = true;
             self.m.recovery.manager_kills += 1;
         }
+    }
+
+    /// Kills one tenant immediately (test/bench hook; scheduled kills
+    /// come from [`hemem_sim::FaultPlanConfig::tenant_kill_at`]).
+    pub fn inject_tenant_kill(&mut self, tenant: hemem_vmm::TenantId) {
+        let now = self.now();
+        self.kill_tenant(now, tenant);
+    }
+
+    /// A tenant died: quarantine it (the backend stops scheduling its
+    /// policy work, placements, and samples), roll its in-flight
+    /// swap-outs back, and schedule the drain for after the DMA engine
+    /// has quiesced — its prepared migrations must not have frames
+    /// reclaimed under a copy still in flight, mirroring the manager
+    /// recovery path.
+    fn kill_tenant(&mut self, now: Ns, tenant: hemem_vmm::TenantId) {
+        self.m.recovery.tenant_kills += 1;
+        self.m.trace.instant(
+            now,
+            "tenant_kill",
+            "lifecycle",
+            &[("tenant", tenant.0 as u64)],
+        );
+        self.backend.tenant_killed(&mut self.m, tenant, now);
+        // In-flight swap-outs of the tenant's pages: the owning process
+        // is gone, so the copy is abandoned and the page unlocked (the
+        // drain reclaims its frame either way).
+        let mut swaps: Vec<u64> = self
+            .pending_swaps
+            .iter()
+            .filter(|(_, (page, _))| self.m.space.region(page.region).tenant() == tenant)
+            .map(|(&id, _)| id)
+            .collect();
+        swaps.sort_unstable();
+        for id in swaps {
+            let (page, _slot) = self.pending_swaps.remove(&id).expect("key just listed");
+            let _ = self
+                .m
+                .space
+                .region_mut(page.region)
+                .try_set_wp(page.index, false);
+            self.m.recovery.swap_rollbacks += 1;
+        }
+        let at = now.max(self.m.dma.quiesce_at());
+        self.queue.push_at(at, Event::TenantDrain(tenant.0));
+    }
+
+    /// Completes a killed tenant's teardown once its DMA traffic has
+    /// quiesced: rolls back its prepared journal entries, unmaps its
+    /// regions and reclaims their frames across every tier, and hands
+    /// the backend the final `tenant_drained` notification (which
+    /// returns the quota to the arbiter). After this, the
+    /// `FrameLeakAfterRetire` / `ZombieTenantQuota` audits must find
+    /// nothing attributed to the tenant.
+    fn drain_tenant(&mut self, now: Ns, tenant: hemem_vmm::TenantId) {
+        // Journal rollback, in transaction order: prepared entries lost
+        // their owner; release the destination frame and unlock the
+        // source. Entries whose copy already committed flipped the
+        // mapping earlier — their frames fall out with the region walk
+        // below.
+        let ids: Vec<u64> = self
+            .m
+            .journal
+            .entries()
+            .filter(|(_, e)| e.tenant == tenant && e.state == TxnState::Prepared)
+            .map(|(id, _)| id)
+            .collect();
+        for id in ids {
+            let e = self.m.journal.abort(id).expect("entry just listed");
+            let _ = self
+                .m
+                .space
+                .region_mut(e.page.region)
+                .try_set_wp(e.page.index, false);
+            self.m.pool_mut(e.dst_tier).free(e.dst_phys);
+            self.m.recovery.journal_rollbacks += 1;
+            self.m
+                .trace
+                .span_drop(now, "migration", "migration", id, &[("rollback", 1)]);
+        }
+        // Reclaim the tenant's memory across every tier: unmap each of
+        // its regions and return ManagedHeap frames to their pools
+        // (SmallAnon pages are kernel-backed and free with the region).
+        let regions: Vec<RegionId> = self
+            .m
+            .space
+            .regions()
+            .filter(|r| r.tenant() == tenant)
+            .map(|r| r.id())
+            .collect();
+        let mut reclaimed = 0u64;
+        for id in regions {
+            self.backend.on_munmap(&mut self.m, id);
+            let region = self.m.space.munmap(id);
+            if region.kind() == RegionKind::ManagedHeap {
+                for i in 0..region.page_count() {
+                    if let hemem_vmm::PageState::Mapped { tier, phys, .. } = region.state(i) {
+                        self.m.pool_mut(tier).free(phys);
+                        reclaimed += 1;
+                    }
+                }
+            }
+        }
+        self.backend.tenant_drained(&mut self.m, tenant, now);
+        self.m.recovery.tenant_drains += 1;
+        self.m.trace.instant(
+            now,
+            "tenant_drained",
+            "lifecycle",
+            &[("tenant", tenant.0 as u64), ("reclaimed_pages", reclaimed)],
+        );
     }
 
     /// One watchdog period: checks the policy-tick deadline and the fault
@@ -864,6 +990,46 @@ impl<B: TieredBackend> Sim<B> {
         }
     }
 
+    /// Allocates a frame for an incoming page, direct-reclaiming under
+    /// pressure. Tries the desired tier, then the other memory tier, and
+    /// only then pays for synchronous reclaim. Reclaim is retried a
+    /// bounded number of times: an injected media error can retire the
+    /// very frame a reclaim just freed (and a victim popped mid-migration
+    /// is skipped as busy), and a single attempt would turn that
+    /// recoverable pressure into a machine OOM kill. Genuine exhaustion —
+    /// nothing left to reclaim — still surfaces as `OutOfMemory`.
+    fn alloc_with_reclaim(
+        &mut self,
+        desired: Tier,
+        now: Ns,
+    ) -> Result<(Tier, PhysPage, Ns), MemError> {
+        const RECLAIM_RETRIES: u32 = 64;
+        if let Some(p) = self.alloc_frame(desired) {
+            return Ok((desired, p, Ns::ZERO));
+        }
+        let other = desired.other();
+        if let Some(p) = self.alloc_frame(other) {
+            return Ok((other, p, Ns::ZERO));
+        }
+        let mut extra = Ns::ZERO;
+        for _ in 0..RECLAIM_RETRIES {
+            match self.direct_reclaim(now) {
+                Ok(ns) => extra += ns,
+                // The popped victim was already under migration; the next
+                // pop yields a different page.
+                Err(MemError::ReclaimVictimBusy(_)) => continue,
+                Err(e) => return Err(e),
+            }
+            if let Some(p) = self.alloc_frame(desired) {
+                return Ok((desired, p, extra));
+            }
+            if let Some(p) = self.alloc_frame(other) {
+                return Ok((other, p, extra));
+            }
+        }
+        Err(MemError::OutOfMemory)
+    }
+
     /// Records erase-block wear on the SSD device for one page-frame
     /// write (frames are laid out contiguously by index).
     fn note_ssd_block_write(&mut self, phys: PhysPage, page_bytes: u64) {
@@ -913,26 +1079,7 @@ impl<B: TieredBackend> Sim<B> {
         // the disk read (swapping is the slowest tier, §3.4).
         if let hemem_vmm::PageState::Swapped { .. } = region.state(page.index) {
             let desired = self.backend.place(&mut self.m, page, is_write);
-            let mut extra = Ns::ZERO;
-            let (tier, phys) = match self.alloc_frame(desired) {
-                Some(p) => (desired, p),
-                None => {
-                    let other = desired.other();
-                    match self.alloc_frame(other) {
-                        Some(p) => (other, p),
-                        None => {
-                            // Both tiers full: direct-reclaim a victim to
-                            // make room for the page coming in.
-                            extra = self.direct_reclaim(now)?;
-                            let p = self
-                                .alloc_frame(desired)
-                                .or_else(|| self.alloc_frame(desired.other()))
-                                .ok_or(MemError::OutOfMemory)?;
-                            (desired, p)
-                        }
-                    }
-                }
-            };
+            let (tier, phys, extra) = self.alloc_with_reclaim(desired, now)?;
             let disk = self.m.disk.as_mut().ok_or(MemError::NoSwapDevice)?;
             let r = disk.reserve_bulk(now, MemOp::Read, page_bytes, None);
             let disk_latency = disk.latency(MemOp::Read);
@@ -960,28 +1107,7 @@ impl<B: TieredBackend> Sim<B> {
             return Ok(stall);
         }
         let desired = self.backend.place(&mut self.m, page, is_write);
-        let mut extra = Ns::ZERO;
-        let (tier, phys) = match self.alloc_frame(desired) {
-            Some(p) => (desired, p),
-            None => {
-                let other = desired.other();
-                match self.alloc_frame(other) {
-                    Some(p) => (other, p),
-                    None => {
-                        // Direct reclaim: synchronously page a victim out
-                        // to the slowest tier and reuse its frame; the
-                        // faulting thread eats the device write (kernel
-                        // direct reclaim).
-                        extra = self.direct_reclaim(now)?;
-                        let p = self
-                            .alloc_frame(desired)
-                            .or_else(|| self.alloc_frame(desired.other()))
-                            .ok_or(MemError::OutOfMemory)?;
-                        (desired, p)
-                    }
-                }
-            }
-        };
+        let (tier, phys, extra) = self.alloc_with_reclaim(desired, now)?;
         self.m
             .space
             .region_mut(page.region)
@@ -1318,6 +1444,7 @@ impl<B: TieredBackend> Sim<B> {
     /// spill baseline does).
     fn major_fault_page(&mut self, page: PageId, is_write: bool, now: Ns) -> Ns {
         let region = self.m.space.region(page.region);
+        let tenant = region.tenant();
         let page_bytes = region.page_size().bytes();
         let ssd_phys = match region.state(page.index) {
             hemem_vmm::PageState::Mapped {
@@ -1382,11 +1509,19 @@ impl<B: TieredBackend> Sim<B> {
         }
         self.m.fault_stats.record(FaultKind::Missing, total);
         self.m.trace.observe_ns(LatencyClass::MajorFault, total);
+        self.m
+            .tenant_major_faults
+            .entry(tenant.0)
+            .or_default()
+            .record_ns(total);
         self.m.trace.instant(
             now,
             "major_fault",
             "fault",
-            &[("service_ns", total.as_nanos())],
+            &[
+                ("tenant", tenant.0 as u64),
+                ("service_ns", total.as_nanos()),
+            ],
         );
         total
     }

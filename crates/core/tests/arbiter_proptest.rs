@@ -1,0 +1,224 @@
+//! Property tests for the DRAM arbiter's lifecycle invariants
+//! (satellite of the tenant-lifecycle PR).
+//!
+//! Across random admit / retire / kill / balloon / reallocation
+//! sequences, the arbiter must keep:
+//!
+//! * **conservation** — `sum(quotas) + host reserve == total pages`,
+//!   so quota is never minted or leaked by churn;
+//! * **the floor** — every live tenant holds at least the live-set
+//!   quota floor, however the sequence shuffled quota around;
+//! * **clean retirement** — retired (or never-admitted) slots hold
+//!   exactly zero quota and zero share.
+//!
+//! A kill is arbiter-visible as a retire (the runtime's
+//! quarantine/drain machinery sits above the arbiter), so the op set
+//! here folds kills into retires at random positions.
+
+use hemem_core::arbiter::{AdmitError, ArbiterPolicy, DramArbiter, TenantSignal};
+use hemem_vmm::TenantId;
+use proptest::prelude::*;
+
+/// One lifecycle operation applied to the arbiter under test.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Try to admit this slot (rejections are legal outcomes).
+    Admit(u32),
+    /// Retire this slot — also models a seeded tenant kill, which
+    /// reaches the arbiter as a retire after the drain.
+    Retire(u32),
+    /// Balloon this slot toward `target` pages.
+    Balloon(u32, u64),
+    /// Lift this slot's balloon cap.
+    Unballoon(u32),
+    /// Advance time past a reallocation period with random signals.
+    Realloc([TenantSignal; SLOTS]),
+}
+
+const SLOTS: usize = 6;
+
+fn signal_strategy() -> impl Strategy<Value = TenantSignal> {
+    (0u64..(8 << 30), 0u64..1_000_000, 0u64..1_000_000).prop_map(
+        |(hot_bytes, dram_loads, nvm_loads)| TenantSignal {
+            hot_bytes,
+            dram_loads,
+            nvm_loads,
+        },
+    )
+}
+
+fn signals_strategy() -> impl Strategy<Value = [TenantSignal; SLOTS]> {
+    (
+        signal_strategy(),
+        signal_strategy(),
+        signal_strategy(),
+        signal_strategy(),
+        signal_strategy(),
+        signal_strategy(),
+    )
+        .prop_map(|(a, b, c, d, e, f)| [a, b, c, d, e, f])
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let slot = 0u32..SLOTS as u32 + 1; // +1 exercises NoSuchSlot too
+    prop_oneof![
+        // Admit twice so sequences actually grow a live set.
+        slot.clone().prop_map(Op::Admit),
+        slot.clone().prop_map(Op::Admit),
+        slot.clone().prop_map(Op::Retire),
+        (slot.clone(), 0u64..2_048).prop_map(|(t, pages)| Op::Balloon(t, pages)),
+        slot.prop_map(Op::Unballoon),
+        signals_strategy().prop_map(Op::Realloc),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = ArbiterPolicy> {
+    prop_oneof![
+        Just(ArbiterPolicy::StaticShares),
+        Just(ArbiterPolicy::ProportionalShares),
+        Just(ArbiterPolicy::GreedyMissRatio),
+    ]
+}
+
+/// Asserts the three lifecycle invariants on `a`.
+fn check_invariants(a: &DramArbiter, step: usize, op: &Op) -> Result<(), TestCaseError> {
+    prop_assert!(
+        a.conserved(),
+        "conservation broke at step {step} after {op:?}: quotas={:?} reserve={}",
+        a.quotas(),
+        a.unassigned_pages()
+    );
+    let total: u64 = a.quotas().iter().sum();
+    prop_assert!(
+        total <= a.total_pages(),
+        "quota sum {total} exceeds the tier ({}) at step {step} after {op:?}",
+        a.total_pages()
+    );
+    let floor = a.floor_pages();
+    for t in 0..SLOTS as u32 {
+        let q = a.quota_pages(TenantId(t));
+        if a.is_live(TenantId(t)) {
+            prop_assert!(
+                q >= floor,
+                "live tenant {t} fell below the floor ({q} < {floor}) \
+                 at step {step} after {op:?}: quotas={:?} reserve={}",
+                a.quotas(),
+                a.unassigned_pages()
+            );
+        } else {
+            prop_assert_eq!(
+                q,
+                0,
+                "retired tenant {} holds quota at step {} after {:?}",
+                t,
+                step,
+                op
+            );
+            prop_assert_eq!(a.share_of(TenantId(t), 1 << 20), 0);
+        }
+    }
+    Ok(())
+}
+
+fn run_sequence(policy: ArbiterPolicy, total_pages: u64, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut a = DramArbiter::deferred(policy, total_pages, SLOTS);
+    let mut now_ns = 0u64;
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Admit(t) => match a.admit(TenantId(t)) {
+                Ok(granted) => prop_assert!(
+                    granted >= a.floor_pages(),
+                    "admission granted {granted} below the floor {}",
+                    a.floor_pages()
+                ),
+                Err(AdmitError::NoSuchSlot) => prop_assert!(t as usize >= SLOTS),
+                Err(AdmitError::AlreadyLive) => prop_assert!(a.is_live(TenantId(t))),
+                Err(AdmitError::FloorUnsatisfiable) => {
+                    let n = a.live_tenants() as u64 + 1;
+                    let floor = (total_pages / (8 * n)).max(1);
+                    prop_assert!(floor * n > total_pages);
+                }
+            },
+            Op::Retire(t) => {
+                if (t as usize) < SLOTS {
+                    a.retire(TenantId(t));
+                    prop_assert!(!a.is_live(TenantId(t)));
+                }
+            }
+            Op::Balloon(t, pages) => {
+                if (t as usize) < SLOTS {
+                    let q = a.balloon(TenantId(t), pages);
+                    if a.is_live(TenantId(t)) {
+                        prop_assert!(q >= a.floor_pages().min(pages.max(a.floor_pages())));
+                    } else {
+                        prop_assert_eq!(q, 0);
+                    }
+                }
+            }
+            Op::Unballoon(t) => {
+                if (t as usize) < SLOTS {
+                    a.unballoon(TenantId(t));
+                }
+            }
+            Op::Realloc(signals) => {
+                now_ns += DramArbiter::DEFAULT_REALLOC_PERIOD_NS;
+                a.maybe_realloc(now_ns, &signals);
+            }
+        }
+        check_invariants(&a, step, op)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The headline property: random lifecycle churn never breaks
+    /// conservation, the live floor, or clean retirement — under any
+    /// policy and tier size (including tiers small enough that floors
+    /// bind hard).
+    #[test]
+    fn arbiter_conservation(
+        policy in policy_strategy(),
+        total_pages in prop_oneof![Just(48u64), Just(512u64), Just(16_384u64)],
+        ops in prop::collection::vec(op_strategy(), 1..64),
+    ) {
+        run_sequence(policy, total_pages, &ops)?;
+    }
+
+    /// Churning every slot down to empty always returns the whole tier
+    /// to the host reserve, whatever happened in between.
+    #[test]
+    fn full_retirement_returns_the_tier_to_the_reserve(
+        policy in policy_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..48),
+    ) {
+        let total = 1_024u64;
+        let mut a = DramArbiter::deferred(policy, total, SLOTS);
+        let mut now_ns = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Admit(t) if (t as usize) < SLOTS => {
+                    let _ = a.admit(TenantId(t));
+                }
+                Op::Retire(t) if (t as usize) < SLOTS => {
+                    a.retire(TenantId(t));
+                }
+                Op::Balloon(t, pages) if (t as usize) < SLOTS => {
+                    a.balloon(TenantId(t), pages);
+                }
+                Op::Realloc(signals) => {
+                    now_ns += DramArbiter::DEFAULT_REALLOC_PERIOD_NS;
+                    a.maybe_realloc(now_ns, &signals);
+                }
+                _ => {}
+            }
+        }
+        for t in 0..SLOTS as u32 {
+            a.retire(TenantId(t));
+        }
+        prop_assert_eq!(a.live_tenants(), 0);
+        prop_assert_eq!(a.unassigned_pages(), total);
+        prop_assert!(a.conserved());
+    }
+}

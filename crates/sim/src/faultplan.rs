@@ -61,6 +61,22 @@ pub struct FaultPlanConfig {
     /// Window over which drawn kill points are spread.
     #[serde(default)]
     pub manager_kill_window: Ns,
+    /// Explicit sim instants at which individual *tenants* are killed
+    /// (each fires once). Unlike a manager kill, the machine survives:
+    /// the victim tenant is quarantined, drained, and its resources
+    /// reclaimed. An explicit schedule needs no random stream, so
+    /// configuring tenant kills never perturbs any other site's draws.
+    #[serde(default)]
+    pub tenant_kill_at: Vec<TenantKill>,
+}
+
+/// One scheduled tenant kill: which tenant dies, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TenantKill {
+    /// Tenant slot index to kill (the vmm `TenantId` payload).
+    pub tenant: u32,
+    /// Sim instant the kill fires.
+    pub at: Ns,
 }
 
 impl FaultPlanConfig {
@@ -80,6 +96,7 @@ impl FaultPlanConfig {
             manager_kill_at: Vec::new(),
             manager_kills: 0,
             manager_kill_window: Ns::ZERO,
+            tenant_kill_at: Vec::new(),
         }
     }
 
@@ -95,6 +112,7 @@ impl FaultPlanConfig {
             && self.fault_thread_stall == 0.0
             && self.manager_kill_at.is_empty()
             && self.manager_kills == 0
+            && self.tenant_kill_at.is_empty()
     }
 }
 
@@ -148,6 +166,10 @@ pub struct FaultPlan {
     /// Sorted manager-kill instants (explicit plus seeded draws),
     /// materialized at construction so the schedule is fixed up front.
     kill_times: Vec<Ns>,
+    /// Tenant-kill schedule sorted by instant (ties by tenant index),
+    /// materialized at construction. Purely explicit: no random stream
+    /// is forked for it, so existing seeded sites are untouched.
+    tenant_kills: Vec<TenantKill>,
 }
 
 impl FaultPlan {
@@ -173,6 +195,8 @@ impl FaultPlan {
         // Forked after every pre-existing site (including the kill
         // stream) so adding the SSD tier never perturbs their draws.
         let media_ssd = root.fork(0x55D);
+        let mut tenant_kills = cfg.tenant_kill_at.clone();
+        tenant_kills.sort_by_key(|k| (k.at, k.tenant));
         FaultPlan {
             dma,
             chan,
@@ -183,6 +207,7 @@ impl FaultPlan {
             cfg,
             stats: FaultPlanStats::default(),
             kill_times,
+            tenant_kills,
         }
     }
 
@@ -276,6 +301,13 @@ impl FaultPlan {
     /// list, so a kill-free plan stays zero-cost.
     pub fn kill_times(&self) -> &[Ns] {
         &self.kill_times
+    }
+
+    /// The tenant-kill schedule, sorted by instant (ties by tenant
+    /// index). Empty when no tenant kills are configured, so churn-free
+    /// plans stay zero-cost.
+    pub fn tenant_kills(&self) -> &[TenantKill] {
+        &self.tenant_kills
     }
 }
 
@@ -447,6 +479,72 @@ mod tests {
         let (mut a, mut b) = (a, b);
         for _ in 0..200 {
             assert_eq!(a.dma_submit_fails(), b.dma_submit_fails());
+        }
+    }
+
+    #[test]
+    fn tenant_kill_schedule_sorts_and_enables_the_plan() {
+        let p = plan(|c| {
+            c.tenant_kill_at = vec![
+                TenantKill {
+                    tenant: 2,
+                    at: Ns::secs(3),
+                },
+                TenantKill {
+                    tenant: 0,
+                    at: Ns::secs(1),
+                },
+                TenantKill {
+                    tenant: 1,
+                    at: Ns::secs(1),
+                },
+            ];
+        });
+        assert!(p.enabled());
+        let kills = p.tenant_kills();
+        assert_eq!(kills.len(), 3);
+        assert_eq!((kills[0].tenant, kills[0].at), (0, Ns::secs(1)));
+        assert_eq!((kills[1].tenant, kills[1].at), (1, Ns::secs(1)));
+        assert_eq!((kills[2].tenant, kills[2].at), (2, Ns::secs(3)));
+        // Manager kills are unaffected.
+        assert!(p.kill_times().is_empty());
+    }
+
+    #[test]
+    fn tenant_kill_config_never_perturbs_other_streams() {
+        // tenant_kill_at is an explicit schedule with no stream of its
+        // own, so every other site's draw sequence must be bit-equal
+        // with and without it — the property that keeps seeded chaos
+        // runs comparable across churny and churn-free configs.
+        let mut a = plan(|c| {
+            c.dma_submit_fail = 0.5;
+            c.nvm_media_error = 0.3;
+            c.pebs_storm = 0.2;
+        });
+        let mut b = plan(|c| {
+            c.dma_submit_fail = 0.5;
+            c.nvm_media_error = 0.3;
+            c.pebs_storm = 0.2;
+            c.tenant_kill_at = vec![TenantKill {
+                tenant: 1,
+                at: Ns::secs(2),
+            }];
+        });
+        for _ in 0..300 {
+            assert_eq!(a.dma_submit_fails(), b.dma_submit_fails());
+            assert_eq!(a.nvm_media_error(5), b.nvm_media_error(5));
+            assert_eq!(a.pebs_storm(), b.pebs_storm());
+        }
+        // Other sites stay silent under a kill-only plan.
+        let mut p = plan(|c| {
+            c.tenant_kill_at = vec![TenantKill {
+                tenant: 0,
+                at: Ns::secs(1),
+            }];
+        });
+        for _ in 0..200 {
+            assert!(!p.dma_submit_fails());
+            assert!(!p.pebs_storm());
         }
     }
 

@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod colo;
 pub mod graph;
 pub mod gups;

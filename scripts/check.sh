@@ -8,16 +8,18 @@ echo "== cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
 # N-tier hygiene: placement, audit, and quota machinery must iterate
-# the machine's tier vector, never a hardcoded DRAM/NVM pair. The only
-# allowed pair literal lives in the tier table (vmm/src/addr.rs);
-# #[cfg(test)] modules (which sit at the bottom of each file) are
-# exempt, so scanning stops at the first cfg(test) marker.
+# the machine's tier vector, never a hardcoded DRAM/NVM pair — and
+# tenant-aware code must thread the real tenant id, never the solo
+# slot's `TenantId(0)`. The only allowed literals live in the tier
+# table / solo-compat shim (vmm/src/addr.rs); #[cfg(test)] modules
+# (which sit at the bottom of each file) are exempt, so scanning stops
+# at the first cfg(test) marker.
 echo "== tier-literal gate"
 bad=$(find crates -name '*.rs' -path '*/src/*' ! -path '*/vmm/src/addr.rs' -print0 \
   | xargs -0 -n1 awk '/#\[cfg\(test\)\]/{exit} {print FILENAME ":" FNR ": " $0}' \
-  | grep -E '\[Tier::Dram, *Tier::Nvm\]|\[Tier::Nvm, *Tier::Dram\]' || true)
+  | grep -E '\[Tier::Dram, *Tier::Nvm\]|\[Tier::Nvm, *Tier::Dram\]|TenantId\(0\)' || true)
 if [ -n "$bad" ]; then
-  echo "hardcoded DRAM/NVM tier-pair literal outside the tier table:"
+  echo "hardcoded tier-pair or TenantId(0) literal outside vmm/src/addr.rs:"
   echo "$bad"
   exit 1
 fi
@@ -69,5 +71,16 @@ cargo build --release -p hemem-bench --bin colobench
 echo "== tier-3 smoke"
 cargo build --release -p hemem-bench --bin tierbench
 ./target/release/tierbench
+
+# churnbench asserts internally that (a) the seeded arrival/kill/balloon
+# schedule replays byte-identically under a media+PEBS storm, (b) every
+# kill drains to zero frames with the quota returned and the audit
+# silent, (c) a storm-afflicted neighbor cannot push the surviving
+# anchor's major-fault p99 past 2x the storm-free run (and the
+# per-tenant circuit breaker actually trips), and (d) tracing the
+# lifecycle instants leaves the run byte-identical.
+echo "== tenant churn smoke"
+cargo build --release -p hemem-bench --bin churnbench
+./target/release/churnbench
 
 echo "== all checks passed"
