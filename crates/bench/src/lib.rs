@@ -182,6 +182,24 @@ pub fn fingerprint<B: TieredBackend>(sim: &Sim<B>) -> String {
             sim.m.ssd_pool.retired_pages(),
         ));
     }
+    // The failure-domain segment only appears when the config seeds tier
+    // health events, keeping fault-free fingerprints byte-identical to
+    // their pre-failure-domain baselines.
+    if sim.m.cfg.chaos.has_tier_schedule() {
+        let h = &sim.m.health;
+        s.push_str(&format!(
+            "|health:{:?}/{:?}/{}/{}/{}/{}/{}/{}/{:?}",
+            h.health,
+            h.health_retired,
+            h.degrades,
+            h.offlines,
+            h.readmits,
+            h.evacuated_pages,
+            h.poisoned_pages,
+            h.poison_faults,
+            h.tenant_poisoned,
+        ));
+    }
     for class in LatencyClass::ALL {
         let h = sim.m.trace.hist(class);
         // Same reasoning: the major-fault histogram can only fill on a
@@ -209,7 +227,11 @@ pub fn fingerprint<B: TieredBackend>(sim: &Sim<B>) -> String {
 /// time series, Chrome traces).
 pub fn write_results(filename: &str, contents: &str, note: &str) {
     let dir = Path::new("results");
-    if fs::create_dir_all(dir).is_err() {
+    if let Err(e) = fs::create_dir_all(dir) {
+        eprintln!(
+            "warning: could not write {}: {e}",
+            dir.join(filename).display()
+        );
         return;
     }
     let path = dir.join(filename);

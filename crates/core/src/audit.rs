@@ -134,6 +134,33 @@ pub enum AuditViolation {
         /// The quota it still holds, in pages.
         quota_pages: u64,
     },
+    /// An offline tier whose evacuation reported completion still has
+    /// frames referenced by mappings or in-flight journal entries.
+    FramesOnOfflineTier {
+        /// The offline tier.
+        tier: Tier,
+        /// Frames still referenced there.
+        frames: u64,
+    },
+    /// An offline, fully-evacuated tier's pool still records allocated
+    /// frames that nothing references — the evacuation leaked frames on
+    /// the dead device instead of freeing them.
+    EvacuationLeak {
+        /// The offline tier.
+        tier: Tier,
+        /// Allocated-but-unreferenced frames left behind.
+        allocated: u64,
+    },
+    /// A tier's pool and the machine's health ledger disagree about how
+    /// much capacity degradation has retired.
+    DegradedCapacityMismatch {
+        /// The tier in disagreement.
+        tier: Tier,
+        /// Health-retired pages the pool holds.
+        pool_retired: u64,
+        /// Health-retired pages the machine's ledger records.
+        recorded: u64,
+    },
 }
 
 impl std::fmt::Display for AuditViolation {
@@ -212,6 +239,20 @@ impl std::fmt::Display for AuditViolation {
             } => write!(
                 f,
                 "retired {tenant} still holds a {quota_pages}-page DRAM quota"
+            ),
+            AuditViolation::FramesOnOfflineTier { tier, frames } => {
+                write!(f, "offline {tier:?} still holds {frames} referenced frames after evacuation")
+            }
+            AuditViolation::EvacuationLeak { tier, allocated } => {
+                write!(f, "offline {tier:?} pool leaks {allocated} allocated frames nothing references")
+            }
+            AuditViolation::DegradedCapacityMismatch {
+                tier,
+                pool_retired,
+                recorded,
+            } => write!(
+                f,
+                "{tier:?} pool health-retired {pool_retired} pages but the ledger records {recorded}"
             ),
         }
     }
@@ -313,6 +354,35 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
     if expect_quiescent && !m.journal.is_empty() {
         let outstanding = m.journal.entries().count() as u64;
         v.push(AuditViolation::JournalNotQuiescent { outstanding });
+    }
+
+    // 5. Failure-domain invariants. A tier whose evacuation has reported
+    // completion must be truly drained — nothing referencing its frames
+    // and nothing allocated in its pool — and every tier's pool must
+    // agree with the machine's health ledger on degraded capacity.
+    for &tier in m.tiers() {
+        let rank = tier.rank();
+        if m.tier_health(tier) == crate::machine::TierHealth::Offline && m.health.evac_done[rank] {
+            let referenced = refs.keys().filter(|&&(t, _)| t == tier).count() as u64;
+            let allocated = m.pool(tier).allocated_pages();
+            if referenced > 0 {
+                v.push(AuditViolation::FramesOnOfflineTier {
+                    tier,
+                    frames: referenced,
+                });
+            } else if allocated > 0 {
+                v.push(AuditViolation::EvacuationLeak { tier, allocated });
+            }
+        }
+        let pool_retired = m.pool(tier).health_retired_pages();
+        let recorded = m.health.health_retired[rank];
+        if pool_retired != recorded {
+            v.push(AuditViolation::DegradedCapacityMismatch {
+                tier,
+                pool_retired,
+                recorded,
+            });
+        }
     }
 
     v

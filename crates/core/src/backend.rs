@@ -285,6 +285,19 @@ pub trait TieredBackend {
     /// remaining per-tenant metadata and return the tenant's quota to
     /// its arbiter, completing the Quarantined → Retired transition.
     fn tenant_drained(&mut self, _m: &mut MachineCore, _tenant: hemem_vmm::TenantId, _now: Ns) {}
+
+    /// Picks the destination tier for evacuating `page` off the failing
+    /// tier `from`: the fastest *online* tier with a free frame. Backends
+    /// with admission control (the multi-tenant arbiter) override this to
+    /// keep evacuations inside per-tenant fast-tier quotas. `None` means
+    /// nowhere to put the page — the evacuation engine stalls and the
+    /// page is poisoned if the device dies first.
+    fn evacuation_dst(&mut self, m: &mut MachineCore, _page: PageId, from: Tier) -> Option<Tier> {
+        m.tiers()
+            .iter()
+            .copied()
+            .find(|&t| t != from && m.tier_online(t) && m.pool(t).free_pages() > 0)
+    }
 }
 
 /// Residency-proportional split: accesses go to whatever tier their page

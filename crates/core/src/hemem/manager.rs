@@ -512,6 +512,21 @@ impl HeMem {
     }
 }
 
+/// The tier a first-touch spills to when DRAM is unavailable. A healthy
+/// machine always answers NVM (byte-identical to the pre-failure-domain
+/// cascade — allocation-time fallback handles a merely-full NVM); with
+/// NVM offline the cascade skips to the next online tier (N-1 operation).
+fn spill_tier(m: &MachineCore) -> Tier {
+    if m.tier_online(Tier::Nvm) {
+        return Tier::Nvm;
+    }
+    m.tiers()
+        .iter()
+        .copied()
+        .find(|&t| t != Tier::Dram && m.tier_online(t))
+        .unwrap_or(Tier::Nvm)
+}
+
 impl TieredBackend for HeMem {
     fn name(&self) -> &'static str {
         if self.cfg.policy.use_dma {
@@ -578,10 +593,20 @@ impl TieredBackend for HeMem {
                 let idx = self.tenant_index(m, page.region);
                 let tracker = &mut self.tenants[idx].tracker;
                 let seen = tracker.note_fault(page, is_write);
+                // An offline SSD cannot keep its second-chance pages:
+                // anything faulting off it promotes at least one hop.
                 return if tracker.is_hot_page(page) && m.dram_pool.free_pages() > 0 {
                     Tier::Dram
-                } else if seen >= 2 {
-                    Tier::Nvm
+                } else if seen >= 2 || !m.tier_online(Tier::Ssd) {
+                    // N-1 cascade: with the NVM tier offline the one-hop
+                    // promotion target is DRAM (direct reclaim makes
+                    // room); an offline middle tier must not strand
+                    // re-faulting pages on the SSD forever.
+                    if m.tier_online(Tier::Nvm) {
+                        Tier::Nvm
+                    } else {
+                        Tier::Dram
+                    }
                 } else {
                     Tier::Ssd
                 };
@@ -594,7 +619,7 @@ impl TieredBackend for HeMem {
         // to NVM even while the pool has free pages — that headroom
         // belongs to the other tenants.
         if m.dram_pool.free_pages() == 0 {
-            return Tier::Nvm;
+            return spill_tier(m);
         }
         if self.tenants.len() > 1 {
             self.ensure_arbiter(m);
@@ -603,7 +628,7 @@ impl TieredBackend for HeMem {
             let claim =
                 m.space.tenant_frames(t).dram_pages + m.journal.prepared_into_for(t, Tier::Dram);
             if claim >= arb.quota_pages(t) {
-                return Tier::Nvm;
+                return spill_tier(m);
             }
         }
         Tier::Dram
@@ -742,7 +767,11 @@ impl TieredBackend for HeMem {
         // NVM pages down the cascade as ordinary journaled migrations —
         // the pages stay mapped, so a later access major-faults them back
         // up instead of swapping in. Tenants are victimized round-robin.
-        if self.cfg.nvm_watermark > 0 && m.has_ssd() && self.cfg.enable_migration {
+        if self.cfg.nvm_watermark > 0
+            && m.has_ssd()
+            && m.tier_online(Tier::Ssd)
+            && self.cfg.enable_migration
+        {
             let page_bytes = m.cfg.managed_page.bytes();
             let mechanism = self.cfg.policy.mechanism_for(m);
             // In-flight NVM→SSD demotions free their NVM frames on
@@ -825,7 +854,15 @@ impl TieredBackend for HeMem {
         // slowest tier itself.
         if multi && self.cfg.enable_migration {
             let mechanism = self.cfg.policy.mechanism_for(m);
-            let slowest = if m.has_ssd() { Tier::Ssd } else { Tier::Nvm };
+            // Slowest *online* tier: balloon escalation must not force
+            // pages onto a failed device (N-1 operation).
+            let slowest = m
+                .tiers()
+                .iter()
+                .copied()
+                .rev()
+                .find(|&t| t != Tier::Dram && m.tier_online(t))
+                .unwrap_or(Tier::Nvm);
             for i in 0..self.tenants.len() {
                 let Some(b) = self.tenants[i].balloon else {
                     continue;
@@ -984,6 +1021,36 @@ impl TieredBackend for HeMem {
         ts.balloon = None;
         ts.breaker_fails = 0;
         ts.breaker_skip_ticks = 0;
+    }
+
+    fn evacuation_dst(&mut self, m: &mut MachineCore, page: PageId, from: Tier) -> Option<Tier> {
+        let multi = self.tenants.len() > 1;
+        let tenant = if multi {
+            self.ensure_arbiter(m);
+            Some(self.tenants[self.tenant_index(m, page.region)].id)
+        } else {
+            None
+        };
+        for &t in m.tiers() {
+            if t == from || !m.tier_online(t) || m.pool(t).free_pages() == 0 {
+                continue;
+            }
+            // DRAM headroom belongs to the arbiter's grants: a tenant
+            // evacuating at its quota spills down the cascade instead of
+            // eating its neighbors' fast-tier share.
+            if t == Tier::Dram {
+                if let Some(tn) = tenant {
+                    let arb = self.arbiter.as_ref().expect("arbiter for multi-tenant");
+                    let claim = m.space.tenant_frames(tn).dram_pages
+                        + m.journal.prepared_into_for(tn, Tier::Dram);
+                    if claim >= arb.quota_pages(tn) {
+                        continue;
+                    }
+                }
+            }
+            return Some(t);
+        }
+        None
     }
 
     fn tenant_drained(&mut self, _m: &mut MachineCore, tenant: TenantId, _now: Ns) {

@@ -95,6 +95,19 @@ pub struct MachineConfig {
     /// never touches the RNG or the event queue, so enabling it cannot
     /// change any simulation outcome.
     pub trace: bool,
+    /// When a tier goes offline (`FaultPlanConfig::tier_fail_at`), drain
+    /// its resident pages out through the journaled migration path
+    /// (`true`, the default). `false` skips evacuation and poisons every
+    /// resident page immediately — the no-recovery baseline `failbench`
+    /// compares against.
+    pub evacuate_on_failure: bool,
+    /// Critical-path cost of re-materializing a poisoned page: the
+    /// application has lost the contents and must re-fetch or recompute
+    /// them (the typed poison notification tells it to). Charged to the
+    /// faulting thread on every poison fault, on top of the normal fault
+    /// cost. Zero poison faults means zero perturbation, so fault-free
+    /// runs are untouched by this knob.
+    pub poison_recovery: Ns,
     /// RNG seed; two runs with the same seed are identical.
     pub seed: u64,
 }
@@ -120,6 +133,8 @@ impl MachineConfig {
             watchdog: None,
             audit_period: None,
             trace: false,
+            evacuate_on_failure: true,
+            poison_recovery: Ns::millis(10),
             seed: 0x4E564D_48454D45, // "NVM HEME"
         }
     }
@@ -220,6 +235,53 @@ pub struct RecoveryStats {
     pub tenant_drains: u64,
 }
 
+/// Health lifecycle of one memory device: `Healthy -> Degraded ->
+/// Offline -> (readmit) Healthy`. Driven by the seeded
+/// `tier_degrade_at` / `tier_fail_at` / `tier_readmit_at` schedules.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TierHealth {
+    /// Full bandwidth, full capacity.
+    #[default]
+    Healthy,
+    /// Wear-retirement accelerating: bandwidth throttled, part of the
+    /// free capacity retired. Still serves resident pages.
+    Degraded,
+    /// Device dropped off the bus: no allocations, resident pages must
+    /// be evacuated or are lost (poisoned).
+    Offline,
+}
+
+/// Per-device health-lifecycle state and data-loss accounting.
+///
+/// Kept out of [`MachineStats`] / [`RecoveryStats`] so runs without a
+/// tier schedule print byte-identical stats to builds that predate the
+/// failure-domain layer. Indexed by [`Tier::rank`].
+#[derive(Debug, Clone, Default)]
+pub struct HealthState {
+    /// Current health of each tier.
+    pub health: [TierHealth; 3],
+    /// Pages shed from each tier's free list while degraded (mirrors
+    /// `PhysPool::health_retired_pages`; audited for conservation).
+    pub health_retired: [u64; 3],
+    /// Whether an offline tier's evacuation has fully drained it.
+    pub evac_done: [bool; 3],
+    /// Degrade transitions taken.
+    pub degrades: u64,
+    /// Offline transitions taken.
+    pub offlines: u64,
+    /// Readmit transitions taken.
+    pub readmits: u64,
+    /// Pages moved off a failing tier by the evacuation engine.
+    pub evacuated_pages: u64,
+    /// Pages lost on a dead device (typed data loss, never silent).
+    pub poisoned_pages: u64,
+    /// Faults that hit a poisoned page and surfaced the loss to the
+    /// owning tenant before remapping a fresh zero page.
+    pub poison_faults: u64,
+    /// Poisoned-page count per owning tenant slot.
+    pub tenant_poisoned: std::collections::BTreeMap<u32, u64>,
+}
+
 /// All hardware and OS state of the simulated machine.
 pub struct MachineCore {
     /// Static configuration.
@@ -281,6 +343,8 @@ pub struct MachineCore {
     /// separated from a storm-afflicted neighbor's. BTreeMap keeps
     /// iteration order deterministic.
     pub tenant_major_faults: std::collections::BTreeMap<u32, Histogram>,
+    /// Per-device health lifecycle and data-loss accounting.
+    pub health: HealthState,
 }
 
 impl MachineCore {
@@ -316,6 +380,7 @@ impl MachineCore {
             next_swap_slot: 0,
             trace: Tracer::new(cfg.trace),
             tenant_major_faults: std::collections::BTreeMap::new(),
+            health: HealthState::default(),
             cfg,
         }
     }
@@ -413,6 +478,28 @@ impl MachineCore {
     pub fn traffic_latency(&self, now: Ns, t: &Traffic) -> Ns {
         let dev = self.device(t.tier);
         dev.latency(t.op) + dev.queue_delay(now, t.op)
+    }
+
+    /// Current health of a tier.
+    pub fn tier_health(&self, tier: Tier) -> TierHealth {
+        self.health.health[tier.rank()]
+    }
+
+    /// Whether a tier accepts allocations and migrations (not offline).
+    pub fn tier_online(&self, tier: Tier) -> bool {
+        self.tier_health(tier) != TierHealth::Offline
+    }
+
+    /// Sets the health-lifecycle bandwidth multiplier on a tier's device.
+    pub fn set_tier_throttle(&mut self, tier: Tier, throttle: f64) {
+        match tier {
+            Tier::Dram | Tier::Nvm => self.device_mut(tier).set_throttle(throttle),
+            Tier::Ssd => {
+                if let Some(ssd) = self.ssd.as_mut() {
+                    ssd.set_throttle(throttle);
+                }
+            }
+        }
     }
 
     /// NVM media-level write counter (the wear metric of Figure 16).

@@ -19,7 +19,7 @@ use crate::audit::{audit_machine, AuditViolation};
 use crate::backend::{AccessBatch, CopyMechanism, MigrationJob, TieredBackend};
 use crate::error::MemError;
 use crate::journal::TxnState;
-use crate::machine::{zero_fill, MachineConfig, MachineCore, WatchdogConfig};
+use crate::machine::{zero_fill, MachineConfig, MachineCore, TierHealth, WatchdogConfig};
 
 /// Events visible to (or scheduled by) workload drivers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,8 +53,30 @@ pub enum Event {
     /// prepared journal entries, reclaim its frames across every tier,
     /// and return its quota to the arbiter.
     TenantDrain(u32),
+    /// Seeded device degradation of the tier at this rank: bandwidth
+    /// throttles and wear retirement sheds part of the free capacity.
+    TierDegrade(u32),
+    /// Seeded device failure of the tier at this rank: the tier is
+    /// quarantined against allocations and its resident pages are
+    /// evacuated (or poisoned, without an evacuation engine).
+    TierOffline(u32),
+    /// Seeded re-admission of the tier at this rank: the device returns
+    /// empty at full bandwidth and capacity.
+    TierReadmit(u32),
     /// Workload-defined timer.
     Custom(u64),
+}
+
+/// Bandwidth multiplier applied to a tier's device while Degraded.
+pub const DEGRADED_THROTTLE: f64 = 0.25;
+
+/// State of an in-progress evacuation of a failed tier.
+struct EvacState {
+    /// The offline tier being drained.
+    tier: Tier,
+    /// Pages still awaiting an evacuation migration, interleaved
+    /// round-robin across tenants for fairness.
+    queue: std::collections::VecDeque<PageId>,
 }
 
 /// Outcome of submitting a batch, for latency accounting.
@@ -100,6 +122,13 @@ pub struct Sim<B: TieredBackend> {
     /// machine; a colocation driver switches this before each tenant's
     /// setup phase so unmodified workload code tags its regions.
     active_tenant: hemem_vmm::TenantId,
+    /// Active evacuation of a failed tier, if any. While set, the
+    /// journaled migration path is reserved for jobs off that tier.
+    evac: Option<EvacState>,
+    /// Pages whose data died with an offline device: the next fault on
+    /// one surfaces a typed poisoned-page error to the owning tenant
+    /// before a fresh zero page is mapped — never a silent wrong read.
+    poisoned: std::collections::BTreeSet<PageId>,
 }
 
 impl<B: TieredBackend> Sim<B> {
@@ -124,6 +153,8 @@ impl<B: TieredBackend> Sim<B> {
             watchdog_missed: 0,
             recover_pending: false,
             active_tenant: hemem_vmm::TenantId::SOLO,
+            evac: None,
+            poisoned: std::collections::BTreeSet::new(),
         };
         sim.queue.push_at(Ns::ZERO, Event::BackendTick);
         if sim.backend.uses_pebs() {
@@ -145,6 +176,38 @@ impl<B: TieredBackend> Sim<B> {
         // schedule pushes nothing, keeping churn-free runs bit-identical.
         for k in sim.m.chaos.tenant_kills().to_vec() {
             sim.queue.push_at(k.at, Event::TenantKill(k.tenant));
+        }
+        // Tier health schedules: explicit (tier rank, instant) pairs,
+        // validated against this machine's tier vector. Empty schedules
+        // push nothing, keeping health-free runs bit-identical.
+        let n_tiers = sim.m.tiers().len() as u32;
+        for f in sim.m.chaos.tier_degrades().to_vec() {
+            assert!(
+                f.tier < n_tiers,
+                "tier_degrade_at rank {} out of range",
+                f.tier
+            );
+            sim.queue.push_at(f.at, Event::TierDegrade(f.tier));
+        }
+        for f in sim.m.chaos.tier_fails().to_vec() {
+            assert!(
+                f.tier < n_tiers,
+                "tier_fail_at rank {} out of range",
+                f.tier
+            );
+            assert!(
+                f.tier != 0,
+                "DRAM (rank 0) is the anchor tier and cannot go offline"
+            );
+            sim.queue.push_at(f.at, Event::TierOffline(f.tier));
+        }
+        for f in sim.m.chaos.tier_readmits().to_vec() {
+            assert!(
+                f.tier < n_tiers,
+                "tier_readmit_at rank {} out of range",
+                f.tier
+            );
+            sim.queue.push_at(f.at, Event::TierReadmit(f.tier));
         }
         if let Some(w) = &sim.watchdog {
             sim.queue.push_at(w.period, Event::WatchdogCheck);
@@ -424,6 +487,12 @@ impl<B: TieredBackend> Sim<B> {
             }
             Event::TenantKill(t) => self.kill_tenant(now, hemem_vmm::TenantId(t)),
             Event::TenantDrain(t) => self.drain_tenant(now, hemem_vmm::TenantId(t)),
+            // Device health transitions are machine-level (the device
+            // does not care whether the manager process is up); the
+            // evacuation pump alone waits for a live manager.
+            Event::TierDegrade(r) => self.degrade_tier(now, Tier::ALL[r as usize]),
+            Event::TierOffline(r) => self.fail_tier(now, Tier::ALL[r as usize]),
+            Event::TierReadmit(r) => self.readmit_tier(now, Tier::ALL[r as usize]),
             Event::ThreadReady(_) | Event::Custom(_) => {
                 // Dropped: run_until discards workload events in its window.
             }
@@ -529,7 +598,7 @@ impl<B: TieredBackend> Sim<B> {
             .map(|r| r.id())
             .collect();
         let mut reclaimed = 0u64;
-        for id in regions {
+        for &id in &regions {
             self.backend.on_munmap(&mut self.m, id);
             let region = self.m.space.munmap(id);
             if region.kind() == RegionKind::ManagedHeap {
@@ -549,6 +618,356 @@ impl<B: TieredBackend> Sim<B> {
             "lifecycle",
             &[("tenant", tenant.0 as u64), ("reclaimed_pages", reclaimed)],
         );
+        // The drain just invalidated every PageId in the dropped regions:
+        // purge them from the evacuation queue and the poisoned set, then
+        // give the evacuation (if any) a chance to finish — the drain may
+        // have freed the last frames it was waiting on.
+        if let Some(evac) = self.evac.as_mut() {
+            evac.queue.retain(|p| !regions.contains(&p.region));
+        }
+        self.poisoned.retain(|p| !regions.contains(&p.region));
+        if self.evac.is_some() {
+            self.pump_evacuation(now);
+        }
+    }
+
+    /// Current health of each tier, driven by the seeded schedules or the
+    /// manual injection hooks below.
+    pub fn evacuating(&self) -> Option<Tier> {
+        self.evac.as_ref().map(|e| e.tier)
+    }
+
+    /// Degrades a tier immediately (test/bench hook; scheduled
+    /// degradations come from [`hemem_sim::FaultPlanConfig::tier_degrade_at`]).
+    pub fn inject_tier_degrade(&mut self, tier: Tier) {
+        let now = self.now();
+        self.degrade_tier(now, tier);
+    }
+
+    /// Fails a tier immediately (test/bench hook; scheduled failures come
+    /// from [`hemem_sim::FaultPlanConfig::tier_fail_at`]).
+    pub fn inject_tier_fail(&mut self, tier: Tier) {
+        assert!(tier != Tier::Dram, "DRAM is the anchor tier");
+        let now = self.now();
+        self.fail_tier(now, tier);
+    }
+
+    /// Readmits a failed or degraded tier immediately (test/bench hook).
+    pub fn inject_tier_readmit(&mut self, tier: Tier) {
+        let now = self.now();
+        self.readmit_tier(now, tier);
+    }
+
+    /// `Healthy -> Degraded`: the device throttles to a quarter of its
+    /// bandwidth and wear retirement sheds an eighth of the currently
+    /// free capacity (DRAM degrades to the throttle only — DIMMs do not
+    /// retire rows in this model).
+    fn degrade_tier(&mut self, now: Ns, tier: Tier) {
+        if self.m.tier_health(tier) != TierHealth::Healthy {
+            return;
+        }
+        self.m.health.health[tier.rank()] = TierHealth::Degraded;
+        self.m.health.degrades += 1;
+        self.m.set_tier_throttle(tier, DEGRADED_THROTTLE);
+        let shed = if tier == Tier::Dram {
+            0
+        } else {
+            self.m.pool(tier).free_pages() / 8
+        };
+        let taken = if shed > 0 {
+            self.m.pool_mut(tier).retire_free(shed)
+        } else {
+            0
+        };
+        self.m.health.health_retired[tier.rank()] += taken;
+        self.m.trace.instant(
+            now,
+            "tier_degrade",
+            "health",
+            &[("tier", tier.rank() as u64), ("retired_pages", taken)],
+        );
+    }
+
+    /// `-> Offline`: quarantines the tier against allocations, rolls back
+    /// prepared migrations *into* it (their destination frames died with
+    /// the device), and either starts the evacuation engine or — without
+    /// one — poisons every resident page. Copies already reading *off*
+    /// the tier complete: the model is a failed-in-place device that
+    /// stays readable (read-only mode) while it drains.
+    fn fail_tier(&mut self, now: Ns, tier: Tier) {
+        if self.m.tier_health(tier) == TierHealth::Offline {
+            return;
+        }
+        self.m.health.health[tier.rank()] = TierHealth::Offline;
+        self.m.health.offlines += 1;
+        self.m.trace.instant(
+            now,
+            "tier_offline",
+            "health",
+            &[("tier", tier.rank() as u64)],
+        );
+        let ids: Vec<u64> = self
+            .m
+            .journal
+            .entries()
+            .filter(|(_, e)| e.state == TxnState::Prepared && e.dst_tier == tier)
+            .map(|(id, _)| id)
+            .collect();
+        for id in ids {
+            let e = self.m.journal.abort(id).expect("entry just listed");
+            let _ = self
+                .m
+                .space
+                .region_mut(e.page.region)
+                .try_set_wp(e.page.index, false);
+            self.m.pool_mut(e.dst_tier).free(e.dst_phys);
+            self.m.recovery.journal_rollbacks += 1;
+            self.m
+                .trace
+                .span_drop(now, "migration", "migration", id, &[("rollback", 1)]);
+            self.backend
+                .migration_aborted(&mut self.m, e.page, e.src_tier);
+        }
+        if self.m.cfg.evacuate_on_failure {
+            let queue = self.collect_evacuation_queue(tier);
+            self.m.trace.instant(
+                now,
+                "evacuation_begin",
+                "health",
+                &[("tier", tier.rank() as u64), ("pages", queue.len() as u64)],
+            );
+            self.evac = Some(EvacState { tier, queue });
+            self.pump_evacuation(now);
+        } else {
+            self.poison_tier(now, tier);
+            self.m.health.evac_done[tier.rank()] = true;
+        }
+    }
+
+    /// `-> Healthy` again: cancels any evacuation still draining the
+    /// tier, restores full bandwidth, and returns health-retired frames
+    /// to the free list. The device comes back *empty* — whatever was
+    /// evacuated stays where it landed.
+    fn readmit_tier(&mut self, now: Ns, tier: Tier) {
+        if self.m.tier_health(tier) == TierHealth::Healthy {
+            return;
+        }
+        if self.evac.as_ref().is_some_and(|e| e.tier == tier) {
+            self.evac = None;
+        }
+        self.m.set_tier_throttle(tier, 1.0);
+        let restored = self.m.pool_mut(tier).unretire_health();
+        self.m.health.health_retired[tier.rank()] = 0;
+        self.m.health.health[tier.rank()] = TierHealth::Healthy;
+        self.m.health.evac_done[tier.rank()] = false;
+        self.m.health.readmits += 1;
+        self.m.trace.instant(
+            now,
+            "tier_readmit",
+            "health",
+            &[("tier", tier.rank() as u64), ("restored_pages", restored)],
+        );
+    }
+
+    /// Scans the address space for pages resident on `tier`, interleaved
+    /// round-robin across tenants so one large tenant cannot starve the
+    /// others' evacuations. Write-protected pages (mid-migration or
+    /// mid-swap-out) are skipped; the drain-time rescan picks up whatever
+    /// they resolve to.
+    fn collect_evacuation_queue(&self, tier: Tier) -> std::collections::VecDeque<PageId> {
+        let mut per_tenant: std::collections::BTreeMap<u32, Vec<PageId>> = Default::default();
+        for r in self.m.space.regions() {
+            if r.kind() != RegionKind::ManagedHeap {
+                continue;
+            }
+            for i in 0..r.page_count() {
+                if let hemem_vmm::PageState::Mapped {
+                    tier: t, wp: false, ..
+                } = r.state(i)
+                {
+                    if t == tier {
+                        per_tenant.entry(r.tenant().0).or_default().push(PageId {
+                            region: r.id(),
+                            index: i,
+                        });
+                    }
+                }
+            }
+        }
+        let mut lists: Vec<_> = per_tenant.into_values().map(|v| v.into_iter()).collect();
+        let mut queue = std::collections::VecDeque::new();
+        let mut live = true;
+        while live {
+            live = false;
+            for it in &mut lists {
+                if let Some(p) = it.next() {
+                    queue.push_back(p);
+                    live = true;
+                }
+            }
+        }
+        queue
+    }
+
+    /// Drives the evacuation forward: starts journaled migrations off the
+    /// failed tier up to a bounded in-flight budget, poisons pages with
+    /// nowhere to go, and declares the evacuation done once a full rescan
+    /// finds the tier empty. Idle while the manager is down — migrations
+    /// need its threads — and re-entered from every completion hook.
+    fn pump_evacuation(&mut self, now: Ns) {
+        const EVAC_MAX_INFLIGHT: usize = 8;
+        if self.manager_down {
+            return;
+        }
+        let Some(tier) = self.evac.as_ref().map(|e| e.tier) else {
+            return;
+        };
+        // `progress` guards the rescan: without it, a page locked by an
+        // in-flight swap-out would make rescan-pop-skip spin forever.
+        let mut progress = true;
+        loop {
+            let inflight = self.m.journal.prepared_freeing(tier) as usize;
+            if inflight >= EVAC_MAX_INFLIGHT {
+                return;
+            }
+            let Some(page) = self.evac.as_mut().and_then(|e| e.queue.pop_front()) else {
+                if inflight > 0 || !progress {
+                    return; // completions or unlocks will re-pump
+                }
+                progress = false;
+                let queue = self.collect_evacuation_queue(tier);
+                if queue.is_empty() {
+                    self.m.health.evac_done[tier.rank()] = true;
+                    self.m.trace.instant(
+                        now,
+                        "evacuation_done",
+                        "health",
+                        &[
+                            ("tier", tier.rank() as u64),
+                            ("evacuated", self.m.health.evacuated_pages),
+                            ("poisoned", self.m.health.poisoned_pages),
+                        ],
+                    );
+                    self.evac = None;
+                    return;
+                }
+                self.evac.as_mut().expect("checked above").queue = queue;
+                continue;
+            };
+            // Pages can move or lock between the scan and this pop.
+            match self.m.space.region(page.region).state(page.index) {
+                hemem_vmm::PageState::Mapped {
+                    tier: t, wp: false, ..
+                } if t == tier => {}
+                _ => continue,
+            }
+            match self.backend.evacuation_dst(&mut self.m, page, tier) {
+                Some(dst) => {
+                    let before = self.m.stats.migrations_started;
+                    self.start_migrations(
+                        now,
+                        &[MigrationJob {
+                            page,
+                            dst,
+                            mechanism: CopyMechanism::Threads(4),
+                        }],
+                    );
+                    if self.m.stats.migrations_started > before {
+                        progress = true;
+                    }
+                }
+                None => {
+                    // Nowhere to put it: typed data loss to the owner.
+                    self.poison_page(now, page);
+                    progress = true;
+                }
+            }
+        }
+    }
+
+    /// Poisons one resident page: its frame is freed, the data is gone,
+    /// and the owning tenant's next fault on it gets a typed
+    /// poisoned-page notification instead of a silent wrong read.
+    fn poison_page(&mut self, now: Ns, page: PageId) {
+        let tenant = self.m.space.region(page.region).tenant();
+        let (tier, phys) = self.m.space.region_mut(page.region).unmap_page(page.index);
+        self.m.pool_mut(tier).free(phys);
+        self.m.health.poisoned_pages += 1;
+        *self.m.health.tenant_poisoned.entry(tenant.0).or_insert(0) += 1;
+        self.poisoned.insert(page);
+        self.backend.swapped_out(&mut self.m, page);
+        self.m.trace.instant(
+            now,
+            "page_poisoned",
+            "health",
+            &[("tenant", tenant.0 as u64)],
+        );
+    }
+
+    /// The no-evacuation baseline: the device died outright. Copies and
+    /// swap-outs still reading off it are abandoned (rolled back in
+    /// transaction order), then every resident page is poisoned.
+    fn poison_tier(&mut self, now: Ns, tier: Tier) {
+        let ids: Vec<u64> = self
+            .m
+            .journal
+            .entries()
+            .filter(|(_, e)| e.state == TxnState::Prepared && e.src_tier == tier)
+            .map(|(id, _)| id)
+            .collect();
+        for id in ids {
+            let e = self.m.journal.abort(id).expect("entry just listed");
+            let _ = self
+                .m
+                .space
+                .region_mut(e.page.region)
+                .try_set_wp(e.page.index, false);
+            self.m.pool_mut(e.dst_tier).free(e.dst_phys);
+            self.m.recovery.journal_rollbacks += 1;
+            self.m
+                .trace
+                .span_drop(now, "migration", "migration", id, &[("rollback", 1)]);
+        }
+        let mut swaps: Vec<u64> = self
+            .pending_swaps
+            .iter()
+            .filter(|(_, (page, _))| {
+                matches!(
+                    self.m.space.region(page.region).state(page.index),
+                    hemem_vmm::PageState::Mapped { tier: t, .. } if t == tier
+                )
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        swaps.sort_unstable();
+        for id in swaps {
+            let (page, _slot) = self.pending_swaps.remove(&id).expect("key just listed");
+            let _ = self
+                .m
+                .space
+                .region_mut(page.region)
+                .try_set_wp(page.index, false);
+            self.m.recovery.swap_rollbacks += 1;
+        }
+        let mut pages = Vec::new();
+        for r in self.m.space.regions() {
+            if r.kind() != RegionKind::ManagedHeap {
+                continue;
+            }
+            for i in 0..r.page_count() {
+                if let hemem_vmm::PageState::Mapped { tier: t, .. } = r.state(i) {
+                    if t == tier {
+                        pages.push(PageId {
+                            region: r.id(),
+                            index: i,
+                        });
+                    }
+                }
+            }
+        }
+        for page in pages {
+            self.poison_page(now, page);
+        }
     }
 
     /// One watchdog period: checks the policy-tick deadline and the fault
@@ -647,6 +1066,11 @@ impl<B: TieredBackend> Sim<B> {
         if self.backend.uses_pebs() {
             let iv = self.m.pebs.config().drain_interval;
             self.queue.push_after(iv, Event::PebsDrain);
+        }
+        // An evacuation stalled by the dead manager (its completions were
+        // dropped, its prepared entries just rolled back) resumes here.
+        if self.evac.is_some() {
+            self.pump_evacuation(now);
         }
     }
 
@@ -803,6 +1227,17 @@ impl<B: TieredBackend> Sim<B> {
             }
             _ => return None, // unmapped or swapped: nothing to migrate
         };
+        // An offline tier takes no new frames; and while an evacuation is
+        // draining a failed tier it owns the journaled migration path —
+        // policy jobs off other tiers abort (and re-enqueue) instead of
+        // competing for the bounded in-flight budget.
+        let evac_owns = self.evac.as_ref().is_some_and(|e| e.tier != src_tier);
+        if !self.m.tier_online(job.dst) || evac_owns {
+            self.m.stats.migrations_aborted += 1;
+            self.backend
+                .migration_aborted(&mut self.m, job.page, src_tier);
+            return None;
+        }
         let Some(dst_phys) = self.m.pool_mut(job.dst).alloc() else {
             self.m.stats.migrations_aborted += 1;
             self.backend
@@ -863,6 +1298,9 @@ impl<B: TieredBackend> Sim<B> {
             self.m
                 .trace
                 .span_drop(now, "migration", "migration", id, &[("aborted", 1)]);
+            if self.evac.is_some() {
+                self.pump_evacuation(now);
+            }
             return;
         }
         // Phase two: *commit* — mark the entry committed, flip the
@@ -902,6 +1340,20 @@ impl<B: TieredBackend> Sim<B> {
             &[("to_dram", (e.dst_tier == Tier::Dram) as u64)],
         );
         self.backend.migration_done(&mut self.m, e.page, e.dst_tier);
+        // Evacuation bookkeeping: a commit off the failing tier is one
+        // page saved; either way a completion frees an in-flight slot.
+        if let Some(evac_tier) = self.evac.as_ref().map(|ev| ev.tier) {
+            if e.src_tier == evac_tier {
+                self.m.health.evacuated_pages += 1;
+                self.m.trace.instant(
+                    now,
+                    "evacuation_page",
+                    "health",
+                    &[("tenant", e.tenant.0 as u64)],
+                );
+            }
+            self.pump_evacuation(now);
+        }
     }
 
     /// Starts paging `pages` out to the swap device (no-op without one).
@@ -943,7 +1395,7 @@ impl<B: TieredBackend> Sim<B> {
         }
     }
 
-    fn finish_swap_out(&mut self, _now: Ns, id: u64) {
+    fn finish_swap_out(&mut self, now: Ns, id: u64) {
         let Some((page, slot)) = self.pending_swaps.remove(&id) else {
             return;
         };
@@ -955,6 +1407,10 @@ impl<B: TieredBackend> Sim<B> {
         self.m.tlb.shootdown(cores);
         self.m.stats.swap_outs += 1;
         self.backend.swapped_out(&mut self.m, page);
+        // The unlock may have unblocked an evacuation waiting on this page.
+        if self.evac.is_some() {
+            self.pump_evacuation(now);
+        }
     }
 
     /// Allocates a frame from `tier`, retiring NVM frames whose first
@@ -963,6 +1419,9 @@ impl<B: TieredBackend> Sim<B> {
     /// Returns `None` when the tier is exhausted, including by
     /// retirements.
     fn alloc_frame(&mut self, tier: Tier) -> Option<PhysPage> {
+        if !self.m.tier_online(tier) {
+            return None; // offline devices take no allocations
+        }
         loop {
             let phys = self.m.pool_mut(tier).alloc()?;
             match tier {
@@ -1074,7 +1533,23 @@ impl<B: TieredBackend> Sim<B> {
         } else {
             Ns::ZERO
         };
-        let stall = self.m.fault_cfg.round_trip() + queue;
+        let mut stall = self.m.fault_cfg.round_trip() + queue;
+        // A fault on a poisoned page surfaces the data loss to its owner
+        // as a typed notification — never a silent wrong read — and then
+        // falls through to map a fresh zero page. The owner still has to
+        // re-materialize the lost contents (re-fetch or recompute), which
+        // is the critical-path bill evacuation exists to avoid.
+        if self.poisoned.remove(&page) {
+            let tenant = self.m.space.region(page.region).tenant();
+            self.m.health.poison_faults += 1;
+            stall += self.m.cfg.poison_recovery;
+            self.m.trace.instant(
+                now,
+                "poison_fault",
+                "health",
+                &[("tenant", tenant.0 as u64)],
+            );
+        }
         // Swapped pages fault back in synchronously: the thread waits for
         // the disk read (swapping is the slowest tier, §3.4).
         if let hemem_vmm::PageState::Swapped { .. } = region.state(page.index) {
@@ -1139,7 +1614,7 @@ impl<B: TieredBackend> Sim<B> {
     /// tier-3 SSD when one is configured (the page stays mapped on
     /// `Tier::Ssd`), otherwise out to the legacy swap device.
     fn direct_reclaim(&mut self, now: Ns) -> Result<Ns, MemError> {
-        if self.m.has_ssd() {
+        if self.m.has_ssd() && self.m.tier_online(Tier::Ssd) {
             self.try_direct_reclaim_tier3(now)
         } else {
             self.try_direct_reclaim(now)
@@ -1481,7 +1956,20 @@ impl<B: TieredBackend> Sim<B> {
                         None => match self.direct_reclaim(now) {
                             Ok(extra) => {
                                 total += extra;
-                                self.alloc_frame(desired).map(|p| (desired, p))
+                                // N-1 safety net: when the desired tier is
+                                // offline (a backend that does not cascade
+                                // can still name one), fall through to the
+                                // frame the reclaim just freed on the other
+                                // tier instead of stranding the page on the
+                                // SSD forever. Gated on offline so healthy
+                                // runs keep their exact placement sequence.
+                                self.alloc_frame(desired).map(|p| (desired, p)).or_else(|| {
+                                    if !self.m.tier_online(desired) {
+                                        self.alloc_frame(other).map(|p| (other, p))
+                                    } else {
+                                        None
+                                    }
+                                })
                             }
                             Err(_) => None,
                         },
@@ -2123,5 +2611,140 @@ mod tests {
             (s.m.dram_pool.free_pages(), s.m.nvm_pool.free_pages()),
             free0
         );
+    }
+
+    #[test]
+    fn degrade_throttles_device_and_sheds_free_capacity() {
+        let mut s = sim();
+        assert_eq!(s.m.device(Tier::Nvm).throttle(), 1.0);
+        s.inject_tier_degrade(Tier::Nvm);
+        assert_eq!(
+            s.m.tier_health(Tier::Nvm),
+            crate::machine::TierHealth::Degraded
+        );
+        assert_eq!(s.m.device(Tier::Nvm).throttle(), DEGRADED_THROTTLE);
+        let total = s.m.nvm_pool.total_pages();
+        assert_eq!(s.m.health.health_retired[1], total / 8);
+        assert_eq!(s.m.nvm_pool.health_retired_pages(), total / 8);
+        assert!(s.m.nvm_pool.conserved());
+        assert_eq!(s.m.health.degrades, 1);
+        // Degrading again is a no-op: the tier is already degraded.
+        s.inject_tier_degrade(Tier::Nvm);
+        assert_eq!(s.m.health.degrades, 1);
+        assert!(crate::audit::audit_machine(&s.m, true).is_empty());
+    }
+
+    #[test]
+    fn offline_tier_evacuates_survivors_and_poisons_overflow() {
+        let mut s = sim();
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true); // 512 DRAM + 512 NVM, DRAM full
+                              // Free 300 DRAM frames so evacuation has partial headroom.
+        for i in 0..300 {
+            let (t, p) = s.m.space.region_mut(id).unmap_page(i);
+            assert_eq!(t, Tier::Dram);
+            s.m.pool_mut(t).free(p);
+        }
+        s.inject_tier_fail(Tier::Nvm);
+        assert_eq!(s.evacuating(), Some(Tier::Nvm));
+        s.advance(Ns::secs(2));
+        assert_eq!(s.evacuating(), None, "evacuation drained");
+        assert_eq!(s.m.health.evacuated_pages, 300);
+        assert_eq!(s.m.health.poisoned_pages, 212);
+        assert_eq!(s.m.nvm_pool.allocated_pages(), 0, "tier fully drained");
+        assert!(s.m.health.evac_done[1]);
+        assert!(crate::audit::audit_machine(&s.m, true).is_empty());
+        // Touching a poisoned page faults it back in as a fresh zero page
+        // (free DRAM headroom first: N-1 operation has nowhere to spill).
+        for i in 300..512 {
+            let (t, p) = s.m.space.region_mut(id).unmap_page(i);
+            assert_eq!(t, Tier::Dram);
+            s.m.pool_mut(t).free(p);
+        }
+        let b = AccessBatch::uniform(id, 512, 1024, 200_000, 8, 0.5, 2 * GIB);
+        s.submit_batch(0, &b);
+        s.advance(Ns::secs(1));
+        assert!(s.m.health.poison_faults > 0);
+        assert_eq!(
+            s.m.nvm_pool.allocated_pages(),
+            0,
+            "refaults avoid the dead tier"
+        );
+    }
+
+    #[test]
+    fn offline_without_evacuation_poisons_the_whole_tier() {
+        let mut cfg = MachineConfig::small(1, 4);
+        cfg.evacuate_on_failure = false;
+        let mut s = Sim::new(cfg, TestBackend::new());
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        s.inject_tier_fail(Tier::Nvm);
+        assert_eq!(s.evacuating(), None, "baseline never evacuates");
+        assert_eq!(s.m.health.poisoned_pages, 512);
+        assert_eq!(s.m.health.evacuated_pages, 0);
+        assert_eq!(s.m.nvm_pool.allocated_pages(), 0);
+        assert!(crate::audit::audit_machine(&s.m, true).is_empty());
+    }
+
+    #[test]
+    fn readmit_restores_an_empty_healthy_tier() {
+        let mut s = sim();
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        s.inject_tier_degrade(Tier::Nvm);
+        s.inject_tier_fail(Tier::Nvm);
+        s.advance(Ns::secs(2));
+        let total = s.m.nvm_pool.total_pages();
+        s.inject_tier_readmit(Tier::Nvm);
+        assert_eq!(
+            s.m.tier_health(Tier::Nvm),
+            crate::machine::TierHealth::Healthy
+        );
+        assert_eq!(s.m.device(Tier::Nvm).throttle(), 1.0);
+        assert_eq!(s.m.health.health_retired[1], 0);
+        assert_eq!(s.m.nvm_pool.free_pages(), total, "tier comes back empty");
+        assert!(!s.m.health.evac_done[1]);
+        assert_eq!(s.m.health.readmits, 1);
+        assert!(crate::audit::audit_machine(&s.m, true).is_empty());
+        // The readmitted tier accepts allocations again.
+        let id2 = s.mmap(2 * GIB);
+        s.populate(id2, true);
+        assert!(s.m.nvm_pool.allocated_pages() > 0);
+    }
+
+    #[test]
+    fn fail_tier_rolls_back_inflight_migrations_into_it() {
+        let mut s = sim();
+        let id = s.mmap(2 * GIB);
+        s.populate(id, true);
+        let page = PageId {
+            region: id,
+            index: 2, // DRAM-resident
+        };
+        // Prepare the migration but do not let its completion fire, then
+        // pull the destination tier out from under it.
+        let now = s.now();
+        s.start_migrations(
+            now,
+            &[MigrationJob {
+                page,
+                dst: Tier::Nvm,
+                mechanism: crate::backend::CopyMechanism::Threads(2),
+            }],
+        );
+        assert_eq!(s.m.stats.migrations_started, 1);
+        s.inject_tier_fail(Tier::Nvm);
+        assert_eq!(s.m.recovery.journal_rollbacks, 1);
+        s.advance(Ns::secs(2));
+        assert_eq!(s.m.stats.migrations_done, 0);
+        match s.m.space.region(id).state(2) {
+            hemem_vmm::PageState::Mapped { tier, wp, .. } => {
+                assert_eq!(tier, Tier::Dram, "page stays on its source");
+                assert!(!wp);
+            }
+            other => panic!("page lost: {other:?}"),
+        }
+        assert!(crate::audit::audit_machine(&s.m, true).is_empty());
     }
 }

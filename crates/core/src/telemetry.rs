@@ -465,6 +465,116 @@ impl TenantTelemetry {
     }
 }
 
+/// One per-tier sample of device health and capacity under the failure
+/// lifecycle.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct HealthSnapshot {
+    /// Virtual time of the sample.
+    pub at: Ns,
+    /// The tier this row describes.
+    pub tier: hemem_vmm::Tier,
+    /// Current health state (`Healthy`, `Degraded`, `Offline`).
+    pub health: crate::machine::TierHealth,
+    /// Bandwidth multiplier currently applied to the device (1.0 when
+    /// healthy).
+    pub throttle: f64,
+    /// Free pages in the tier's pool.
+    pub free_pages: u64,
+    /// Allocated pages in the tier's pool.
+    pub allocated_pages: u64,
+    /// Pages retired for media errors.
+    pub retired_pages: u64,
+    /// Pages retired by degradation wear-shedding.
+    pub health_retired_pages: u64,
+    /// Cumulative media wear in bytes (NVM only; zero elsewhere).
+    pub wear_bytes: u64,
+}
+
+/// Per-tier health time-series sampler for failure-domain runs: one row
+/// per tier per period, long format. Deliberately a separate type from
+/// [`Telemetry`] so the established CSV schemas stay byte-stable.
+#[derive(Debug, Clone)]
+pub struct HealthTelemetry {
+    period: Ns,
+    next_at: Ns,
+    samples: Vec<HealthSnapshot>,
+}
+
+impl HealthTelemetry {
+    /// Creates a sampler with the given period.
+    pub fn new(period: Ns) -> HealthTelemetry {
+        assert!(period > Ns::ZERO, "period must be positive");
+        HealthTelemetry {
+            period,
+            next_at: Ns::ZERO,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one row per tier if at least one period elapsed since the
+    /// last sample. Returns `true` if rows were taken.
+    pub fn maybe_sample<B: TieredBackend>(&mut self, sim: &Sim<B>) -> bool {
+        let now = sim.now();
+        if now < self.next_at {
+            return false;
+        }
+        self.next_at = now + self.period;
+        for &tier in sim.m.tiers() {
+            let p = sim.m.pool(tier);
+            let throttle = match tier {
+                hemem_vmm::Tier::Ssd => sim.m.ssd.as_ref().map(|s| s.throttle()).unwrap_or(1.0),
+                _ => sim.m.device(tier).throttle(),
+            };
+            let wear = if tier == hemem_vmm::Tier::Nvm {
+                sim.m.nvm_wear_bytes()
+            } else {
+                0
+            };
+            self.samples.push(HealthSnapshot {
+                at: now,
+                tier,
+                health: sim.m.tier_health(tier),
+                throttle,
+                free_pages: p.free_pages(),
+                allocated_pages: p.allocated_pages(),
+                retired_pages: p.retired_pages(),
+                health_retired_pages: p.health_retired_pages(),
+                wear_bytes: wear,
+            });
+        }
+        true
+    }
+
+    /// All rows taken so far.
+    pub fn snapshots(&self) -> &[HealthSnapshot] {
+        &self.samples
+    }
+
+    /// Renders rows as CSV (`time_s,tier,health,throttle,free_pages,
+    /// allocated_pages,retired_pages,health_retired_pages,wear_bytes`).
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "time_s,tier,health,throttle,free_pages,allocated_pages,\
+             retired_pages,health_retired_pages,wear_bytes\n",
+        );
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.3},{:?},{:?},{:.2},{},{},{},{},{}\n",
+                s.at.as_secs_f64(),
+                s.tier,
+                s.health,
+                s.throttle,
+                s.free_pages,
+                s.allocated_pages,
+                s.retired_pages,
+                s.health_retired_pages,
+                s.wear_bytes
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -627,6 +737,40 @@ mod tests {
             lines[0].split(',').count(),
             "ragged row"
         );
+    }
+
+    #[test]
+    fn health_rows_cover_every_tier_and_track_lifecycle() {
+        use hemem_vmm::Tier;
+        let mc = MachineConfig::small(1, 2).with_tier3(16 * GIB);
+        let hc = HeMemConfig::scaled_for(&mc);
+        let mut sim = Sim::new(mc, HeMem::new(hc));
+        let id = sim.mmap(GIB);
+        sim.populate(id, true);
+        let mut t = HealthTelemetry::new(Ns::millis(10));
+        assert!(t.maybe_sample(&sim));
+        sim.inject_tier_degrade(Tier::Nvm);
+        sim.advance(Ns::millis(15));
+        assert!(t.maybe_sample(&sim));
+        let snaps = t.snapshots();
+        assert_eq!(snaps.len(), 6, "three tiers, two periods");
+        let nvm0 = snaps[1];
+        let nvm1 = snaps[4];
+        assert_eq!(nvm0.tier, Tier::Nvm);
+        assert_eq!(nvm0.health, crate::machine::TierHealth::Healthy);
+        assert_eq!(nvm0.throttle, 1.0);
+        assert_eq!(nvm1.health, crate::machine::TierHealth::Degraded);
+        assert!(nvm1.throttle < 1.0);
+        assert!(nvm1.health_retired_pages > 0, "degradation shed capacity");
+        let csv = t.csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "time_s,tier,health,throttle,free_pages,allocated_pages,\
+             retired_pages,health_retired_pages,wear_bytes"
+        );
+        assert_eq!(lines.len(), 7);
+        assert!(lines[5].contains("Degraded"));
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub struct Device {
     /// affecting application performance).
     bulk_read_free: Ns,
     bulk_write_free: Ns,
+    /// Health-lifecycle bandwidth multiplier; 1.0 when healthy, lowered
+    /// while the device is in the `Degraded` state.
+    throttle: f64,
     stats: DeviceStats,
 }
 
@@ -67,6 +70,7 @@ impl Device {
             write_free: Ns::ZERO,
             bulk_read_free: Ns::ZERO,
             bulk_write_free: Ns::ZERO,
+            throttle: 1.0,
             stats: DeviceStats::default(),
         }
     }
@@ -74,6 +78,19 @@ impl Device {
     /// The device's static configuration.
     pub fn config(&self) -> &DeviceConfig {
         &self.config
+    }
+
+    /// Health-lifecycle bandwidth multiplier in `(0, 1]`. A degraded device
+    /// serves every access at `throttle * bandwidth`; `1.0` is exact
+    /// identity with the healthy path.
+    pub fn throttle(&self) -> f64 {
+        self.throttle
+    }
+
+    /// Sets the health-lifecycle bandwidth multiplier.
+    pub fn set_throttle(&mut self, throttle: f64) {
+        assert!(throttle > 0.0 && throttle <= 1.0, "throttle out of range");
+        self.throttle = throttle;
     }
 
     /// Cumulative traffic counters.
@@ -125,7 +142,7 @@ impl Device {
         }
         let app_bytes = size * count;
         let media_bytes = self.config.media_bytes(size, pattern) * count;
-        let bw = self.config.bandwidth(op, pattern);
+        let bw = self.config.bandwidth(op, pattern) * self.throttle;
         let service = Ns::from_secs_f64(media_bytes as f64 / bw);
         let free = match op {
             MemOp::Read => &mut self.read_free,
@@ -174,7 +191,7 @@ impl Device {
         // Bulk transfers are limited to roughly half the device's peak so
         // demand traffic keeps making progress; the external rate cap
         // (HeMem's 10 GB/s migration limit) applies on top.
-        let bw = self.config.bandwidth(op, Pattern::Sequential) * 0.5;
+        let bw = self.config.bandwidth(op, Pattern::Sequential) * 0.5 * self.throttle;
         let rate = rate_cap.map_or(bw, |cap| cap.min(bw));
         let service = Ns::from_secs_f64(bytes as f64 / rate);
         let free = match op {
@@ -225,6 +242,25 @@ mod tests {
 
     fn nvm() -> Device {
         Device::new(DeviceConfig::optane_dc(768 * GIB))
+    }
+
+    #[test]
+    fn throttle_scales_service_time() {
+        let mut healthy = nvm();
+        let mut degraded = nvm();
+        degraded.set_throttle(0.25);
+        let h = healthy.reserve(Ns::ZERO, MemOp::Read, Pattern::Random, 4096, 64);
+        let d = degraded.reserve(Ns::ZERO, MemOp::Read, Pattern::Random, 4096, 64);
+        let ratio = d.service.as_secs_f64() / h.service.as_secs_f64();
+        assert!((ratio - 4.0).abs() < 1e-6, "quarter bandwidth = 4x time");
+        let hb = healthy.reserve_bulk(Ns::ZERO, MemOp::Write, 2 << 20, None);
+        let db = degraded.reserve_bulk(Ns::ZERO, MemOp::Write, 2 << 20, None);
+        let bulk = db.service.as_secs_f64() / hb.service.as_secs_f64();
+        // Integer-nanosecond quantization leaves a few ppm of slack.
+        assert!(
+            (bulk - 4.0).abs() < 1e-4,
+            "bulk server throttles too: ratio {bulk}"
+        );
     }
 
     #[test]

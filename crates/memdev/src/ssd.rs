@@ -110,6 +110,9 @@ pub struct SsdDevice {
     slots: Vec<Ns>,
     /// Program-cycle count per erase block.
     erase_wear: Vec<u64>,
+    /// Health-lifecycle bandwidth multiplier; 1.0 when healthy, lowered
+    /// while the device is in the `Degraded` state.
+    throttle: f64,
     stats: SsdStats,
 }
 
@@ -121,6 +124,7 @@ impl SsdDevice {
             slots: vec![Ns::ZERO; config.queue_depth.max(1)],
             erase_wear: vec![0; blocks],
             config,
+            throttle: 1.0,
             stats: SsdStats::default(),
         }
     }
@@ -128,6 +132,18 @@ impl SsdDevice {
     /// The device's static configuration.
     pub fn config(&self) -> &SsdConfig {
         &self.config
+    }
+
+    /// Health-lifecycle bandwidth multiplier in `(0, 1]`; `1.0` is exact
+    /// identity with the healthy path.
+    pub fn throttle(&self) -> f64 {
+        self.throttle
+    }
+
+    /// Sets the health-lifecycle bandwidth multiplier.
+    pub fn set_throttle(&mut self, throttle: f64) {
+        assert!(throttle > 0.0 && throttle <= 1.0, "throttle out of range");
+        self.throttle = throttle;
     }
 
     /// Cumulative counters.
@@ -155,8 +171,8 @@ impl SsdDevice {
     /// finishes; `service` excludes the queue wait.
     pub fn transfer(&mut self, now: Ns, op: MemOp, bytes: u64) -> Reservation {
         let moved = self.config.sector_bytes(bytes);
-        let service =
-            self.config.latency(op) + Ns::from_secs_f64(moved as f64 / self.config.bandwidth(op));
+        let service = self.config.latency(op)
+            + Ns::from_secs_f64(moved as f64 / (self.config.bandwidth(op) * self.throttle));
         let slot = self
             .slots
             .iter()
@@ -275,6 +291,25 @@ mod tests {
         assert_eq!(d.erase_wear(1), 1);
         assert_eq!(d.max_erase_wear(), 2);
         assert_eq!(d.stats().erase_cycles, 3);
+    }
+
+    #[test]
+    fn throttle_slows_transfers() {
+        let mut healthy = dev();
+        let mut degraded = dev();
+        degraded.set_throttle(0.25);
+        let size = 2 << 20;
+        let h = healthy.transfer(Ns::ZERO, MemOp::Read, size);
+        let d = degraded.transfer(Ns::ZERO, MemOp::Read, size);
+        assert!(
+            d.service > h.service,
+            "degraded serves at reduced bandwidth"
+        );
+        // Latency term is untouched, so the slowdown is bandwidth-only.
+        let lat = healthy.latency(MemOp::Read);
+        let h_bw = h.service.saturating_sub(lat);
+        let d_bw = d.service.saturating_sub(lat);
+        assert!(d_bw >= h_bw + h_bw + h_bw, "bandwidth term scales ~4x");
     }
 
     #[test]

@@ -68,6 +68,23 @@ pub struct FaultPlanConfig {
     /// configuring tenant kills never perturbs any other site's draws.
     #[serde(default)]
     pub tenant_kill_at: Vec<TenantKill>,
+    /// Explicit sim instants at which a memory device *degrades*: its
+    /// bandwidth throttles and accelerated wear retirement sheds a slice
+    /// of its free capacity. Like the kill schedules this is purely
+    /// explicit — no random stream is forked, so configuring tier faults
+    /// never perturbs any other site's draws.
+    #[serde(default)]
+    pub tier_degrade_at: Vec<TierFault>,
+    /// Explicit sim instants at which a memory device drops *offline*:
+    /// the tier is quarantined against new allocations and its resident
+    /// pages are evacuated (or poisoned, when evacuation is disabled).
+    #[serde(default)]
+    pub tier_fail_at: Vec<TierFault>,
+    /// Explicit sim instants at which a degraded/offline device is
+    /// *readmitted*: throttle lifted, shed capacity restored, the tier
+    /// rejoins the placement cascade empty.
+    #[serde(default)]
+    pub tier_readmit_at: Vec<TierFault>,
 }
 
 /// One scheduled tenant kill: which tenant dies, and when.
@@ -76,6 +93,17 @@ pub struct TenantKill {
     /// Tenant slot index to kill (the vmm `TenantId` payload).
     pub tenant: u32,
     /// Sim instant the kill fires.
+    pub at: Ns,
+}
+
+/// One scheduled tier-health transition: which device, and when. The
+/// tier is a rank into the machine's ordered tier vector (0 = DRAM,
+/// 1 = NVM, 2 = SSD) — this crate cannot name the vmm tier enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TierFault {
+    /// Tier rank the transition applies to.
+    pub tier: u32,
+    /// Sim instant the transition fires.
     pub at: Ns,
 }
 
@@ -97,6 +125,9 @@ impl FaultPlanConfig {
             manager_kills: 0,
             manager_kill_window: Ns::ZERO,
             tenant_kill_at: Vec::new(),
+            tier_degrade_at: Vec::new(),
+            tier_fail_at: Vec::new(),
+            tier_readmit_at: Vec::new(),
         }
     }
 
@@ -113,6 +144,16 @@ impl FaultPlanConfig {
             && self.manager_kill_at.is_empty()
             && self.manager_kills == 0
             && self.tenant_kill_at.is_empty()
+            && !self.has_tier_schedule()
+    }
+
+    /// Whether any tier-health transition is scheduled. Benches append
+    /// their health fingerprint segment only when this holds, so
+    /// schedule-free runs keep printing byte-identical fingerprints.
+    pub fn has_tier_schedule(&self) -> bool {
+        !self.tier_degrade_at.is_empty()
+            || !self.tier_fail_at.is_empty()
+            || !self.tier_readmit_at.is_empty()
     }
 }
 
@@ -170,6 +211,13 @@ pub struct FaultPlan {
     /// materialized at construction. Purely explicit: no random stream
     /// is forked for it, so existing seeded sites are untouched.
     tenant_kills: Vec<TenantKill>,
+    /// Tier-degrade schedule sorted by instant (ties by rank). Like the
+    /// tenant-kill schedule these are purely explicit — no stream.
+    tier_degrades: Vec<TierFault>,
+    /// Tier-offline schedule, sorted the same way.
+    tier_fails: Vec<TierFault>,
+    /// Tier-readmit schedule, sorted the same way.
+    tier_readmits: Vec<TierFault>,
 }
 
 impl FaultPlan {
@@ -197,6 +245,14 @@ impl FaultPlan {
         let media_ssd = root.fork(0x55D);
         let mut tenant_kills = cfg.tenant_kill_at.clone();
         tenant_kills.sort_by_key(|k| (k.at, k.tenant));
+        let sorted = |v: &[TierFault]| {
+            let mut v = v.to_vec();
+            v.sort_by_key(|f| (f.at, f.tier));
+            v
+        };
+        let tier_degrades = sorted(&cfg.tier_degrade_at);
+        let tier_fails = sorted(&cfg.tier_fail_at);
+        let tier_readmits = sorted(&cfg.tier_readmit_at);
         FaultPlan {
             dma,
             chan,
@@ -208,6 +264,9 @@ impl FaultPlan {
             stats: FaultPlanStats::default(),
             kill_times,
             tenant_kills,
+            tier_degrades,
+            tier_fails,
+            tier_readmits,
         }
     }
 
@@ -308,6 +367,22 @@ impl FaultPlan {
     /// plans stay zero-cost.
     pub fn tenant_kills(&self) -> &[TenantKill] {
         &self.tenant_kills
+    }
+
+    /// The tier-degrade schedule, sorted by instant (ties by rank).
+    /// Empty schedules stay zero-cost: the runtime pushes no events.
+    pub fn tier_degrades(&self) -> &[TierFault] {
+        &self.tier_degrades
+    }
+
+    /// The tier-offline schedule, sorted by instant (ties by rank).
+    pub fn tier_fails(&self) -> &[TierFault] {
+        &self.tier_fails
+    }
+
+    /// The tier-readmit schedule, sorted by instant (ties by rank).
+    pub fn tier_readmits(&self) -> &[TierFault] {
+        &self.tier_readmits
     }
 }
 
@@ -539,6 +614,92 @@ mod tests {
         let mut p = plan(|c| {
             c.tenant_kill_at = vec![TenantKill {
                 tenant: 0,
+                at: Ns::secs(1),
+            }];
+        });
+        for _ in 0..200 {
+            assert!(!p.dma_submit_fails());
+            assert!(!p.pebs_storm());
+        }
+    }
+
+    #[test]
+    fn tier_schedules_sort_and_enable_the_plan() {
+        let p = plan(|c| {
+            c.tier_degrade_at = vec![TierFault {
+                tier: 1,
+                at: Ns::secs(2),
+            }];
+            c.tier_fail_at = vec![
+                TierFault {
+                    tier: 2,
+                    at: Ns::secs(3),
+                },
+                TierFault {
+                    tier: 1,
+                    at: Ns::secs(3),
+                },
+            ];
+            c.tier_readmit_at = vec![TierFault {
+                tier: 1,
+                at: Ns::secs(5),
+            }];
+        });
+        assert!(p.enabled());
+        assert!(p.config().has_tier_schedule());
+        assert_eq!(p.tier_degrades().len(), 1);
+        let fails = p.tier_fails();
+        assert_eq!(
+            (fails[0].tier, fails[1].tier),
+            (1, 2),
+            "ties at the same instant order by rank"
+        );
+        assert_eq!(p.tier_readmits()[0].at, Ns::secs(5));
+        // And the kill schedules are unaffected.
+        assert!(p.kill_times().is_empty());
+        assert!(p.tenant_kills().is_empty());
+    }
+
+    #[test]
+    fn tier_schedule_never_perturbs_other_streams() {
+        // Tier schedules are explicit with no stream of their own, so
+        // every seeded site's draw sequence must be bit-equal with and
+        // without them — the property that keeps every pre-existing
+        // chaos bench byte-identical after this PR.
+        let mut a = plan(|c| {
+            c.dma_submit_fail = 0.5;
+            c.nvm_media_error = 0.3;
+            c.ssd_media_error = 0.2;
+            c.pebs_storm = 0.2;
+        });
+        let mut b = plan(|c| {
+            c.dma_submit_fail = 0.5;
+            c.nvm_media_error = 0.3;
+            c.ssd_media_error = 0.2;
+            c.pebs_storm = 0.2;
+            c.tier_degrade_at = vec![TierFault {
+                tier: 1,
+                at: Ns::secs(1),
+            }];
+            c.tier_fail_at = vec![TierFault {
+                tier: 1,
+                at: Ns::secs(2),
+            }];
+            c.tier_readmit_at = vec![TierFault {
+                tier: 1,
+                at: Ns::secs(4),
+            }];
+        });
+        for _ in 0..300 {
+            assert_eq!(a.dma_submit_fails(), b.dma_submit_fails());
+            assert_eq!(a.nvm_media_error(5), b.nvm_media_error(5));
+            assert_eq!(a.ssd_media_error(5), b.ssd_media_error(5));
+            assert_eq!(a.pebs_storm(), b.pebs_storm());
+        }
+        // Other sites stay silent under a schedule-only plan.
+        let mut p = plan(|c| {
+            c.tier_fail_at = vec![TierFault {
+                tier: 1,
                 at: Ns::secs(1),
             }];
         });

@@ -27,7 +27,7 @@ pub mod time;
 pub mod trace;
 
 pub use cores::CoreModel;
-pub use faultplan::{FaultPlan, FaultPlanConfig, FaultPlanStats, TenantKill};
+pub use faultplan::{FaultPlan, FaultPlanConfig, FaultPlanStats, TenantKill, TierFault};
 pub use queue::EventQueue;
 pub use rng::{Rng, Zipf};
 pub use stats::{Histogram, RateSeries, Running};

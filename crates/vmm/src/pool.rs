@@ -37,6 +37,12 @@ pub struct PhysPool {
     /// page at the boundary. `None` disables the check.
     #[serde(default)]
     retire_threshold: Option<u64>,
+    /// Pages shed by a *device-health* retirement (a degraded device's
+    /// accelerated wear retiring whole erase blocks), kept separate from
+    /// the media-error `retired` list because these come back when the
+    /// device is readmitted — media-poisoned pages never do.
+    #[serde(default)]
+    health_retired: Vec<PhysPage>,
 }
 
 impl PhysPool {
@@ -56,6 +62,7 @@ impl PhysPool {
             retired: Vec::new(),
             wear: vec![0; total as usize],
             retire_threshold: None,
+            health_retired: Vec::new(),
         }
     }
 
@@ -162,6 +169,37 @@ impl PhysPool {
         self.retired.len() as u64
     }
 
+    /// Sheds up to `n` *free* pages to the health-retired list (a
+    /// degraded device's accelerated wear retirement shrinking usable
+    /// capacity). Returns how many were actually shed — never more than
+    /// the free list holds, so allocated pages are untouched.
+    pub fn retire_free(&mut self, n: u64) -> u64 {
+        let take = n.min(self.free_pages());
+        for _ in 0..take {
+            let p = self.free.pop().expect("bounded by free_pages");
+            self.health_retired.push(p);
+        }
+        take
+    }
+
+    /// Returns every health-retired page to the free list (the device
+    /// was readmitted) and reports how many came back. Media-retired
+    /// pages stay poisoned.
+    pub fn unretire_health(&mut self) -> u64 {
+        let n = self.health_retired.len() as u64;
+        // LIFO restore mirrors the LIFO shed: the free list returns to
+        // its pre-degrade order.
+        while let Some(p) = self.health_retired.pop() {
+            self.free.push(p);
+        }
+        n
+    }
+
+    /// Pages currently shed by device-health retirement.
+    pub fn health_retired_pages(&self) -> u64 {
+        self.health_retired.len() as u64
+    }
+
     /// Captures a serializable snapshot of the pool.
     pub fn snapshot(&self) -> PhysPool {
         self.clone()
@@ -172,9 +210,14 @@ impl PhysPool {
         *self = snap;
     }
 
-    /// Page-conservation invariant: `total = free + allocated + retired`.
+    /// Page-conservation invariant:
+    /// `total = free + allocated + retired + health_retired`.
     pub fn conserved(&self) -> bool {
-        self.total == self.free_pages() + self.allocated + self.retired_pages()
+        self.total
+            == self.free_pages()
+                + self.allocated
+                + self.retired_pages()
+                + self.health_retired_pages()
     }
 }
 
@@ -306,6 +349,28 @@ mod tests {
         let a = p.alloc().expect("page");
         assert!(!p.note_write(a, u64::MAX));
         assert_eq!(p.retire_threshold(), None);
+    }
+
+    #[test]
+    fn health_retirement_sheds_and_restores_free_capacity() {
+        let mut p = pool(8);
+        let a = p.alloc().expect("page");
+        // Shed half of the remaining free capacity.
+        assert_eq!(p.retire_free(100), 7, "bounded by the free list");
+        assert_eq!(p.health_retired_pages(), 7);
+        assert_eq!(p.free_pages(), 0);
+        assert_eq!(p.alloc(), None, "shed capacity is unallocatable");
+        assert!(p.conserved());
+        // A media error on the allocated page retires it for good.
+        p.retire(a);
+        // Readmit: health-shed pages come back, the poisoned one stays.
+        assert_eq!(p.unretire_health(), 7);
+        assert_eq!(p.free_pages(), 7);
+        assert_eq!(p.health_retired_pages(), 0);
+        assert_eq!(p.retired_pages(), 1);
+        assert!(p.conserved());
+        let b = p.alloc().expect("restored capacity allocates");
+        assert_ne!(a, b);
     }
 
     #[test]

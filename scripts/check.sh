@@ -83,4 +83,35 @@ echo "== tenant churn smoke"
 cargo build --release -p hemem-bench --bin churnbench
 ./target/release/churnbench
 
+# failbench asserts internally that (a) seeded mid-run NVM and SSD
+# failures replay byte-identically, (b) the failed tier drains to zero
+# frames through the journaled evacuation with a silent audit and the
+# survivors' major-fault p99 within 4x of the clean leg, (c) evacuating
+# strictly beats abandoning the tier's contents on completed ops, and
+# (d) tracing the health instants is byte-transparent.
+echo "== tier failure smoke"
+cargo build --release -p hemem-bench --bin failbench
+./target/release/failbench
+
+# Wall-clock regression gate: the gate benches above each rewrote their
+# entry in BENCH_sim_wallclock.json. Compare against the committed
+# baseline with a 3x tolerance — machine-to-machine variance is real,
+# but an order-of-magnitude simulator slowdown is a bug. Benches with
+# no committed entry yet are skipped.
+echo "== sim wall-clock regression gate"
+if git show HEAD:BENCH_sim_wallclock.json >target/wallclock_base.json 2>/dev/null; then
+  jq -r 'to_entries[] | "\(.key) \(.value.wall_seconds)"' BENCH_sim_wallclock.json \
+  | while read -r bench fresh; do
+      base=$(jq -r --arg b "$bench" '.[$b].wall_seconds // empty' target/wallclock_base.json)
+      [ -z "$base" ] && { echo "   $bench: ${fresh}s (no baseline, skipped)"; continue; }
+      if awk -v f="$fresh" -v b="$base" 'BEGIN { exit !(f > 3 * b) }'; then
+        echo "wall-clock regression: $bench took ${fresh}s vs committed ${base}s (>3x)"
+        exit 1
+      fi
+      echo "   $bench: ${fresh}s vs baseline ${base}s"
+    done
+else
+  echo "   no committed BENCH_sim_wallclock.json; skipping"
+fi
+
 echo "== all checks passed"
