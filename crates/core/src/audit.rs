@@ -151,6 +151,40 @@ pub enum AuditViolation {
         /// Allocated-but-unreferenced frames left behind.
         allocated: u64,
     },
+    /// A page holds an NVM shadow frame but its primary mapping is not
+    /// DRAM-resident — the shadow should have been dropped (or consumed
+    /// by a remap demotion) when the primary moved.
+    StaleShadowMapped {
+        /// The page with the stale shadow.
+        page: hemem_vmm::PageId,
+        /// Tier the primary actually lives on (`None`: unmapped or
+        /// swapped out).
+        primary: Option<Tier>,
+    },
+    /// The NVM pool's shadow-held sub-count disagrees with the number of
+    /// shadow frames the address space actually records.
+    ShadowFrameLeak {
+        /// Shadow frames the pool believes it holds.
+        pool_held: u64,
+        /// Shadow frames summed over every region's shadow map.
+        mapped: u64,
+    },
+    /// One page has two outstanding migration-journal entries — a
+    /// conflicting concurrent promote+demote that recovery cannot
+    /// reconcile in a defined order.
+    DoubleJournaledPage {
+        /// The doubly-journaled page.
+        page: hemem_vmm::PageId,
+        /// Outstanding entries referencing it.
+        entries: u64,
+    },
+    /// The migration journal has counted protocol violations (duplicate
+    /// prepares or retires of non-committed entries) since the last
+    /// drain.
+    JournalProtocolViolation {
+        /// Violations the journal has counted.
+        count: u64,
+    },
     /// A tier's pool and the machine's health ledger disagree about how
     /// much capacity degradation has retired.
     DegradedCapacityMismatch {
@@ -246,6 +280,20 @@ impl std::fmt::Display for AuditViolation {
             AuditViolation::EvacuationLeak { tier, allocated } => {
                 write!(f, "offline {tier:?} pool leaks {allocated} allocated frames nothing references")
             }
+            AuditViolation::StaleShadowMapped { page, primary } => write!(
+                f,
+                "{page:?} holds an NVM shadow but its primary maps on {primary:?}"
+            ),
+            AuditViolation::ShadowFrameLeak { pool_held, mapped } => write!(
+                f,
+                "NVM pool holds {pool_held} shadow frames but regions record {mapped}"
+            ),
+            AuditViolation::DoubleJournaledPage { page, entries } => {
+                write!(f, "{page:?} has {entries} outstanding journal entries")
+            }
+            AuditViolation::JournalProtocolViolation { count } => {
+                write!(f, "journal counted {count} protocol violations")
+            }
             AuditViolation::DegradedCapacityMismatch {
                 tier,
                 pool_retired,
@@ -298,6 +346,8 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
             }
         }
     };
+    let mut stale_shadows: Vec<(hemem_vmm::PageId, Option<Tier>)> = Vec::new();
+    let mut shadow_mapped = 0u64;
     for region in m.space.regions() {
         if region.kind() != RegionKind::ManagedHeap {
             continue;
@@ -308,12 +358,56 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
                 note_owner((tier, phys), region.tenant());
             }
         }
+        // Shadow frames are the third reference class (alongside
+        // mappings and in-flight destinations); a shadow's primary must
+        // be DRAM-resident or the shadow is stale.
+        for (i, phys) in region.shadows() {
+            shadow_mapped += 1;
+            *refs.entry((Tier::Nvm, phys)).or_insert(0) += 1;
+            note_owner((Tier::Nvm, phys), region.tenant());
+            let primary = match region.state(i) {
+                PageState::Mapped { tier, .. } => Some(tier),
+                _ => None,
+            };
+            if primary != Some(Tier::Dram) {
+                stale_shadows.push((
+                    hemem_vmm::PageId {
+                        region: region.id(),
+                        index: i,
+                    },
+                    primary,
+                ));
+            }
+        }
     }
+    for (page, primary) in stale_shadows {
+        v.push(AuditViolation::StaleShadowMapped { page, primary });
+    }
+    let pool_held = m.nvm_pool.shadow_held_pages();
+    if pool_held != shadow_mapped {
+        v.push(AuditViolation::ShadowFrameLeak {
+            pool_held,
+            mapped: shadow_mapped,
+        });
+    }
+    let mut journaled: HashMap<hemem_vmm::PageId, u64> = HashMap::new();
     for (_, e) in m.journal.entries() {
         if e.state == TxnState::Prepared {
             *refs.entry((e.dst_tier, e.dst_phys)).or_insert(0) += 1;
             note_owner((e.dst_tier, e.dst_phys), e.tenant);
         }
+        *journaled.entry(e.page).or_insert(0) += 1;
+    }
+    let mut doubled_pages: Vec<(hemem_vmm::PageId, u64)> =
+        journaled.into_iter().filter(|&(_, n)| n > 1).collect();
+    doubled_pages.sort_by_key(|&(p, _)| (p.region, p.index));
+    for (page, entries) in doubled_pages {
+        v.push(AuditViolation::DoubleJournaledPage { page, entries });
+    }
+    if m.journal.protocol_errors() > 0 {
+        v.push(AuditViolation::JournalProtocolViolation {
+            count: m.journal.protocol_errors(),
+        });
     }
     let mut doubled: Vec<(Tier, PhysPage)> = refs
         .iter()
@@ -470,6 +564,101 @@ mod tests {
             first: TenantId::SOLO,
             second: TenantId(1),
         }));
+    }
+
+    #[test]
+    fn clean_shadow_on_a_dram_page_audits_clean() {
+        let mut m = machine();
+        let (id, _) = map_one(&mut m);
+        let shadow = m.nvm_pool.alloc().expect("frame");
+        m.space.region_mut(id).set_shadow(0, shadow);
+        m.nvm_pool.note_shadow();
+        assert_eq!(audit_machine(&m, true), Vec::new());
+    }
+
+    #[test]
+    fn shadow_without_a_dram_primary_is_stale() {
+        let mut m = machine();
+        let (id, _) = map_one(&mut m);
+        // Shadow on a page that was never mapped: primary is None.
+        let shadow = m.nvm_pool.alloc().expect("frame");
+        m.space.region_mut(id).set_shadow(1, shadow);
+        m.nvm_pool.note_shadow();
+        let v = audit_machine(&m, true);
+        assert!(v.contains(&AuditViolation::StaleShadowMapped {
+            page: PageId {
+                region: id,
+                index: 1
+            },
+            primary: None,
+        }));
+    }
+
+    #[test]
+    fn shadow_count_disagreement_is_a_leak() {
+        let mut m = machine();
+        let (id, _) = map_one(&mut m);
+        // Shadow recorded in the space but never counted by the pool.
+        let shadow = m.nvm_pool.alloc().expect("frame");
+        m.space.region_mut(id).set_shadow(0, shadow);
+        let v = audit_machine(&m, true);
+        assert!(v.contains(&AuditViolation::ShadowFrameLeak {
+            pool_held: 0,
+            mapped: 1,
+        }));
+    }
+
+    #[test]
+    fn two_outstanding_entries_for_one_page_are_flagged() {
+        let mut m = machine();
+        let (id, src_phys) = map_one(&mut m);
+        let page = PageId {
+            region: id,
+            index: 0,
+        };
+        let d1 = m.nvm_pool.alloc().expect("frame");
+        let d2 = m.nvm_pool.alloc().expect("frame");
+        m.journal
+            .prepare(0, page, TenantId::SOLO, Tier::Dram, src_phys, Tier::Nvm, d1);
+        m.journal
+            .prepare(1, page, TenantId::SOLO, Tier::Dram, src_phys, Tier::Nvm, d2);
+        let v = audit_machine(&m, false);
+        assert!(v.contains(&AuditViolation::DoubleJournaledPage { page, entries: 2 }));
+    }
+
+    #[test]
+    fn journal_protocol_errors_surface_in_the_audit() {
+        let mut m = machine();
+        let (id, src_phys) = map_one(&mut m);
+        let page = PageId {
+            region: id,
+            index: 0,
+        };
+        let dst = m.nvm_pool.alloc().expect("frame");
+        m.journal.prepare(
+            7,
+            page,
+            TenantId::SOLO,
+            Tier::Dram,
+            src_phys,
+            Tier::Nvm,
+            dst,
+        );
+        assert!(m
+            .journal
+            .try_prepare(
+                7,
+                page,
+                TenantId::SOLO,
+                Tier::Dram,
+                src_phys,
+                Tier::Nvm,
+                dst,
+                crate::journal::ShadowIntent::Drop,
+            )
+            .is_err());
+        let v = audit_machine(&m, false);
+        assert!(v.contains(&AuditViolation::JournalProtocolViolation { count: 1 }));
     }
 
     #[test]

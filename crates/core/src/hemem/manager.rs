@@ -790,6 +790,14 @@ impl TieredBackend for HeMem {
                 .cfg
                 .nvm_watermark
                 .saturating_sub(m.nvm_pool.free_bytes().saturating_add(pending));
+            // Shadow frames are free NVM capacity in disguise: reclaim
+            // them to cover the deficit before paying for even one
+            // NVM→SSD copy. The primaries stay mapped in DRAM, so this
+            // costs nothing but a future re-copy on demotion.
+            if need > 0 {
+                let reclaimed = m.reclaim_shadow_frames(need.div_ceil(page_bytes));
+                need = need.saturating_sub(reclaimed * page_bytes);
+            }
             let mut pushed = 0usize;
             while need > 0 && pushed < 64 {
                 let mut popped = false;

@@ -215,6 +215,15 @@ pub fn run_policy_scoped(
             let Some(victim) = tracker.pop_demotion(true) else {
                 break;
             };
+            // Zero-copy path: a victim whose clean NVM shadow survived
+            // demotes by remap alone — the frame frees *now*, no DMA job,
+            // no journal transaction, no byte of bandwidth. Only dirty (or
+            // never-shadowed) pages fall through to the exclusive copy.
+            if m.shadow_remap_demote(victim) {
+                tracker.placed(victim, Tier::Nvm);
+                need = need.saturating_sub(page_bytes);
+                continue;
+            }
             jobs.push(MigrationJob {
                 page: victim,
                 dst: Tier::Nvm,
@@ -259,12 +268,19 @@ pub fn run_policy_scoped(
                 tracker.restore(hot);
                 break;
             };
-            jobs.push(MigrationJob {
-                page: victim,
-                dst: Tier::Nvm,
-                mechanism,
-            });
-            budget -= page_bytes;
+            // A clean-shadowed victim frees its frame immediately by
+            // remap; the waiting hot page still defers to the next pass
+            // (the scope's free-DRAM snapshot predates the remap).
+            if m.shadow_remap_demote(victim) {
+                tracker.placed(victim, Tier::Nvm);
+            } else {
+                jobs.push(MigrationJob {
+                    page: victim,
+                    dst: Tier::Nvm,
+                    mechanism,
+                });
+                budget -= page_bytes;
+            }
             deferrals_left -= 1;
             deferred += 1;
             // The hot page returns to the *front* of its queue so it is

@@ -10,11 +10,11 @@
 use hemem_memdev::{
     Device, DeviceConfig, DmaConfig, DmaEngine, Llc, MemOp, Reservation, SsdConfig, SsdDevice, GIB,
 };
-use hemem_pebs::{Pebs, PebsConfig};
+use hemem_pebs::{Pebs, PebsConfig, SampleRecord, SampleType};
 use hemem_sim::{CoreModel, FaultPlan, FaultPlanConfig, Histogram, Ns, Rng, Tracer};
 use hemem_vmm::{
-    AddressSpace, FaultConfig, FaultStats, FaultThread, PageSize, PhysPool, ScanConfig, Tier, Tlb,
-    TlbConfig,
+    AddressSpace, FaultConfig, FaultStats, FaultThread, PageId, PageSize, PageState, PhysPool,
+    ScanConfig, Tier, Tlb, TlbConfig,
 };
 
 use crate::backend::Traffic;
@@ -108,6 +108,13 @@ pub struct MachineConfig {
     /// cost. Zero poison faults means zero perturbation, so fault-free
     /// runs are untouched by this knob.
     pub poison_recovery: Ns,
+    /// Non-exclusive tiering (Nomad-style): when a page is promoted
+    /// NVM → DRAM, retain the NVM frame as a clean shadow so an
+    /// unmodified page can later demote by remap alone — zero bytes
+    /// moved. `false` (the default) is exclusive tiering: with no
+    /// shadows ever created, every shadow-handling path is a no-op and
+    /// runs are byte-identical to builds that predate the feature.
+    pub nvm_shadows: bool,
     /// RNG seed; two runs with the same seed are identical.
     pub seed: u64,
 }
@@ -135,8 +142,15 @@ impl MachineConfig {
             trace: false,
             evacuate_on_failure: true,
             poison_recovery: Ns::millis(10),
+            nvm_shadows: false,
             seed: 0x4E564D_48454D45, // "NVM HEME"
         }
+    }
+
+    /// Enables non-exclusive tiering (clean NVM shadow pages).
+    pub fn with_shadows(mut self) -> MachineConfig {
+        self.nvm_shadows = true;
+        self
     }
 
     /// Enables structured trace capture.
@@ -233,6 +247,37 @@ pub struct RecoveryStats {
     /// Tenants fully drained and retired after a kill or departure.
     #[serde(default)]
     pub tenant_drains: u64,
+}
+
+/// Non-exclusive tiering (shadow page) counters.
+///
+/// Kept separate from [`MachineStats`] so shadow-free runs (the knob
+/// off, or simply no shadows created yet) print byte-identical stats to
+/// builds that predate the feature.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct ShadowStats {
+    /// NVM frames retained as clean shadows at promotion commit.
+    pub retained: u64,
+    /// Retain intents dirtied by a write inside the protection window
+    /// (the promotion committed exclusively).
+    pub dirtied_wp: u64,
+    /// Clean shadows invalidated by a sampled store to the promoted
+    /// page after commit.
+    pub invalidated_store: u64,
+    /// Zero-copy demotions: pages flipped back onto their clean shadow
+    /// frame with no copy, no DMA job, and no journal transaction.
+    pub remap_demotions: u64,
+    /// Bytes those remap demotions did *not* move (the bandwidth the
+    /// exclusive path would have spent).
+    pub remap_demoted_bytes: u64,
+    /// Shadow frames reclaimed back to the free list under NVM
+    /// allocation pressure or the NVM watermark.
+    pub reclaimed: u64,
+    /// Shadow frames dropped for any other reason (page swapped out,
+    /// unmapped, poisoned, tenant drained, tier offline).
+    pub dropped: u64,
+    /// Stale shadows freed by watchdog recovery's reconcile walk.
+    pub reconciled: u64,
 }
 
 /// Health lifecycle of one memory device: `Healthy -> Degraded ->
@@ -345,6 +390,8 @@ pub struct MachineCore {
     pub tenant_major_faults: std::collections::BTreeMap<u32, Histogram>,
     /// Per-device health lifecycle and data-loss accounting.
     pub health: HealthState,
+    /// Non-exclusive tiering (shadow page) counters.
+    pub shadow: ShadowStats,
 }
 
 impl MachineCore {
@@ -381,6 +428,7 @@ impl MachineCore {
             trace: Tracer::new(cfg.trace),
             tenant_major_faults: std::collections::BTreeMap::new(),
             health: HealthState::default(),
+            shadow: ShadowStats::default(),
             cfg,
         }
     }
@@ -510,6 +558,139 @@ impl MachineCore {
     /// Bytes free in the DRAM pool.
     pub fn dram_free_bytes(&self) -> u64 {
         self.dram_pool.free_bytes()
+    }
+
+    /// Zero-copy demotion (non-exclusive tiering): if `page` is
+    /// DRAM-resident, not write-protected, and still has a clean NVM
+    /// shadow, flip the mapping back onto the shadow frame and free the
+    /// DRAM frame — no copy, no DMA job, no journal transaction. The
+    /// `wp: false` guard means no journaled migration can be in flight
+    /// on the page (prepare write-protects for the whole window).
+    /// Returns whether the remap happened.
+    pub fn shadow_remap_demote(&mut self, page: PageId) -> bool {
+        if !self.tier_online(Tier::Nvm) {
+            return false;
+        }
+        let region = self.space.region_mut(page.region);
+        match region.state(page.index) {
+            PageState::Mapped {
+                tier: Tier::Dram,
+                wp: false,
+                ..
+            } => {}
+            _ => return false,
+        }
+        let Some(shadow) = region.take_shadow(page.index) else {
+            return false;
+        };
+        let bytes = region.page_size().bytes();
+        let (old_tier, old_phys) = region.remap_page(page.index, Tier::Nvm, shadow);
+        debug_assert_eq!(old_tier, Tier::Dram, "shadowed page not DRAM-resident");
+        self.pool_mut(old_tier).free(old_phys);
+        self.nvm_pool.note_unshadow();
+        // No NVM wear: the frame already holds the bytes. Only the TLB
+        // pays, exactly like a journaled remap would.
+        let cores = self.cores.cores();
+        self.tlb.shootdown(cores);
+        self.shadow.remap_demotions += 1;
+        self.shadow.remap_demoted_bytes += bytes;
+        true
+    }
+
+    /// Frees `page`'s clean shadow frame, if any (the page was written,
+    /// swapped out, poisoned, or copy-demoted, so the stale NVM copy
+    /// must not survive as a demotion target). Callers bump the
+    /// [`ShadowStats`] counter matching their reason. Returns whether a
+    /// shadow was dropped.
+    pub fn drop_shadow_of(&mut self, page: PageId) -> bool {
+        let Some(phys) = self.space.region_mut(page.region).take_shadow(page.index) else {
+            return false;
+        };
+        self.nvm_pool.free(phys);
+        self.nvm_pool.note_unshadow();
+        true
+    }
+
+    /// Reclaims up to `want` shadow frames back to the NVM free list,
+    /// lowest region id then lowest page index first (deterministic).
+    /// Shadow frames are free capacity in disguise: allocation pressure
+    /// and the NVM watermark call this before spilling, swapping, or
+    /// demoting anything real. Returns how many frames came back.
+    pub fn reclaim_shadow_frames(&mut self, want: u64) -> u64 {
+        if want == 0 || self.nvm_pool.shadow_held_pages() == 0 {
+            return 0;
+        }
+        let ids: Vec<hemem_vmm::RegionId> = self.space.regions().map(|r| r.id()).collect();
+        let mut got = 0;
+        'regions: for id in ids {
+            while got < want {
+                let Some((_, phys)) = self.space.region_mut(id).take_first_shadow() else {
+                    break;
+                };
+                self.nvm_pool.free(phys);
+                self.nvm_pool.note_unshadow();
+                got += 1;
+            }
+            if got >= want {
+                break 'regions;
+            }
+        }
+        self.shadow.reclaimed += got;
+        got
+    }
+
+    /// Drops every shadow frame in the machine (the NVM tier went
+    /// offline, or a full teardown). Returns how many were freed.
+    pub fn drop_all_shadows(&mut self) -> u64 {
+        if self.nvm_pool.shadow_held_pages() == 0 {
+            return 0;
+        }
+        let ids: Vec<hemem_vmm::RegionId> = self.space.regions().map(|r| r.id()).collect();
+        let mut n = 0;
+        for id in ids {
+            while let Some((_, phys)) = self.space.region_mut(id).take_first_shadow() {
+                self.nvm_pool.free(phys);
+                self.nvm_pool.note_unshadow();
+                n += 1;
+            }
+        }
+        self.shadow.dropped += n;
+        n
+    }
+
+    /// PEBS `Store` samples are the only per-page write observations the
+    /// host gets, so they drive shadow invalidation: a store to a page
+    /// with a committed shadow drops it (DRAM copy diverged), and a store
+    /// to a page whose promotion is still in flight dirties the journaled
+    /// retain intent before it can become a shadow.
+    pub fn invalidate_shadows_on_stores(&mut self, samples: &[SampleRecord]) {
+        // Fast path: nothing retained anywhere — the common case with
+        // shadows disabled, and the reason this hook costs nothing there.
+        if self.nvm_pool.shadow_held_pages() == 0 && self.journal.retained_intents() == 0 {
+            return;
+        }
+        for s in samples {
+            if s.kind != SampleType::Store {
+                continue;
+            }
+            let Some(page) = self.space.page_at(hemem_vmm::VirtAddr(s.vaddr)) else {
+                continue;
+            };
+            if self.drop_shadow_of(page) {
+                self.shadow.invalidated_store += 1;
+                continue;
+            }
+            let in_flight = self
+                .journal
+                .entry_for_page(page)
+                .filter(|(_, e)| e.shadow == crate::journal::ShadowIntent::Retain)
+                .map(|(id, _)| id);
+            if let Some(id) = in_flight {
+                if self.journal.dirty_shadow(id) {
+                    self.shadow.dirtied_wp += 1;
+                }
+            }
+        }
     }
 }
 

@@ -18,7 +18,7 @@ use hemem_vmm::{FaultKind, FaultThread, PageId, PageSize, PhysPage, RegionId, Re
 use crate::audit::{audit_machine, AuditViolation};
 use crate::backend::{AccessBatch, CopyMechanism, MigrationJob, TieredBackend};
 use crate::error::MemError;
-use crate::journal::TxnState;
+use crate::journal::{ShadowIntent, TxnState};
 use crate::machine::{zero_fill, MachineConfig, MachineCore, TierHealth, WatchdogConfig};
 
 /// Events visible to (or scheduled by) workload drivers.
@@ -291,6 +291,11 @@ impl<B: TieredBackend> Sim<B> {
                     self.m.pool_mut(tier).free(phys);
                 }
             }
+            for (_, phys) in region.shadows() {
+                self.m.nvm_pool.free(phys);
+                self.m.nvm_pool.note_unshadow();
+                self.m.shadow.dropped += 1;
+            }
         }
     }
 
@@ -469,6 +474,7 @@ impl<B: TieredBackend> Sim<B> {
                     &[("pending", pending), ("drained", samples.len() as u64)],
                 );
                 if !samples.is_empty() {
+                    self.m.invalidate_shadows_on_stores(&samples);
                     self.backend.on_samples(&mut self.m, &samples, now);
                 }
                 let iv = self.m.pebs.config().drain_interval;
@@ -608,6 +614,11 @@ impl<B: TieredBackend> Sim<B> {
                         reclaimed += 1;
                     }
                 }
+                for (_, phys) in region.shadows() {
+                    self.m.nvm_pool.free(phys);
+                    self.m.nvm_pool.note_unshadow();
+                    self.m.shadow.dropped += 1;
+                }
             }
         }
         self.backend.tenant_drained(&mut self.m, tenant, now);
@@ -706,6 +717,12 @@ impl<B: TieredBackend> Sim<B> {
             "health",
             &[("tier", tier.rank() as u64)],
         );
+        // Shadow frames live on NVM; a dead NVM device takes its clean
+        // copies with it. They hold no authoritative data, so dropping
+        // them loses nothing — the primaries stay mapped in DRAM.
+        if tier == Tier::Nvm {
+            self.m.drop_all_shadows();
+        }
         let ids: Vec<u64> = self
             .m
             .journal
@@ -890,6 +907,11 @@ impl<B: TieredBackend> Sim<B> {
     /// poisoned-page notification instead of a silent wrong read.
     fn poison_page(&mut self, now: Ns, page: PageId) {
         let tenant = self.m.space.region(page.region).tenant();
+        // A stale clean copy of lost data must not survive as a
+        // demotion target.
+        if self.m.drop_shadow_of(page) {
+            self.m.shadow.dropped += 1;
+        }
         let (tier, phys) = self.m.space.region_mut(page.region).unmap_page(page.index);
         self.m.pool_mut(tier).free(phys);
         self.m.health.poisoned_pages += 1;
@@ -1052,6 +1074,37 @@ impl<B: TieredBackend> Sim<B> {
                         .span_drop(now, "migration", "migration", id, &[("rollback", 1)]);
                 }
                 TxnState::Committed => {}
+            }
+        }
+        // Shadow/primary reconcile: every shadow step is atomic within
+        // one event, so a kill (which lands between events) should never
+        // leave a shadow whose primary is not DRAM-mapped — but recovery
+        // verifies rather than trusts. Any stale shadow found here is
+        // freed; the audit's `StaleShadowMapped` would flag one we
+        // missed.
+        if self.m.nvm_pool.shadow_held_pages() > 0 {
+            let mut stale: Vec<PageId> = Vec::new();
+            for r in self.m.space.regions() {
+                for (i, _) in r.shadows() {
+                    let ok = matches!(
+                        r.state(i),
+                        hemem_vmm::PageState::Mapped {
+                            tier: Tier::Dram,
+                            ..
+                        }
+                    );
+                    if !ok {
+                        stale.push(PageId {
+                            region: r.id(),
+                            index: i,
+                        });
+                    }
+                }
+            }
+            for page in stale {
+                if self.m.drop_shadow_of(page) {
+                    self.m.shadow.reconciled += 1;
+                }
             }
         }
         // Fresh manager process: rebuild backend state from what survives
@@ -1238,7 +1291,14 @@ impl<B: TieredBackend> Sim<B> {
                 .migration_aborted(&mut self.m, job.page, src_tier);
             return None;
         }
-        let Some(dst_phys) = self.m.pool_mut(job.dst).alloc() else {
+        // Shadows are free NVM capacity: a demotion that finds the NVM
+        // pool exhausted reclaims one shadow frame rather than aborting
+        // (and re-aborting forever while shadows park the whole tier).
+        let mut dst_phys = self.m.pool_mut(job.dst).alloc();
+        if dst_phys.is_none() && job.dst == Tier::Nvm && self.m.reclaim_shadow_frames(1) > 0 {
+            dst_phys = self.m.pool_mut(job.dst).alloc();
+        }
+        let Some(dst_phys) = dst_phys else {
             self.m.stats.migrations_aborted += 1;
             self.backend
                 .migration_aborted(&mut self.m, job.page, src_tier);
@@ -1250,9 +1310,17 @@ impl<B: TieredBackend> Sim<B> {
             .set_wp(job.page.index, true);
         let id = self.next_mig;
         self.next_mig += 1;
-        self.m
-            .journal
-            .prepare(id, job.page, tenant, src_tier, src_phys, job.dst, dst_phys);
+        // Non-exclusive mode: an NVM→DRAM promotion journals the intent to
+        // retain the source frame as a clean shadow. Writes that land during
+        // the WP window dirty the intent before it ever becomes a shadow.
+        let shadow = if self.m.cfg.nvm_shadows && src_tier == Tier::Nvm && job.dst == Tier::Dram {
+            ShadowIntent::Retain
+        } else {
+            ShadowIntent::Drop
+        };
+        self.m.journal.prepare_shadowed(
+            id, job.page, tenant, src_tier, src_phys, job.dst, dst_phys, shadow,
+        );
         self.m.stats.migrations_started += 1;
         // The migration span opens at prepare: end-to-end latency is
         // policy issue to mapping flip, not just the copy.
@@ -1307,12 +1375,46 @@ impl<B: TieredBackend> Sim<B> {
         // mapping, release the source frame, retire the entry. The whole
         // sequence runs atomically within this event, so a kill (which
         // lands between events) only ever observes Prepared entries.
-        self.m.journal.mark_committed(id);
+        // Re-read the entry from the commit: the WP window may have
+        // downgraded its shadow intent (Retain → Dirtied) since prepare.
+        let e = self
+            .m
+            .journal
+            .mark_committed(id)
+            .expect("entry present: looked up above");
+        // Any shadow the page held before this migration is stale the
+        // moment its mapping flips (e.g. a copy-demotion of a DRAM page
+        // whose clean shadow was passed over for remap).
+        let stale = self
+            .m
+            .space
+            .region_mut(e.page.region)
+            .take_shadow(e.page.index);
+        if let Some(stale) = stale {
+            self.m.nvm_pool.free(stale);
+            self.m.nvm_pool.note_unshadow();
+            self.m.shadow.dropped += 1;
+        }
         let region = self.m.space.region_mut(e.page.region);
         let bytes = region.page_size().bytes();
         let (old_tier, old_phys) = region.remap_page(e.page.index, e.dst_tier, e.dst_phys);
         region.set_wp(e.page.index, false);
-        self.m.pool_mut(old_tier).free(old_phys);
+        // Non-exclusive commit: a promotion that stayed clean through the
+        // WP window keeps its NVM source frame as a shadow; everything
+        // else releases the source as before.
+        if e.shadow == ShadowIntent::Retain
+            && old_tier == Tier::Nvm
+            && self.m.tier_online(Tier::Nvm)
+        {
+            self.m
+                .space
+                .region_mut(e.page.region)
+                .set_shadow(e.page.index, old_phys);
+            self.m.nvm_pool.note_shadow();
+            self.m.shadow.retained += 1;
+        } else {
+            self.m.pool_mut(old_tier).free(old_phys);
+        }
         match e.dst_tier {
             Tier::Nvm => {
                 // A migration into NVM writes the whole frame once.
@@ -1399,6 +1501,11 @@ impl<B: TieredBackend> Sim<B> {
         let Some((page, slot)) = self.pending_swaps.remove(&id) else {
             return;
         };
+        // A page leaving the byte-addressable tiers takes its shadow
+        // with it (the clean copy is stale once the page swaps back in).
+        if self.m.drop_shadow_of(page) {
+            self.m.shadow.dropped += 1;
+        }
         let region = self.m.space.region_mut(page.region);
         region.set_wp(page.index, false);
         let (tier, phys) = region.swap_out_page(page.index, slot);
@@ -1423,7 +1530,16 @@ impl<B: TieredBackend> Sim<B> {
             return None; // offline devices take no allocations
         }
         loop {
-            let phys = self.m.pool_mut(tier).alloc()?;
+            let phys = match self.m.pool_mut(tier).alloc() {
+                Some(p) => p,
+                // Shadows are free capacity: NVM exhaustion reclaims one
+                // (the shadow's primary stays mapped in DRAM) rather than
+                // spilling or failing the allocation.
+                None if tier == Tier::Nvm && self.m.reclaim_shadow_frames(1) > 0 => {
+                    self.m.pool_mut(tier).alloc()?
+                }
+                None => return None,
+            };
             match tier {
                 Tier::Nvm => {
                     let wear = self.m.nvm_pool.wear(phys);
@@ -1638,6 +1754,12 @@ impl<B: TieredBackend> Sim<B> {
             } if tier != Tier::Ssd => tier,
             _ => return Err(MemError::ReclaimVictimBusy(victim)),
         };
+        // Clean-shadow fast path: a DRAM victim whose bytes already sit in
+        // its NVM shadow demotes by remap alone — no SSD program, no stall.
+        if src_tier == Tier::Dram && self.m.shadow_remap_demote(victim) {
+            self.backend.placed(&mut self.m, victim, Tier::Nvm);
+            return Ok(Ns::ZERO);
+        }
         let ssd_phys = self.alloc_frame(Tier::Ssd).ok_or(MemError::SwapExhausted)?;
         self.m
             .reserve_tier_bulk(now, src_tier, MemOp::Read, bytes, None);
@@ -1674,6 +1796,11 @@ impl<B: TieredBackend> Sim<B> {
             } => tier,
             _ => return Err(MemError::ReclaimVictimBusy(victim)),
         };
+        // Clean-shadow fast path (see `try_direct_reclaim_tier3`).
+        if src_tier == Tier::Dram && self.m.shadow_remap_demote(victim) {
+            self.backend.placed(&mut self.m, victim, Tier::Nvm);
+            return Ok(Ns::ZERO);
+        }
         let disk_cap = self
             .m
             .disk
@@ -2031,6 +2158,16 @@ impl<B: TieredBackend> Sim<B> {
             return Ns::ZERO;
         }
         self.m.stats.wp_stalls += hits;
+        // A write landing in the WP window of an in-flight promotion means
+        // the DRAM copy will diverge from its would-be shadow: downgrade
+        // every Retain intent in the stalled span. Conservative (the whole
+        // span dirties), but a stale shadow would be a correctness bug
+        // while an over-dropped one only costs a future copy.
+        let dirtied = self
+            .m
+            .journal
+            .dirty_shadows_in(seg.region, seg.lo_page, seg.hi_page);
+        self.m.shadow.dirtied_wp += dirtied;
         // Each stalled write waits a fault round trip plus (on average)
         // half a page-copy time at the migration rate cap.
         let half_copy = Ns::from_secs_f64(region.page_size().bytes() as f64 / 10.0e9 / 2.0);
@@ -2098,6 +2235,7 @@ impl<B: TieredBackend> Sim<B> {
         if !direct.is_empty() {
             self.m.pebs.record_direct(direct.len() as u64);
             let now = self.now();
+            self.m.invalidate_shadows_on_stores(&direct);
             self.backend.on_samples(&mut self.m, &direct, now);
         }
     }

@@ -43,6 +43,13 @@ pub struct PhysPool {
     /// device is readmitted — media-poisoned pages never do.
     #[serde(default)]
     health_retired: Vec<PhysPage>,
+    /// Of the `allocated` pages, how many are held as clean shadows
+    /// (non-exclusive tiering) rather than by live mappings or journal
+    /// entries. Shadows are reclaimable on demand, so this count is
+    /// effectively free capacity; it never changes the conservation
+    /// identity `total = free + allocated + retired + health_retired`.
+    #[serde(default)]
+    shadow_held: u64,
 }
 
 impl PhysPool {
@@ -63,6 +70,7 @@ impl PhysPool {
             wear: vec![0; total as usize],
             retire_threshold: None,
             health_retired: Vec::new(),
+            shadow_held: 0,
         }
     }
 
@@ -94,6 +102,28 @@ impl PhysPool {
     /// Free bytes remaining.
     pub fn free_bytes(&self) -> u64 {
         self.free_pages() * self.page_size.bytes()
+    }
+
+    /// Allocated pages currently held as clean shadows.
+    pub fn shadow_held_pages(&self) -> u64 {
+        self.shadow_held
+    }
+
+    /// Marks one allocated page as shadow-held (its mapping was just
+    /// promoted away and the frame retained as a clean copy).
+    pub fn note_shadow(&mut self) {
+        debug_assert!(
+            self.shadow_held < self.allocated,
+            "more shadows than allocated pages"
+        );
+        self.shadow_held += 1;
+    }
+
+    /// Marks one shadow-held page as no longer a shadow (it was freed,
+    /// remapped onto, or dirtied away).
+    pub fn note_unshadow(&mut self) {
+        assert!(self.shadow_held > 0, "unshadow with no shadows held");
+        self.shadow_held -= 1;
     }
 
     /// Allocates one page, or `None` when the tier is exhausted.

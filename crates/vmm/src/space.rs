@@ -8,6 +8,8 @@
 //! logarithmic time, plus an [`AccessLedger`] for the page-table-scanning
 //! baselines.
 
+use std::collections::BTreeMap;
+
 use crate::addr::{PageId, PageSize, RegionId, TenantId, Tier, VirtAddr, VirtRange};
 use crate::fenwick::FlagTree;
 use crate::ledger::AccessLedger;
@@ -110,6 +112,11 @@ pub struct Region {
     wp_idx: FlagTree,
     wp_pages: u64,
     swapped_pages: u64,
+    /// Non-exclusive tiering: DRAM-resident pages whose stale-but-clean
+    /// NVM copy was retained at promotion, keyed by page index. A shadow
+    /// frame is owned by this map (not by any mapping) until the page is
+    /// remap-demoted onto it, dirtied, or reclaimed under NVM pressure.
+    shadows: BTreeMap<u64, PhysPage>,
     /// Expected access densities since the last page-table scan.
     pub ledger: AccessLedger,
 }
@@ -136,6 +143,7 @@ impl Region {
             wp_idx: FlagTree::new(pages),
             wp_pages: 0,
             swapped_pages: 0,
+            shadows: BTreeMap::new(),
             ledger: AccessLedger::new(),
         }
     }
@@ -189,6 +197,42 @@ impl Region {
     /// Pages currently mapped on any tier.
     pub fn mapped_pages(&self) -> u64 {
         self.mapped_idx.count()
+    }
+
+    /// Records `phys` as the clean NVM shadow of page `index`
+    /// (non-exclusive tiering: the page was just promoted off this frame
+    /// and the copy is still byte-exact). At most one shadow per page.
+    pub fn set_shadow(&mut self, index: u64, phys: PhysPage) {
+        let prev = self.shadows.insert(index, phys);
+        assert!(prev.is_none(), "page {index} already has a shadow frame");
+    }
+
+    /// Removes and returns page `index`'s shadow frame, if any. The
+    /// caller owns the frame afterwards (free it or remap onto it).
+    pub fn take_shadow(&mut self, index: u64) -> Option<PhysPage> {
+        self.shadows.remove(&index)
+    }
+
+    /// Page `index`'s shadow frame, if it still has a clean one.
+    pub fn shadow(&self, index: u64) -> Option<PhysPage> {
+        self.shadows.get(&index).copied()
+    }
+
+    /// Number of shadow frames this region holds.
+    pub fn shadow_pages(&self) -> u64 {
+        self.shadows.len() as u64
+    }
+
+    /// All (page index, shadow frame) pairs, in page-index order (the
+    /// deterministic reclaim / audit walk order).
+    pub fn shadows(&self) -> impl Iterator<Item = (u64, PhysPage)> + '_ {
+        self.shadows.iter().map(|(&i, &p)| (i, p))
+    }
+
+    /// Removes and returns the lowest-index shadow, if any (deterministic
+    /// pressure-reclaim order).
+    pub fn take_first_shadow(&mut self) -> Option<(u64, PhysPage)> {
+        self.shadows.pop_first()
     }
 
     /// Updates the per-tier residency indices for page `i`, now resident
@@ -532,6 +576,7 @@ impl Region {
             kind: self.kind,
             tenant: self.tenant,
             states: self.states.clone(),
+            shadows: self.shadows.clone(),
         }
     }
 
@@ -555,6 +600,7 @@ impl Region {
             }
         }
         r.states = snap.states;
+        r.shadows = snap.shadows;
         r
     }
 }
@@ -574,6 +620,9 @@ pub struct RegionSnapshot {
     pub tenant: TenantId,
     /// Per-page mapping states.
     pub states: Vec<PageState>,
+    /// Clean NVM shadow frames by page index (non-exclusive tiering).
+    #[serde(default)]
+    pub shadows: BTreeMap<u64, PhysPage>,
 }
 
 /// Serializable snapshot of a whole [`AddressSpace`].

@@ -93,6 +93,16 @@ echo "== tier failure smoke"
 cargo build --release -p hemem-bench --bin failbench
 ./target/release/failbench
 
+# nomadbench asserts internally that (a) non-exclusive tiering turns a
+# demotion-heavy oversubscribed churn into zero-copy remaps (>= 30% of
+# journaled migration bytes saved, major-fault p99 no worse), (b) the
+# shadows-off config is byte-identical to the committed tierbench
+# baselines, and (c) shadowed runs with seeded manager/tenant kills
+# replay byte-identically with a silent audit.
+echo "== non-exclusive tiering smoke"
+cargo build --release -p hemem-bench --bin nomadbench
+./target/release/nomadbench
+
 # Wall-clock regression gate: the gate benches above each rewrote their
 # entry in BENCH_sim_wallclock.json. Compare against the committed
 # baseline with a 3x tolerance — machine-to-machine variance is real,
