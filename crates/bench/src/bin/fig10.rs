@@ -4,10 +4,17 @@
 //! Paper shape: small periods drop samples (up to 30%) and are noisy;
 //! 5k-100k is the sweet spot; beyond 100k, samples arrive too rarely and
 //! GUPS falls.
+//!
+//! The adaptive companion table (`fig10_adaptive`) starts the
+//! self-tuning controller from a too-hot, a sweet-spot, and a too-cold
+//! period: wherever it starts, the controller must end inside the band
+//! the fixed sweep identifies, with its final decision window inside the
+//! drop budget.
 
 use hemem_bench::{ExpArgs, Report};
 use hemem_core::hemem::{HeMem, HeMemConfig};
 use hemem_core::runtime::Sim;
+use hemem_pebs::AdaptiveConfig;
 use hemem_sim::Ns;
 use hemem_workloads::{run_gups, GupsConfig};
 
@@ -46,4 +53,62 @@ fn main() {
         ]);
     }
     rep.emit();
+
+    // Adaptive operating points: the same GUPS with the controller armed,
+    // started from each side of the fixed sweep's sweet spot.
+    let mut arep = Report::new(
+        "fig10_adaptive",
+        "Figure 10 (adaptive): self-tuning PEBS operating points",
+        &[
+            "start period",
+            "end min",
+            "end max",
+            "GUPS avg",
+            "dropped %",
+            "raises",
+            "lowers",
+            "last window drop milli",
+        ],
+    );
+    for start in [100u64, 5_000, 1_000_000] {
+        let mut gups = 0.0;
+        let mut dropped = 0.0;
+        let (mut end_min, mut end_max) = (u64::MAX, 0u64);
+        let (mut raises, mut lowers, mut last_milli) = (0u64, 0u64, 0u64);
+        for seed in 0..3u64 {
+            let mut mc = args.machine();
+            mc.seed = mc.seed.wrapping_add(seed);
+            mc.pebs.sample_period = start;
+            mc.pebs.adaptive = Some(AdaptiveConfig {
+                min_period: 100,
+                ..AdaptiveConfig::default()
+            });
+            let hc = HeMemConfig::scaled_for(&mc);
+            let mut sim = Sim::new(mc, HeMem::new(hc));
+            let mut cfg = GupsConfig::paper(args.gib(512), args.gib(16));
+            cfg.warmup = Ns::secs(25);
+            cfg.duration = Ns::secs(args.seconds.unwrap_or(5));
+            let r = run_gups(&mut sim, cfg);
+            gups += r.gups;
+            dropped += sim.m.pebs.stats().drop_fraction();
+            let end = sim.m.pebs.sample_period();
+            end_min = end_min.min(end);
+            end_max = end_max.max(end);
+            let a = sim.m.pebs.adapt_stats();
+            raises += a.raises;
+            lowers += a.lowers;
+            last_milli = last_milli.max(a.last_window_drop_milli);
+        }
+        arep.row(&[
+            start.to_string(),
+            end_min.to_string(),
+            end_max.to_string(),
+            format!("{:.4}", gups / 3.0),
+            format!("{:.3}", dropped / 3.0 * 100.0),
+            raises.to_string(),
+            lowers.to_string(),
+            last_milli.to_string(),
+        ]);
+    }
+    arep.emit();
 }

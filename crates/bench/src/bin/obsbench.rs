@@ -156,8 +156,9 @@ fn main() {
     let csv = tel.csv();
     let header = csv.lines().next().unwrap_or_default();
     assert!(
-        header.ends_with("wp_p50_ns,wp_p99_ns,wp_p999_ns,wp_max_ns"),
-        "telemetry CSV carries percentile columns"
+        header.contains("wp_p50_ns,wp_p99_ns,wp_p999_ns,wp_max_ns")
+            && header.ends_with("pebs_sample_period,pebs_drop_frac_milli"),
+        "telemetry CSV carries percentile and PEBS-controller columns"
     );
     println!("telemetry: OK — percentile columns present ({header})");
 }

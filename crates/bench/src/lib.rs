@@ -200,6 +200,20 @@ pub fn fingerprint<B: TieredBackend>(sim: &Sim<B>) -> String {
             h.tenant_poisoned,
         ));
     }
+    // The adaptive-PEBS segment only appears when the controller is
+    // configured, keeping fixed-period fingerprints byte-identical to
+    // their pre-adaptation baselines.
+    if sim.m.cfg.pebs.adaptive.is_some() {
+        let a = sim.m.pebs.adapt_stats();
+        s.push_str(&format!(
+            "|adapt:{}/{}/{}/{}/{}",
+            sim.m.pebs.sample_period(),
+            a.decisions,
+            a.raises,
+            a.lowers,
+            a.last_window_drop_milli,
+        ));
+    }
     for class in LatencyClass::ALL {
         let h = sim.m.trace.hist(class);
         // Same reasoning: the major-fault histogram can only fill on a

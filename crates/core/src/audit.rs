@@ -195,6 +195,50 @@ pub enum AuditViolation {
         /// Health-retired pages the machine's ledger records.
         recorded: u64,
     },
+    /// A region tracker's span tiling does not cover its region exactly:
+    /// a gap, overlap, or misaligned span at `at` (reported through
+    /// `TieredBackend::audit`).
+    RegionCoverageGap {
+        /// The region whose tiling is broken.
+        region: hemem_vmm::RegionId,
+        /// Page offset where the walk first disagreed with the tiling.
+        at: u64,
+    },
+    /// A span's cached residency summary disagrees with a recount of the
+    /// per-page state inside it (reported through
+    /// `TieredBackend::audit`).
+    RegionTemperatureMismatch {
+        /// The region holding the span.
+        region: hemem_vmm::RegionId,
+        /// The span's head page offset.
+        start: u64,
+        /// DRAM pages the span caches.
+        cached_dram: u64,
+        /// DRAM pages actually inside per the page metadata.
+        actual_dram: u64,
+        /// NVM pages the span caches.
+        cached_nvm: u64,
+        /// NVM pages actually inside per the page metadata.
+        actual_nvm: u64,
+    },
+    /// Split/merge bookkeeping leaked: the incremental span/coverage
+    /// accounting disagrees with the span map, or spans stay pinned with
+    /// no journal entry in flight to justify the pin (reported through
+    /// `TieredBackend::audit`).
+    SplitMergeLeak {
+        /// The region with broken accounting.
+        region: hemem_vmm::RegionId,
+        /// Spans the incremental counter believes are live.
+        live_spans: u64,
+        /// Spans actually in the map.
+        actual_spans: u64,
+        /// Pages the incremental coverage counter believes are tiled.
+        covered: u64,
+        /// Pages the region actually has.
+        pages: u64,
+        /// Pins outstanding with an empty migration journal.
+        orphan_pins: u64,
+    },
 }
 
 impl std::fmt::Display for AuditViolation {
@@ -301,6 +345,31 @@ impl std::fmt::Display for AuditViolation {
             } => write!(
                 f,
                 "{tier:?} pool health-retired {pool_retired} pages but the ledger records {recorded}"
+            ),
+            AuditViolation::RegionCoverageGap { region, at } => {
+                write!(f, "{region:?} span tiling breaks at page {at}")
+            }
+            AuditViolation::RegionTemperatureMismatch {
+                region,
+                start,
+                cached_dram,
+                actual_dram,
+                cached_nvm,
+                actual_nvm,
+            } => write!(
+                f,
+                "{region:?} span@{start} caches dram {cached_dram}/nvm {cached_nvm} but pages count dram {actual_dram}/nvm {actual_nvm}"
+            ),
+            AuditViolation::SplitMergeLeak {
+                region,
+                live_spans,
+                actual_spans,
+                covered,
+                pages,
+                orphan_pins,
+            } => write!(
+                f,
+                "{region:?} split/merge leak: {live_spans} counted vs {actual_spans} actual spans, {covered}/{pages} pages covered, {orphan_pins} orphan pins"
             ),
         }
     }

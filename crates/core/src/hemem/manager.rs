@@ -510,6 +510,19 @@ impl HeMem {
     pub fn config(&self) -> &HeMemConfig {
         &self.cfg
     }
+
+    /// Aggregated region-layer counters across every tenant tracker, or
+    /// `None` when region tracking is off. `periods` takes the max (the
+    /// trackers tick in lockstep), the work counters sum.
+    pub fn region_stats(&self) -> Option<crate::hemem::regions::RegionStats> {
+        let mut agg: Option<crate::hemem::regions::RegionStats> = None;
+        for ts in &self.tenants {
+            if let Some(s) = ts.tracker.region_stats() {
+                agg.get_or_insert_with(Default::default).merge(&s);
+            }
+        }
+        agg
+    }
 }
 
 /// The tier a first-touch spills to when DRAM is unavailable. A healthy
@@ -1086,6 +1099,13 @@ impl TieredBackend for HeMem {
                     mapped,
                 },
             ));
+            // Region/page agreement: span tiling, cached residency, and
+            // split/merge accounting. Pins must be justified by the
+            // tenant's in-flight journal entries.
+            v.extend(
+                ts.tracker
+                    .region_violations(m.journal.prepared_len_for(ts.id)),
+            );
         }
         // Tenant-scoped invariants, multi-tenant only: every tenant's
         // DRAM claim stays within its quota (plus a grace window for

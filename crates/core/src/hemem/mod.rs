@@ -8,8 +8,10 @@
 
 pub mod manager;
 pub mod policy;
+pub mod regions;
 pub mod tracker;
 
 pub use manager::{HeMem, HeMemConfig, HeMemStats};
 pub use policy::{run_policy, run_policy_scoped, PolicyConfig, PolicyScope};
+pub use regions::{RegionConfig, RegionStats, RegionTracker};
 pub use tracker::{PageTracker, Queue, TrackerConfig, TrackerStats};

@@ -158,6 +158,9 @@ pub fn run_policy_scoped(
     now: Ns,
     scope: &PolicyScope,
 ) -> Vec<MigrationJob> {
+    if tracker.regions_enabled() {
+        return run_region_policy(cfg, tracker, m, now, scope);
+    }
     let page_bytes = m.cfg.managed_page.bytes();
     let mechanism = cfg.mechanism_for(m);
     let mut budget = scope.budget;
@@ -285,6 +288,159 @@ pub fn run_policy_scoped(
             deferred += 1;
             // The hot page returns to the *front* of its queue so it is
             // first in line once the victim's frame is free.
+            tracker.restore_front(hot);
+        } else {
+            tracker.restore_front(hot);
+            break;
+        }
+    }
+    m.trace.policy.demote_watermark += demoted_wm;
+    m.trace.policy.promote += promoted;
+    m.trace.policy.swap_deferrals += deferred;
+    if scope.tag_tenant {
+        m.trace.instant(
+            now,
+            "policy_pass",
+            "policy",
+            &[
+                ("demote_watermark", demoted_wm),
+                ("promote", promoted),
+                ("swap_deferral", deferred),
+                ("in_flight", in_flight),
+                ("tenant", scope.tenant.0 as u64),
+            ],
+        );
+    } else {
+        m.trace.instant(
+            now,
+            "policy_pass",
+            "policy",
+            &[
+                ("demote_watermark", demoted_wm),
+                ("promote", promoted),
+                ("swap_deferral", deferred),
+                ("in_flight", in_flight),
+            ],
+        );
+    }
+    jobs
+}
+
+/// One policy pass selecting candidates at *region* granularity: span
+/// maintenance (decay, split, merge) runs once, then promotion and
+/// demotion picks walk the Fenwick span indexes and only touch per-page
+/// state inside chosen spans. The pass structure — throttle on in-flight
+/// pages, watermark demotion with the zero-copy shadow fast path,
+/// promotion with per-hot-page deferral — mirrors the flat pass exactly,
+/// so the two differ only in *how* candidates are found.
+fn run_region_policy(
+    cfg: &PolicyConfig,
+    tracker: &mut PageTracker,
+    m: &mut MachineCore,
+    now: Ns,
+    scope: &PolicyScope,
+) -> Vec<MigrationJob> {
+    let page_bytes = m.cfg.managed_page.bytes();
+    let mechanism = cfg.mechanism_for(m);
+    let mut budget = scope.budget;
+    let mut jobs = Vec::new();
+
+    // Span maintenance runs even on throttled passes: temperatures decay
+    // in wall-clock periods, not in migration opportunities.
+    tracker.begin_region_period();
+
+    m.trace.policy.passes += 1;
+    let in_flight = m.journal.prepared_len_for(scope.tenant);
+    if in_flight >= scope.max_inflight_pages {
+        m.trace.policy.throttled += 1;
+        if scope.tag_tenant {
+            m.trace.instant(
+                now,
+                "policy_pass",
+                "policy",
+                &[
+                    ("throttled", 1),
+                    ("in_flight", in_flight),
+                    ("tenant", scope.tenant.0 as u64),
+                ],
+            );
+        } else {
+            m.trace.instant(
+                now,
+                "policy_pass",
+                "policy",
+                &[("throttled", 1), ("in_flight", in_flight)],
+            );
+        }
+        return jobs;
+    }
+    budget = budget.min((scope.max_inflight_pages - in_flight) * page_bytes);
+
+    // Phase 1: replenish the DRAM free watermark (see the flat pass for
+    // the pending-free rationale).
+    let pending_free = m.journal.prepared_freeing_for(scope.tenant, Tier::Dram) * page_bytes;
+    let free = scope.free_dram_bytes.saturating_add(pending_free);
+    let mut demoted_wm = 0u64;
+    if free < scope.dram_watermark {
+        let mut need = scope.dram_watermark - free;
+        while need > 0 && budget >= page_bytes {
+            let Some(victim) = tracker.pop_region_demotion(true) else {
+                break;
+            };
+            if m.shadow_remap_demote(victim) {
+                tracker.placed(victim, Tier::Nvm);
+                need = need.saturating_sub(page_bytes);
+                continue;
+            }
+            jobs.push(MigrationJob {
+                page: victim,
+                dst: Tier::Nvm,
+                mechanism,
+            });
+            need = need.saturating_sub(page_bytes);
+            budget -= page_bytes;
+            demoted_wm += 1;
+        }
+    }
+
+    // Phase 2: promote from hot spans, deferring to a demotion when DRAM
+    // is full — at most one victim per page still waiting in the NVM hot
+    // queue, as in the flat pass.
+    let mut claimed = 0u64;
+    let mut promoted = 0u64;
+    let mut deferred = 0u64;
+    let mut deferrals_left = tracker.queue_len(crate::hemem::tracker::Queue::NvmHot) as u64;
+    while budget >= page_bytes {
+        let Some(hot) = tracker.pop_region_promotion() else {
+            break;
+        };
+        let have_free = scope.free_dram_bytes.min(m.dram_free_bytes()) >= page_bytes + claimed;
+        if have_free {
+            jobs.push(MigrationJob {
+                page: hot,
+                dst: Tier::Dram,
+                mechanism,
+            });
+            claimed += page_bytes;
+            budget -= page_bytes;
+            promoted += 1;
+        } else if deferrals_left > 0 {
+            let Some(victim) = tracker.pop_region_demotion(cfg.swap_allows_hot) else {
+                tracker.restore(hot);
+                break;
+            };
+            if m.shadow_remap_demote(victim) {
+                tracker.placed(victim, Tier::Nvm);
+            } else {
+                jobs.push(MigrationJob {
+                    page: victim,
+                    dst: Tier::Nvm,
+                    mechanism,
+                });
+                budget -= page_bytes;
+            }
+            deferrals_left -= 1;
+            deferred += 1;
             tracker.restore_front(hot);
         } else {
             tracker.restore_front(hot);

@@ -1,0 +1,796 @@
+//! Multi-grained region hotness tracking (HM-Keeper style).
+//!
+//! Per-page trackers stop scaling: a TB-class tenant is ~500K huge
+//! pages, and any maintenance that walks flat per-page state costs a
+//! pass over all of them. The [`RegionTracker`] aggregates page hotness
+//! into variable-granularity *spans* — power-of-two page runs between
+//! `min_span` and `max_span` (1–512 huge pages by default), buddy-
+//! aligned so split and merge stay deterministic — each carrying an
+//! exponentially-decaying integer temperature fed by PEBS samples. Every
+//! policy period the spans decay, hot spans split (heat localizes), and
+//! adjacent cold buddies merge (cold footprint collapses into a few
+//! large spans). Candidate selection walks a Fenwick-backed flag index
+//! over span heads instead of per-page queues, and only touches per-page
+//! state *inside* chosen spans — policy-pass cost grows with the number
+//! of live spans, not the number of pages.
+//!
+//! The tracker is deliberately a pure bookkeeping layer: the
+//! [`PageTracker`](super::tracker::PageTracker) owns per-page metadata
+//! and queue linkage, drives split weighting from surviving per-page
+//! counters, and reconciles the region view after a crash
+//! (`rebuild_from`). In-flight migrations pin their span: a pinned span
+//! never splits or merges until the journal entry completes or rolls
+//! back, so recovery always finds span boundaries consistent with the
+//! journal.
+
+use std::collections::BTreeMap;
+
+use hemem_vmm::{FlagTree, RegionId, Tier};
+
+/// Region-tracking configuration, carried inside
+/// [`TrackerConfig`](super::tracker::TrackerConfig). Off by default:
+/// with `enabled = false` the tracker is not constructed and every flat
+/// code path is byte-identical to a build without this module.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RegionConfig {
+    /// Whether region tracking is active.
+    pub enabled: bool,
+    /// Smallest span a split may produce, in pages (power of two).
+    pub min_span: u64,
+    /// Largest span a merge may produce, in pages (power of two).
+    pub max_span: u64,
+    /// Spans at or above this temperature split each policy period.
+    pub split_temperature: u32,
+    /// Buddy spans at or below this temperature merge each period.
+    pub merge_temperature: u32,
+    /// Spans at or above this temperature are promotion candidates.
+    pub promote_temperature: u32,
+    /// Exponential decay per policy period: `temp -= max(temp >> shift,
+    /// 1)` (the floor step lets every span reach zero).
+    pub decay_shift: u32,
+}
+
+impl Default for RegionConfig {
+    fn default() -> Self {
+        RegionConfig {
+            enabled: false,
+            min_span: 1,
+            max_span: 512,
+            split_temperature: 16,
+            merge_temperature: 2,
+            promote_temperature: 8,
+            decay_shift: 2,
+        }
+    }
+}
+
+impl RegionConfig {
+    /// The adaptive multi-grain configuration (1–512-page spans).
+    pub fn multi_grain() -> RegionConfig {
+        RegionConfig {
+            enabled: true,
+            ..RegionConfig::default()
+        }
+    }
+
+    /// The flat per-page baseline: every page is its own permanent
+    /// 1-page span, so per-period maintenance walks one span per page —
+    /// exactly the linear cost the multi-grain tracker exists to avoid.
+    /// Used by `scalebench` as the scaling comparison.
+    pub fn flat_baseline() -> RegionConfig {
+        RegionConfig {
+            enabled: true,
+            min_span: 1,
+            max_span: 1,
+            ..RegionConfig::default()
+        }
+    }
+}
+
+/// Region-layer counters. Backend-side (never part of the machine
+/// fingerprint); `scalebench` derives its policy-pass cost metric from
+/// the maintenance + selection fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RegionStats {
+    /// Live spans across all tracked regions.
+    pub spans: u64,
+    /// Hot-span splits applied.
+    pub splits: u64,
+    /// Cold buddy merges applied.
+    pub merges: u64,
+    /// Span temperature decays applied (one per span per period).
+    pub decay_ops: u64,
+    /// Fenwick index operations during candidate selection.
+    pub select_index_ops: u64,
+    /// Per-page state touches inside chosen spans during selection and
+    /// split weighting.
+    pub select_pages_touched: u64,
+    /// Sample-driven span updates (temperature bumps, residency moves).
+    pub sample_ops: u64,
+    /// Policy periods processed (decay/split/merge passes).
+    pub periods: u64,
+}
+
+impl RegionStats {
+    /// Folds another tracker's counters into this one (per-tenant
+    /// trackers aggregate into one machine-level view).
+    pub fn merge(&mut self, o: &RegionStats) {
+        self.spans += o.spans;
+        self.splits += o.splits;
+        self.merges += o.merges;
+        self.decay_ops += o.decay_ops;
+        self.select_index_ops += o.select_index_ops;
+        self.select_pages_touched += o.select_pages_touched;
+        self.sample_ops += o.sample_ops;
+        self.periods = self.periods.max(o.periods);
+    }
+
+    /// Maintenance + selection work per policy period — the quantity
+    /// that must stay sublinear in footprint.
+    pub fn policy_cost_per_period(&self) -> f64 {
+        let work = self.decay_ops
+            + self.splits
+            + self.merges
+            + self.select_index_ops
+            + self.select_pages_touched;
+        work as f64 / self.periods.max(1) as f64
+    }
+}
+
+/// A read-only snapshot of one span, for audits and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanView {
+    /// Pages covered.
+    pub len: u64,
+    /// Decaying temperature.
+    pub temp: u32,
+    /// DRAM-resident pages inside.
+    pub dram: u64,
+    /// NVM-resident pages inside.
+    pub nvm: u64,
+    /// In-flight migrations pinning the span.
+    pub pinned: u32,
+}
+
+/// Split weighting for one half of a span, computed by the caller from
+/// per-page counters so temperature follows the heat, not the midpoint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SplitHalf {
+    /// Sum of per-page access counters in this half.
+    pub weight: u64,
+    /// DRAM-resident pages in this half.
+    pub dram: u64,
+    /// NVM-resident pages in this half.
+    pub nvm: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    len: u64,
+    temp: u32,
+    dram: u64,
+    nvm: u64,
+    pinned: u32,
+}
+
+/// One tracked region's span set plus its candidate indexes. The three
+/// [`FlagTree`]s are keyed by span-head page index: `promo` flags hot
+/// spans holding NVM pages, `demo` flags not-hot spans holding DRAM
+/// pages, `dram_any` flags any span holding DRAM pages (the `allow_hot`
+/// demotion fallback).
+#[derive(Debug, Clone)]
+struct RegionView {
+    pages: u64,
+    spans: BTreeMap<u64, Span>,
+    promo: FlagTree,
+    demo: FlagTree,
+    dram_any: FlagTree,
+    /// Incremental span accounting, cross-checked against the map by the
+    /// auditor (`SplitMergeLeak`).
+    live_spans: u64,
+    /// Incremental page coverage, ditto.
+    covered: u64,
+}
+
+/// The region layer: per-region span sets with deterministic
+/// split/merge and Fenwick-backed candidate indexes.
+#[derive(Debug, Clone)]
+pub struct RegionTracker {
+    cfg: RegionConfig,
+    views: BTreeMap<RegionId, RegionView>,
+    stats: RegionStats,
+}
+
+impl RegionTracker {
+    /// Creates an empty region tracker.
+    pub fn new(cfg: RegionConfig) -> RegionTracker {
+        assert!(
+            cfg.min_span.is_power_of_two() && cfg.max_span.is_power_of_two(),
+            "span bounds must be powers of two"
+        );
+        assert!(cfg.min_span <= cfg.max_span, "min_span must be <= max_span");
+        RegionTracker {
+            cfg,
+            views: BTreeMap::new(),
+            stats: RegionStats::default(),
+        }
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> &RegionConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> RegionStats {
+        self.stats
+    }
+
+    /// Registers a region of `pages` pages, tiled greedily into the
+    /// largest aligned power-of-two spans `<= max_span`.
+    pub fn add_region(&mut self, region: RegionId, pages: u64) {
+        let mut view = RegionView {
+            pages,
+            spans: BTreeMap::new(),
+            promo: FlagTree::new(pages as usize),
+            demo: FlagTree::new(pages as usize),
+            dram_any: FlagTree::new(pages as usize),
+            live_spans: 0,
+            covered: 0,
+        };
+        let mut at = 0u64;
+        while at < pages {
+            let align = if at == 0 {
+                self.cfg.max_span
+            } else {
+                at & at.wrapping_neg()
+            };
+            let mut len = align.min(self.cfg.max_span);
+            while at + len > pages {
+                len /= 2;
+            }
+            debug_assert!(len >= 1);
+            view.spans.insert(
+                at,
+                Span {
+                    len,
+                    temp: 0,
+                    dram: 0,
+                    nvm: 0,
+                    pinned: 0,
+                },
+            );
+            view.live_spans += 1;
+            view.covered += len;
+            at += len;
+        }
+        self.stats.spans += view.live_spans;
+        self.views.insert(region, view);
+    }
+
+    /// Forgets a region.
+    pub fn remove_region(&mut self, region: RegionId) {
+        if let Some(view) = self.views.remove(&region) {
+            self.stats.spans -= view.live_spans;
+        }
+    }
+
+    /// Whether `region` is tracked.
+    pub fn tracks(&self, region: RegionId) -> bool {
+        self.views.contains_key(&region)
+    }
+
+    /// Span containing `index`: `(head, snapshot)`.
+    pub fn span_of(&self, region: RegionId, index: u64) -> Option<(u64, SpanView)> {
+        let view = self.views.get(&region)?;
+        let (&head, s) = view.spans.range(..=index).next_back()?;
+        (index < head + s.len).then_some((
+            head,
+            SpanView {
+                len: s.len,
+                temp: s.temp,
+                dram: s.dram,
+                nvm: s.nvm,
+                pinned: s.pinned,
+            },
+        ))
+    }
+
+    /// All spans of a region in address order, for audits and tests.
+    pub fn spans(&self, region: RegionId) -> Vec<(u64, SpanView)> {
+        self.views
+            .get(&region)
+            .map(|v| {
+                v.spans
+                    .iter()
+                    .map(|(&head, s)| {
+                        (
+                            head,
+                            SpanView {
+                                len: s.len,
+                                temp: s.temp,
+                                dram: s.dram,
+                                nvm: s.nvm,
+                                pinned: s.pinned,
+                            },
+                        )
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Incremental accounting for the auditor: `(live_spans, covered,
+    /// pages, pinned_total)`.
+    pub fn accounting(&self, region: RegionId) -> Option<(u64, u64, u64, u64)> {
+        let v = self.views.get(&region)?;
+        let pinned: u64 = v.spans.values().map(|s| s.pinned as u64).sum();
+        Some((v.live_spans, v.covered, v.pages, pinned))
+    }
+
+    /// Tracked regions in address order.
+    pub fn regions(&self) -> Vec<RegionId> {
+        self.views.keys().copied().collect()
+    }
+
+    /// Whether the promotion index currently flags the span at `head`.
+    pub fn promo_flagged(&self, region: RegionId, head: u64) -> bool {
+        self.views
+            .get(&region)
+            .is_some_and(|v| v.promo.get(head as usize))
+    }
+
+    /// The flag a span's state implies for each index, in (promo, demo,
+    /// dram_any) order.
+    fn derive_flags(cfg: &RegionConfig, s: &Span) -> (bool, bool, bool) {
+        let hot = s.temp >= cfg.promote_temperature;
+        (hot && s.nvm > 0, !hot && s.dram > 0, s.dram > 0)
+    }
+
+    fn refresh_flags(cfg: &RegionConfig, view: &mut RegionView, head: u64) {
+        let s = view.spans[&head];
+        let (p, d, a) = Self::derive_flags(cfg, &s);
+        view.promo.set(head as usize, p);
+        view.demo.set(head as usize, d);
+        view.dram_any.set(head as usize, a);
+    }
+
+    fn clear_flags(view: &mut RegionView, head: u64) {
+        view.promo.set(head as usize, false);
+        view.demo.set(head as usize, false);
+        view.dram_any.set(head as usize, false);
+    }
+
+    /// Feeds one sampled access into the owning span's temperature
+    /// (stores weigh double, mirroring write priority).
+    pub fn note_sample(&mut self, region: RegionId, index: u64, is_write: bool) {
+        let cfg = self.cfg.clone();
+        let Some(view) = self.views.get_mut(&region) else {
+            return;
+        };
+        let Some((&head, s)) = view.spans.range_mut(..=index).next_back() else {
+            return;
+        };
+        s.temp = s.temp.saturating_add(if is_write { 2 } else { 1 });
+        Self::refresh_flags(&cfg, view, head);
+        self.stats.sample_ops += 1;
+    }
+
+    /// Tracks a page's residency move so span DRAM/NVM counts (and the
+    /// candidate indexes) stay consistent with per-page state. SSD and
+    /// unmapped placements count as neither.
+    pub fn residency_changed(
+        &mut self,
+        region: RegionId,
+        index: u64,
+        old: Option<Tier>,
+        new: Option<Tier>,
+    ) {
+        if old == new {
+            return;
+        }
+        let cfg = self.cfg.clone();
+        let Some(view) = self.views.get_mut(&region) else {
+            return;
+        };
+        let Some((&head, s)) = view.spans.range_mut(..=index).next_back() else {
+            return;
+        };
+        match old {
+            Some(Tier::Dram) => s.dram = s.dram.saturating_sub(1),
+            Some(Tier::Nvm) => s.nvm = s.nvm.saturating_sub(1),
+            _ => {}
+        }
+        match new {
+            Some(Tier::Dram) => s.dram += 1,
+            Some(Tier::Nvm) => s.nvm += 1,
+            _ => {}
+        }
+        Self::refresh_flags(&cfg, view, head);
+        self.stats.sample_ops += 1;
+    }
+
+    /// Pins the span owning `index` (a migration is in flight inside
+    /// it); pinned spans neither split nor merge.
+    pub fn pin(&mut self, region: RegionId, index: u64) {
+        if let Some(view) = self.views.get_mut(&region) {
+            if let Some((_, s)) = view.spans.range_mut(..=index).next_back() {
+                s.pinned += 1;
+            }
+        }
+    }
+
+    /// Releases one pin on the span owning `index`.
+    pub fn unpin(&mut self, region: RegionId, index: u64) {
+        if let Some(view) = self.views.get_mut(&region) {
+            if let Some((_, s)) = view.spans.range_mut(..=index).next_back() {
+                s.pinned = s.pinned.saturating_sub(1);
+            }
+        }
+    }
+
+    /// Clears every pin in a region (journal rolled back on recovery).
+    pub fn clear_pins(&mut self, region: RegionId) {
+        if let Some(view) = self.views.get_mut(&region) {
+            for s in view.spans.values_mut() {
+                s.pinned = 0;
+            }
+        }
+    }
+
+    /// Overwrites one span's residency summary from an authoritative
+    /// per-page recount (crash recovery).
+    pub fn reset_span(&mut self, region: RegionId, head: u64, dram: u64, nvm: u64) {
+        let cfg = self.cfg.clone();
+        if let Some(view) = self.views.get_mut(&region) {
+            if let Some(s) = view.spans.get_mut(&head) {
+                s.dram = dram;
+                s.nvm = nvm;
+                s.pinned = 0;
+                Self::refresh_flags(&cfg, view, head);
+            }
+        }
+    }
+
+    /// Counts per-page work done by the caller inside chosen spans.
+    pub fn note_pages_touched(&mut self, n: u64) {
+        self.stats.select_pages_touched += n;
+    }
+
+    /// Applies the per-period exponential decay to every span. Cost is
+    /// one operation per live span — the whole point of merging cold
+    /// spans is keeping this walk short.
+    pub fn decay(&mut self) {
+        let cfg = self.cfg.clone();
+        self.stats.periods += 1;
+        for view in self.views.values_mut() {
+            let heads: Vec<u64> = view.spans.keys().copied().collect();
+            for head in heads {
+                let s = view.spans.get_mut(&head).unwrap();
+                if s.temp > 0 {
+                    s.temp -= (s.temp >> cfg.decay_shift).max(1);
+                }
+                Self::refresh_flags(&cfg, view, head);
+                self.stats.decay_ops += 1;
+            }
+        }
+    }
+
+    /// Spans due to split this period: hot, splittable, and unpinned.
+    /// Deterministic address order.
+    pub fn split_candidates(&self) -> Vec<(RegionId, u64, u64)> {
+        let mut out = Vec::new();
+        for (&region, view) in &self.views {
+            for (&head, s) in &view.spans {
+                if s.temp >= self.cfg.split_temperature
+                    && s.len > self.cfg.min_span
+                    && s.pinned == 0
+                {
+                    out.push((region, head, s.len));
+                }
+            }
+        }
+        out
+    }
+
+    /// Splits the span at `head` into buddy halves, distributing its
+    /// temperature by the caller-supplied per-half counter weights (heat
+    /// follows the pages that earned it; an even split when neither half
+    /// has history).
+    pub fn apply_split(&mut self, region: RegionId, head: u64, left: SplitHalf, right: SplitHalf) {
+        let cfg = self.cfg.clone();
+        let Some(view) = self.views.get_mut(&region) else {
+            return;
+        };
+        let Some(s) = view.spans.get(&head).copied() else {
+            return;
+        };
+        if s.len <= cfg.min_span || s.pinned != 0 {
+            return;
+        }
+        let half = s.len / 2;
+        let total_w = left.weight + right.weight;
+        let left_temp = (s.temp as u64 * left.weight)
+            .checked_div(total_w)
+            .map_or(s.temp / 2, |t| t as u32);
+        let right_temp = s.temp - left_temp.min(s.temp);
+        view.spans.insert(
+            head,
+            Span {
+                len: half,
+                temp: left_temp,
+                dram: left.dram,
+                nvm: left.nvm,
+                pinned: 0,
+            },
+        );
+        view.spans.insert(
+            head + half,
+            Span {
+                len: half,
+                temp: right_temp,
+                dram: right.dram,
+                nvm: right.nvm,
+                pinned: 0,
+            },
+        );
+        view.live_spans += 1;
+        self.stats.spans += 1;
+        self.stats.splits += 1;
+        Self::refresh_flags(&cfg, view, head);
+        Self::refresh_flags(&cfg, view, head + half);
+    }
+
+    /// Merges adjacent cold buddy spans (both at or under the merge
+    /// temperature, unpinned, buddy-aligned, combined span within
+    /// `max_span`). One pass per period; chains collapse across periods.
+    pub fn merge_pass(&mut self) {
+        let cfg = self.cfg.clone();
+        for view in self.views.values_mut() {
+            let snapshot: Vec<(u64, u64, u32, u32)> = view
+                .spans
+                .iter()
+                .map(|(&h, s)| (h, s.len, s.temp, s.pinned))
+                .collect();
+            let mut merges: Vec<u64> = Vec::new();
+            let mut i = 0;
+            while i + 1 < snapshot.len() {
+                let (h1, l1, t1, p1) = snapshot[i];
+                let (h2, l2, t2, p2) = snapshot[i + 1];
+                let mergeable = h2 == h1 + l1
+                    && l1 == l2
+                    && 2 * l1 <= cfg.max_span
+                    && h1 % (2 * l1) == 0
+                    && t1 <= cfg.merge_temperature
+                    && t2 <= cfg.merge_temperature
+                    && p1 == 0
+                    && p2 == 0;
+                if mergeable {
+                    merges.push(h1);
+                    i += 2; // the merged span waits a period before chaining
+                } else {
+                    i += 1;
+                }
+            }
+            for h1 in merges {
+                let left = view.spans[&h1];
+                let right = view.spans.remove(&(h1 + left.len)).unwrap();
+                Self::clear_flags(view, h1 + left.len);
+                let s = view.spans.get_mut(&h1).unwrap();
+                s.len = left.len + right.len;
+                s.temp = left.temp.saturating_add(right.temp);
+                s.dram = left.dram + right.dram;
+                s.nvm = left.nvm + right.nvm;
+                view.live_spans -= 1;
+                self.stats.spans -= 1;
+                self.stats.merges += 1;
+                Self::refresh_flags(&cfg, view, h1);
+            }
+        }
+    }
+
+    /// First promotion-candidate span strictly after `cursor`
+    /// (`(region, head)` address order): a hot span holding NVM pages.
+    /// Returns `(region, head, len)`.
+    pub fn first_promo_span_after(
+        &mut self,
+        cursor: Option<(RegionId, u64)>,
+    ) -> Option<(RegionId, u64, u64)> {
+        self.first_span_after(cursor, |v| &v.promo)
+    }
+
+    /// First demotion-candidate span after `cursor`: a not-hot span
+    /// holding DRAM pages.
+    pub fn first_demo_span_after(
+        &mut self,
+        cursor: Option<(RegionId, u64)>,
+    ) -> Option<(RegionId, u64, u64)> {
+        self.first_span_after(cursor, |v| &v.demo)
+    }
+
+    /// First span holding any DRAM page after `cursor` (the `allow_hot`
+    /// demotion fallback).
+    pub fn first_dram_span_after(
+        &mut self,
+        cursor: Option<(RegionId, u64)>,
+    ) -> Option<(RegionId, u64, u64)> {
+        self.first_span_after(cursor, |v| &v.dram_any)
+    }
+
+    fn first_span_after(
+        &mut self,
+        cursor: Option<(RegionId, u64)>,
+        index: impl Fn(&RegionView) -> &FlagTree,
+    ) -> Option<(RegionId, u64, u64)> {
+        let (from_region, from_page) = match cursor {
+            Some((r, p)) => (r, p),
+            None => (*self.views.keys().next()?, 0),
+        };
+        for (&region, view) in self.views.range(from_region..) {
+            let lo = if region == from_region { from_page } else { 0 };
+            self.stats.select_index_ops += 1;
+            if let Some(head) = index(view).first_set_in(lo as usize) {
+                let len = view.spans[&(head as u64)].len;
+                return Some((region, head as u64, len));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid() -> RegionId {
+        RegionId(0)
+    }
+
+    #[test]
+    fn tiling_covers_exactly_with_aligned_powers_of_two() {
+        let mut rt = RegionTracker::new(RegionConfig::multi_grain());
+        // 1300 pages: 2x512 + 256 + 16 + 4 (greedy buddy tiling).
+        rt.add_region(rid(), 1300);
+        let spans = rt.spans(rid());
+        let mut at = 0;
+        for (head, s) in &spans {
+            assert_eq!(*head, at, "contiguous");
+            assert!(s.len.is_power_of_two());
+            assert_eq!(head % s.len, 0, "buddy aligned");
+            at += s.len;
+        }
+        assert_eq!(at, 1300, "full coverage");
+        let (live, covered, pages, pinned) = rt.accounting(rid()).unwrap();
+        assert_eq!(
+            (live, covered, pages, pinned),
+            (spans.len() as u64, 1300, 1300, 0)
+        );
+    }
+
+    #[test]
+    fn flat_baseline_is_one_span_per_page() {
+        let mut rt = RegionTracker::new(RegionConfig::flat_baseline());
+        rt.add_region(rid(), 64);
+        assert_eq!(rt.spans(rid()).len(), 64);
+        rt.decay();
+        assert_eq!(rt.stats().decay_ops, 64, "per-period cost is linear");
+        assert!(rt.split_candidates().is_empty(), "1-page spans never split");
+        rt.merge_pass();
+        assert_eq!(rt.stats().merges, 0, "max_span 1 never merges");
+    }
+
+    #[test]
+    fn samples_heat_and_decay_cools() {
+        let mut cfg = RegionConfig::multi_grain();
+        cfg.decay_shift = 1;
+        let mut rt = RegionTracker::new(cfg);
+        rt.add_region(rid(), 512);
+        rt.residency_changed(rid(), 3, None, Some(Tier::Nvm));
+        for _ in 0..4 {
+            rt.note_sample(rid(), 3, true); // stores weigh 2
+        }
+        let (head, s) = rt.span_of(rid(), 3).unwrap();
+        assert_eq!((head, s.temp), (0, 8));
+        assert!(rt.promo_flagged(rid(), 0), "hot + nvm pages -> promo");
+        for _ in 0..4 {
+            rt.decay();
+        }
+        let (_, s) = rt.span_of(rid(), 3).unwrap();
+        assert_eq!(s.temp, 0, "decays to zero via the floor step");
+        assert!(!rt.promo_flagged(rid(), 0));
+    }
+
+    #[test]
+    fn split_follows_the_heat_and_merge_reunites() {
+        let mut cfg = RegionConfig::multi_grain();
+        cfg.max_span = 8;
+        let mut rt = RegionTracker::new(cfg);
+        rt.add_region(rid(), 8);
+        rt.residency_changed(rid(), 6, None, Some(Tier::Nvm));
+        for _ in 0..16 {
+            rt.note_sample(rid(), 6, false);
+        }
+        let cands = rt.split_candidates();
+        assert_eq!(cands, vec![(rid(), 0, 8)]);
+        // All the counter weight sits in the right half.
+        rt.apply_split(
+            rid(),
+            0,
+            SplitHalf::default(),
+            SplitHalf {
+                weight: 16,
+                dram: 0,
+                nvm: 1,
+            },
+        );
+        let spans = rt.spans(rid());
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].1.temp, 0, "cold half inherits nothing");
+        assert_eq!(spans[1].1.temp, 16, "heat follows the hot half");
+        assert_eq!(spans[1].1.nvm, 1);
+        // Cool both halves below the merge bar; the buddies reunite.
+        for _ in 0..8 {
+            rt.decay();
+        }
+        rt.merge_pass();
+        let spans = rt.spans(rid());
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].1.len, 8);
+        assert_eq!(rt.stats().splits, 1);
+        assert_eq!(rt.stats().merges, 1);
+    }
+
+    #[test]
+    fn pinned_spans_refuse_split_and_merge() {
+        let mut cfg = RegionConfig::multi_grain();
+        cfg.max_span = 4;
+        let mut rt = RegionTracker::new(cfg);
+        rt.add_region(rid(), 4);
+        rt.pin(rid(), 1);
+        for _ in 0..20 {
+            rt.note_sample(rid(), 0, false);
+        }
+        assert!(rt.split_candidates().is_empty(), "pinned span holds");
+        rt.unpin(rid(), 1);
+        assert_eq!(rt.split_candidates().len(), 1);
+        // Pin again after a manual split; the cold buddies must not merge.
+        rt.apply_split(rid(), 0, SplitHalf::default(), SplitHalf::default());
+        for _ in 0..8 {
+            rt.decay();
+        }
+        rt.pin(rid(), 0);
+        rt.merge_pass();
+        assert_eq!(rt.spans(rid()).len(), 2, "pinned buddy refuses merge");
+        rt.clear_pins(rid());
+        rt.merge_pass();
+        assert_eq!(rt.spans(rid()).len(), 1);
+    }
+
+    #[test]
+    fn candidate_walk_uses_the_index_in_address_order() {
+        let mut cfg = RegionConfig::multi_grain();
+        cfg.max_span = 4;
+        let mut rt = RegionTracker::new(cfg);
+        rt.add_region(RegionId(1), 8);
+        rt.add_region(RegionId(2), 4);
+        // Heat span [4,8) of region 1 and all of region 2.
+        for i in [4, 5] {
+            rt.residency_changed(RegionId(1), i, None, Some(Tier::Nvm));
+        }
+        rt.residency_changed(RegionId(2), 0, None, Some(Tier::Nvm));
+        for _ in 0..8 {
+            rt.note_sample(RegionId(1), 4, false);
+            rt.note_sample(RegionId(2), 1, false);
+        }
+        let first = rt.first_promo_span_after(None).unwrap();
+        assert_eq!(first, (RegionId(1), 4, 4));
+        let second = rt.first_promo_span_after(Some((RegionId(1), 8))).unwrap();
+        assert_eq!(second, (RegionId(2), 0, 4));
+        assert!(rt.first_promo_span_after(Some((RegionId(2), 4))).is_none());
+        // Demotion index: nothing holds DRAM yet.
+        assert!(rt.first_demo_span_after(None).is_none());
+        rt.residency_changed(RegionId(1), 0, None, Some(Tier::Dram));
+        assert_eq!(rt.first_demo_span_after(None), Some((RegionId(1), 0, 4)));
+        assert_eq!(rt.first_dram_span_after(None), Some((RegionId(1), 0, 4)));
+    }
+}

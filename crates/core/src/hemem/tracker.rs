@@ -17,6 +17,9 @@ use hemem_sim::list::{FifoArena, FifoList, Slot};
 use hemem_sim::Ns;
 use hemem_vmm::{AddressSpace, PageId, PageState, RegionId, Tier};
 
+use super::regions::{RegionConfig, RegionStats, RegionTracker, SplitHalf};
+use crate::audit::AuditViolation;
+
 /// Classification thresholds (paper defaults in §3.1, swept in Figures
 /// 11-12).
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -38,6 +41,10 @@ pub struct TrackerConfig {
     /// cooling cadence restores the intended behaviour (hot pages sustain
     /// counts; a shifted-away hot set cools within a few intervals).
     pub cooling_min_interval: Ns,
+    /// Multi-grained region tracking (off by default: the flat queue
+    /// paths below stay byte-identical to the pre-region tracker).
+    #[serde(default)]
+    pub regions: RegionConfig,
 }
 
 impl Default for TrackerConfig {
@@ -48,6 +55,7 @@ impl Default for TrackerConfig {
             cooling_threshold: 18,
             write_priority: true,
             cooling_min_interval: Ns::secs(8),
+            regions: RegionConfig::default(),
         }
     }
 }
@@ -97,6 +105,9 @@ struct PageMeta {
     cooled_at: u64,
     write_heavy: bool,
     tier: Option<Tier>,
+    /// The page was popped by region-granularity selection and its span
+    /// is pinned until the migration settles (or the pick is restored).
+    region_pinned: bool,
 }
 
 /// Tracker statistics.
@@ -122,6 +133,14 @@ pub struct PageTracker {
     meta: Vec<PageMeta>,
     slot_page: Vec<PageId>,
     regions: HashMap<RegionId, (u32, u64)>, // base slot, page count
+    region_view: Option<RegionTracker>,
+    /// Per-period selection cursors (promotion; demotion cold pass,
+    /// demotion any-DRAM pass): a span scanned dry this period is not
+    /// rescanned until the next `begin_region_period` resets these, so
+    /// selection cost stays proportional to spans visited, not pops
+    /// taken.
+    promo_cursor: Option<(RegionId, u64)>,
+    demo_cursors: [Option<(RegionId, u64)>; 2],
     cool_clock: u64,
     last_advance: Ns,
     stats: TrackerStats,
@@ -130,8 +149,13 @@ pub struct PageTracker {
 impl PageTracker {
     /// Creates an empty tracker.
     pub fn new(cfg: TrackerConfig) -> PageTracker {
+        let region_view = cfg
+            .regions
+            .enabled
+            .then(|| RegionTracker::new(cfg.regions.clone()));
         PageTracker {
             cfg,
+            region_view,
             arena: FifoArena::new(0),
             queues: [
                 FifoList::new(Queue::DramHot.index() as u8),
@@ -142,6 +166,8 @@ impl PageTracker {
             meta: Vec::new(),
             slot_page: Vec::new(),
             regions: HashMap::new(),
+            promo_cursor: None,
+            demo_cursors: [None, None],
             cool_clock: 0,
             last_advance: Ns::ZERO,
             stats: TrackerStats::default(),
@@ -172,6 +198,9 @@ impl PageTracker {
         self.slot_page
             .extend((0..pages).map(|i| PageId { region, index: i }));
         self.arena.grow_to(self.meta.len());
+        if let Some(rv) = self.region_view.as_mut() {
+            rv.add_region(region, pages);
+        }
     }
 
     /// Whether `region` is tracked.
@@ -185,6 +214,9 @@ impl PageTracker {
             for slot in base..base + pages as u32 {
                 self.unlink(slot);
                 self.meta[slot as usize] = PageMeta::default();
+            }
+            if let Some(rv) = self.region_view.as_mut() {
+                rv.remove_region(region);
             }
         }
     }
@@ -234,7 +266,16 @@ impl PageTracker {
         let Some(slot) = self.slot(page) else { return };
         self.unlink(slot);
         let meta = &mut self.meta[slot as usize];
+        let old = meta.tier;
+        let pinned = meta.region_pinned;
         meta.tier = Some(tier);
+        meta.region_pinned = false;
+        if let Some(rv) = self.region_view.as_mut() {
+            if pinned {
+                rv.unpin(page.region, page.index);
+            }
+            rv.residency_changed(page.region, page.index, old, Some(tier));
+        }
         if tier == Tier::Ssd {
             return;
         }
@@ -298,6 +339,9 @@ impl PageTracker {
     pub fn record(&mut self, page: PageId, is_write: bool, now: Ns) {
         let Some(slot) = self.slot(page) else { return };
         self.stats.records += 1;
+        if let Some(rv) = self.region_view.as_mut() {
+            rv.note_sample(page.region, page.index, is_write);
+        }
         self.maybe_cool(slot);
         let cfg = self.cfg.clone();
         let meta = &mut self.meta[slot as usize];
@@ -377,6 +421,12 @@ impl PageTracker {
 
     fn restore_at(&mut self, page: PageId, front: bool) {
         if let Some(slot) = self.slot(page) {
+            if self.meta[slot as usize].region_pinned {
+                self.meta[slot as usize].region_pinned = false;
+                if let Some(rv) = self.region_view.as_mut() {
+                    rv.unpin(page.region, page.index);
+                }
+            }
             if let Some(tier) = self.meta[slot as usize].tier {
                 if tier == Tier::Ssd {
                     return;
@@ -448,7 +498,15 @@ impl PageTracker {
     pub fn evicted(&mut self, page: PageId) {
         if let Some(slot) = self.slot(page) {
             self.unlink(slot);
+            let old = self.meta[slot as usize].tier;
+            let pinned = self.meta[slot as usize].region_pinned;
             self.meta[slot as usize] = PageMeta::default();
+            if let Some(rv) = self.region_view.as_mut() {
+                if pinned {
+                    rv.unpin(page.region, page.index);
+                }
+                rv.residency_changed(page.region, page.index, old, None);
+            }
         }
     }
 
@@ -520,6 +578,7 @@ impl PageTracker {
             for i in 0..pages {
                 let slot = base + i as u32;
                 self.unlink(slot);
+                self.meta[slot as usize].region_pinned = false;
                 match region.state(i) {
                     PageState::Mapped { tier, .. } => {
                         self.meta[slot as usize].tier = Some(tier);
@@ -534,6 +593,262 @@ impl PageTracker {
                 }
             }
         }
+        self.rebuild_region_view();
+    }
+
+    /// Re-derives every span's residency summary from the (surviving)
+    /// per-page metadata and drops all pins: after a crash the journal
+    /// was rolled back or completed, so no migration is in flight and
+    /// every span must agree with the pages inside it.
+    fn rebuild_region_view(&mut self) {
+        let Some(mut rv) = self.region_view.take() else {
+            return;
+        };
+        self.promo_cursor = None;
+        self.demo_cursors = [None, None];
+        for (rid, base, pages) in self.regions_sorted() {
+            rv.clear_pins(rid);
+            for (head, s) in rv.spans(rid) {
+                let (mut dram, mut nvm) = (0u64, 0u64);
+                for i in head..(head + s.len).min(pages) {
+                    match self.meta[(base + i as u32) as usize].tier {
+                        Some(Tier::Dram) => dram += 1,
+                        Some(Tier::Nvm) => nvm += 1,
+                        _ => {}
+                    }
+                }
+                rv.reset_span(rid, head, dram, nvm);
+            }
+        }
+        self.region_view = Some(rv);
+    }
+
+    /// Whether region-granularity tracking is active (policy selects via
+    /// the span indexes instead of the flat queues).
+    pub fn regions_enabled(&self) -> bool {
+        self.region_view.is_some()
+    }
+
+    /// Region-layer counters, when region tracking is active.
+    pub fn region_stats(&self) -> Option<RegionStats> {
+        self.region_view.as_ref().map(|rv| rv.stats())
+    }
+
+    /// Per-period region maintenance: decay every span's temperature,
+    /// split hot spans (temperature distributed by the per-page counter
+    /// weight of each half, so the heat follows the pages that earned
+    /// it), then merge adjacent cold buddies. No-op when regions are off.
+    pub fn begin_region_period(&mut self) {
+        let Some(mut rv) = self.region_view.take() else {
+            return;
+        };
+        self.promo_cursor = None;
+        self.demo_cursors = [None, None];
+        rv.decay();
+        for (rid, head, len) in rv.split_candidates() {
+            let Some(&(base, _)) = self.regions.get(&rid) else {
+                continue;
+            };
+            let half = len / 2;
+            let mut halves = [SplitHalf::default(), SplitHalf::default()];
+            for (h, lo) in [(0usize, head), (1usize, head + half)] {
+                for i in lo..lo + half {
+                    let m = &self.meta[(base + i as u32) as usize];
+                    halves[h].weight += (m.reads + m.writes) as u64;
+                    match m.tier {
+                        Some(Tier::Dram) => halves[h].dram += 1,
+                        Some(Tier::Nvm) => halves[h].nvm += 1,
+                        _ => {}
+                    }
+                }
+            }
+            rv.note_pages_touched(len);
+            rv.apply_split(rid, head, halves[0], halves[1]);
+        }
+        rv.merge_pass();
+        self.region_view = Some(rv);
+    }
+
+    /// Pops the next promotion candidate at region granularity: walks the
+    /// Fenwick promo index to the first hot span holding NVM pages, then
+    /// scans only that span's pages for a queue member — an NVM-hot page
+    /// first, else any NVM-cold page riding its hot span (the
+    /// region-granularity bet: cold pages inside a hot span are coming).
+    /// The chosen page leaves its queue and pins its span until the
+    /// migration settles.
+    pub fn pop_region_promotion(&mut self) -> Option<PageId> {
+        let mut rv = self.region_view.take()?;
+        let mut cursor = self.promo_cursor;
+        let mut found = None;
+        while let Some((rid, head, len)) = rv.first_promo_span_after(cursor) {
+            let Some(&(base, _)) = self.regions.get(&rid) else {
+                break;
+            };
+            let mut touched = 0u64;
+            let mut hit = None;
+            let mut fallback = None;
+            for i in head..head + len {
+                let slot = base + i as u32;
+                touched += 1;
+                let on = self.arena.list_of(slot);
+                if on == Queue::NvmHot.index() as u8 {
+                    hit = Some((slot, i));
+                    break;
+                }
+                if fallback.is_none() && on == Queue::NvmCold.index() as u8 {
+                    fallback = Some((slot, i));
+                }
+            }
+            rv.note_pages_touched(touched);
+            if let Some((slot, i)) = hit.or(fallback) {
+                self.unlink(slot);
+                self.meta[slot as usize].region_pinned = true;
+                rv.pin(rid, i);
+                found = Some(PageId {
+                    region: rid,
+                    index: i,
+                });
+                break;
+            }
+            cursor = Some((rid, head + len));
+        }
+        self.promo_cursor = cursor;
+        self.region_view = Some(rv);
+        found
+    }
+
+    /// Pops the next demotion candidate at region granularity: first the
+    /// cold-span index (DRAM pages in not-hot spans; cold queue members
+    /// preferred, hot members only with `allow_hot`), then — with
+    /// `allow_hot` — any span holding DRAM pages, mirroring the flat
+    /// tracker's "demote random data when nothing is cold" fallback.
+    pub fn pop_region_demotion(&mut self, allow_hot: bool) -> Option<PageId> {
+        let mut rv = self.region_view.take()?;
+        let mut found = None;
+        for pass in 0..2 {
+            if pass == 1 && !allow_hot {
+                break;
+            }
+            let mut cursor = self.demo_cursors[pass];
+            loop {
+                let next = if pass == 0 {
+                    rv.first_demo_span_after(cursor)
+                } else {
+                    rv.first_dram_span_after(cursor)
+                };
+                let Some((rid, head, len)) = next else { break };
+                let Some(&(base, _)) = self.regions.get(&rid) else {
+                    break;
+                };
+                let mut touched = 0u64;
+                let mut cold = None;
+                let mut hot = None;
+                for i in head..head + len {
+                    let slot = base + i as u32;
+                    touched += 1;
+                    let on = self.arena.list_of(slot);
+                    if on == Queue::DramCold.index() as u8 {
+                        cold = Some((slot, i));
+                        break;
+                    }
+                    if hot.is_none() && on == Queue::DramHot.index() as u8 {
+                        hot = Some((slot, i));
+                    }
+                }
+                rv.note_pages_touched(touched);
+                let pick = cold.or(if allow_hot { hot } else { None });
+                if let Some((slot, i)) = pick {
+                    self.unlink(slot);
+                    self.meta[slot as usize].region_pinned = true;
+                    rv.pin(rid, i);
+                    found = Some(PageId {
+                        region: rid,
+                        index: i,
+                    });
+                    break;
+                }
+                cursor = Some((rid, head + len));
+            }
+            self.demo_cursors[pass] = cursor;
+            if found.is_some() {
+                break;
+            }
+        }
+        self.region_view = Some(rv);
+        found
+    }
+
+    /// Region/page agreement checks for the auditor: span tiling covers
+    /// each region exactly, every span's cached residency matches a
+    /// recount of the pages inside it, the incremental span/coverage
+    /// accounting matches the map, and no span stays pinned without a
+    /// journal entry in flight (`journal_prepared` = outstanding entries
+    /// for this tracker's tenant). Empty when regions are off or clean.
+    pub fn region_violations(&self, journal_prepared: u64) -> Vec<AuditViolation> {
+        let mut out = Vec::new();
+        let Some(rv) = self.region_view.as_ref() else {
+            return out;
+        };
+        for (rid, base, pages) in self.regions_sorted() {
+            let spans = rv.spans(rid);
+            // 1. Exact, aligned, power-of-two coverage.
+            let mut at = 0u64;
+            let mut broken = None;
+            for (head, s) in &spans {
+                if *head != at || !s.len.is_power_of_two() || head % s.len != 0 {
+                    broken = Some(at);
+                    break;
+                }
+                at += s.len;
+            }
+            if broken.is_none() && at != pages {
+                broken = Some(at);
+            }
+            if let Some(at) = broken {
+                out.push(AuditViolation::RegionCoverageGap { region: rid, at });
+                continue; // residency recounts are meaningless off a broken tiling
+            }
+            // 2. Cached residency vs per-page recount.
+            for (head, s) in &spans {
+                let (mut dram, mut nvm) = (0u64, 0u64);
+                for i in *head..head + s.len {
+                    match self.meta[(base + i as u32) as usize].tier {
+                        Some(Tier::Dram) => dram += 1,
+                        Some(Tier::Nvm) => nvm += 1,
+                        _ => {}
+                    }
+                }
+                if dram != s.dram || nvm != s.nvm {
+                    out.push(AuditViolation::RegionTemperatureMismatch {
+                        region: rid,
+                        start: *head,
+                        cached_dram: s.dram,
+                        actual_dram: dram,
+                        cached_nvm: s.nvm,
+                        actual_nvm: nvm,
+                    });
+                }
+            }
+            // 3. Incremental accounting vs the map, and orphan pins.
+            if let Some((live, covered, view_pages, pinned)) = rv.accounting(rid) {
+                let orphan_pins = if journal_prepared == 0 { pinned } else { 0 };
+                if live != spans.len() as u64
+                    || covered != pages
+                    || view_pages != pages
+                    || orphan_pins > 0
+                {
+                    out.push(AuditViolation::SplitMergeLeak {
+                        region: rid,
+                        live_spans: live,
+                        actual_spans: spans.len() as u64,
+                        covered,
+                        pages,
+                        orphan_pins,
+                    });
+                }
+            }
+        }
+        out
     }
 
     /// Residency disagreements between tracker metadata and the address
@@ -919,5 +1234,126 @@ mod tests {
         assert_eq!(t.queue_len(Queue::NvmHot), 0);
         assert_eq!(t.queue_len(Queue::NvmCold), 0);
         assert!(!t.tracks(RegionId(0)));
+    }
+
+    /// 64 NVM pages under multi-grain region tracking (8-page max span).
+    fn region_tracker() -> PageTracker {
+        let mut rcfg = super::RegionConfig::multi_grain();
+        rcfg.max_span = 8;
+        let cfg = TrackerConfig {
+            cooling_min_interval: Ns::ZERO,
+            regions: rcfg,
+            ..TrackerConfig::default()
+        };
+        let mut t = PageTracker::new(cfg);
+        t.add_region(RegionId(0), 64);
+        for i in 0..64 {
+            t.placed(page(i), Tier::Nvm);
+        }
+        t
+    }
+
+    #[test]
+    fn region_selection_finds_hot_span_and_pins_it() {
+        let mut t = region_tracker();
+        assert!(t.regions_enabled());
+        // Hammer page 20 until hot; its span heats with it.
+        for _ in 0..8 {
+            t.record(page(20), false, Ns::ZERO);
+        }
+        let picked = t.pop_region_promotion().expect("hot span yields a page");
+        assert_eq!(picked, page(20), "the NvmHot member wins inside the span");
+        // The pick is off-queue and pins its span: audit flags the pin as
+        // an orphan when no journal entry justifies it...
+        let orphans = t.region_violations(0);
+        assert_eq!(orphans.len(), 1);
+        assert!(matches!(
+            orphans[0],
+            AuditViolation::SplitMergeLeak { orphan_pins: 1, .. }
+        ));
+        // ...and is silent while one is in flight.
+        assert_eq!(t.region_violations(1), Vec::new());
+        // Migration completes: the page re-enters DRAM and unpins.
+        t.placed(picked, Tier::Dram);
+        assert_eq!(t.region_violations(0), Vec::new());
+        assert_eq!(t.queue_len(Queue::DramHot), 1);
+    }
+
+    #[test]
+    fn region_promotion_pulls_cold_neighbors_of_a_hot_span() {
+        let mut t = region_tracker();
+        for _ in 0..8 {
+            t.record(page(20), false, Ns::ZERO);
+        }
+        let first = t.pop_region_promotion().expect("hot page");
+        t.placed(first, Tier::Dram);
+        // The span is still hot and still holds NVM pages: the next pick
+        // is a *cold* page riding the hot span — the region-granularity
+        // bet the flat tracker cannot make.
+        let second = t.pop_region_promotion().expect("cold neighbor");
+        assert_ne!(second, first);
+        let (head, s) = {
+            let stats = t.region_stats().unwrap();
+            assert!(stats.select_index_ops > 0, "selection used the index");
+            // The picked neighbor shares page 20's span.
+            (16, stats.spans.min(64)) // head of the 8-page span holding 20
+        };
+        assert!(second.index >= head && second.index < head + 8, "{s}");
+        t.restore(second);
+        assert_eq!(t.region_violations(0), Vec::new(), "restore unpins");
+    }
+
+    #[test]
+    fn region_demotion_prefers_cold_spans_then_any_dram() {
+        let mut t = region_tracker();
+        // Pages 0 and 20 move to DRAM; 20 is hot, 0 is cold.
+        t.placed(page(0), Tier::Dram);
+        for _ in 0..8 {
+            t.record(page(20), false, Ns::ZERO);
+        }
+        let hot = t.pop_region_promotion().expect("hot");
+        t.placed(hot, Tier::Dram);
+        let victim = t.pop_region_demotion(false).expect("cold span victim");
+        assert_eq!(victim, page(0), "cold DRAM page in a cold span first");
+        t.placed(victim, Tier::Nvm);
+        assert_eq!(t.pop_region_demotion(false), None, "only a hot page left");
+        let fallback = t.pop_region_demotion(true).expect("allow_hot fallback");
+        assert_eq!(fallback, page(20));
+        t.restore(fallback);
+    }
+
+    #[test]
+    fn region_rebuild_recounts_spans_from_surviving_meta() {
+        use hemem_vmm::{PageSize, PhysPage, RegionKind};
+        let mut space = AddressSpace::new();
+        let rid = space.mmap(64 << 21, PageSize::Huge2M, RegionKind::ManagedHeap);
+        let r = space.region_mut(rid);
+        for i in 0..64 {
+            let tier = if i < 8 { Tier::Dram } else { Tier::Nvm };
+            r.map_page(i, tier, PhysPage(i));
+        }
+        let mut rcfg = super::RegionConfig::multi_grain();
+        rcfg.max_span = 8;
+        let cfg = TrackerConfig {
+            cooling_min_interval: Ns::ZERO,
+            regions: rcfg,
+            ..TrackerConfig::default()
+        };
+        let mut t = PageTracker::new(cfg);
+        t.add_region(rid, 64);
+        // Crash before any placed() call: spans know nothing. A pick in
+        // flight would also have left a dangling pin — rebuild clears it.
+        t.rebuild_from(&space);
+        assert_eq!(t.region_violations(0), Vec::new(), "recount matches meta");
+        let stats = t.region_stats().unwrap();
+        assert_eq!(stats.spans, 8, "64 pages / 8-page spans");
+    }
+
+    #[test]
+    fn flat_config_has_no_region_machinery() {
+        let t = tracker();
+        assert!(!t.regions_enabled());
+        assert_eq!(t.region_stats(), None);
+        assert_eq!(t.region_violations(0), Vec::new());
     }
 }

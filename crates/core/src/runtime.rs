@@ -477,6 +477,21 @@ impl<B: TieredBackend> Sim<B> {
                     self.m.invalidate_shadows_on_stores(&samples);
                     self.backend.on_samples(&mut self.m, &samples, now);
                 }
+                // Self-tuning sample period: after each drain the
+                // adaptive controller inspects the drop fraction and
+                // backlog of the window just drained and may move the
+                // period. A decision emits a trace instant so the
+                // trajectory is visible alongside the drains.
+                if self.m.pebs.is_adaptive() {
+                    if let Some(period) = self.m.pebs.adapt_after_drain() {
+                        self.m.trace.instant(
+                            now,
+                            "pebs_adapt",
+                            "pebs",
+                            &[("sample_period", period)],
+                        );
+                    }
+                }
                 let iv = self.m.pebs.config().drain_interval;
                 self.queue.push_after(iv, Event::PebsDrain);
             }

@@ -80,6 +80,12 @@ pub struct Snapshot {
     pub wp_p999_ns: u64,
     /// Write-protection stall duration maximum (ns).
     pub wp_max_ns: u64,
+    /// PEBS sample period in effect at the sample (constant unless the
+    /// adaptive controller is enabled).
+    pub pebs_sample_period: u64,
+    /// Cumulative PEBS drop fraction in thousandths
+    /// (`dropped * 1000 / generated`; zero before the first record).
+    pub pebs_drop_frac_milli: u64,
 }
 
 /// Per-interval rates derived from consecutive snapshots.
@@ -161,6 +167,11 @@ impl Telemetry {
             wp_p99_ns: wp.quantile(0.99),
             wp_p999_ns: wp.quantile(0.999),
             wp_max_ns: wp.max(),
+            pebs_sample_period: sim.m.pebs.sample_period(),
+            pebs_drop_frac_milli: {
+                let p = sim.m.pebs.stats();
+                (p.dropped * 1_000).checked_div(p.generated).unwrap_or(0)
+            },
         });
         true
     }
@@ -199,7 +210,9 @@ impl Telemetry {
     /// journal_replays,journal_rollbacks,swap_rollbacks,
     /// watchdog_restarts,audit_violations`, then cumulative latency
     /// percentiles in nanoseconds for migrations, page faults, and
-    /// write-protection stalls: `{mig,fault,wp}_{p50,p99,p999,max}_ns`).
+    /// write-protection stalls: `{mig,fault,wp}_{p50,p99,p999,max}_ns`,
+    /// then the PEBS controller columns `pebs_sample_period,
+    /// pebs_drop_frac_milli`).
     pub fn csv(&self) -> String {
         let mut out = String::from(
             "time_s,dram_pages,mapped_pages,swapped_pages,migrations,nvm_wear,ops,wp_stalls,\
@@ -208,12 +221,13 @@ impl Telemetry {
              watchdog_restarts,audit_violations,\
              mig_p50_ns,mig_p99_ns,mig_p999_ns,mig_max_ns,\
              fault_p50_ns,fault_p99_ns,fault_p999_ns,fault_max_ns,\
-             wp_p50_ns,wp_p99_ns,wp_p999_ns,wp_max_ns\n",
+             wp_p50_ns,wp_p99_ns,wp_p999_ns,wp_max_ns,\
+             pebs_sample_period,pebs_drop_frac_milli\n",
         );
         for s in &self.samples {
             out.push_str(&format!(
                 "{:.3},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\
-                 {},{},{},{},{},{},{},{},{},{},{},{}\n",
+                 {},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.at.as_secs_f64(),
                 s.dram_pages,
                 s.mapped_pages,
@@ -243,7 +257,9 @@ impl Telemetry {
                 s.wp_p50_ns,
                 s.wp_p99_ns,
                 s.wp_p999_ns,
-                s.wp_max_ns
+                s.wp_max_ns,
+                s.pebs_sample_period,
+                s.pebs_drop_frac_milli
             ));
         }
         out
@@ -638,7 +654,7 @@ mod tests {
         let csv = t.csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert!(lines[0].starts_with("time_s,dram_pages"));
-        assert!(lines[0].ends_with("wp_p50_ns,wp_p99_ns,wp_p999_ns,wp_max_ns"));
+        assert!(lines[0].ends_with("wp_max_ns,pebs_sample_period,pebs_drop_frac_milli"));
         assert_eq!(lines.len(), 3);
         let cols = lines[0].split(',').count();
         for row in &lines[1..] {

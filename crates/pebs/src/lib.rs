@@ -61,7 +61,9 @@ pub struct SampleRecord {
 /// PEBS configuration.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct PebsConfig {
-    /// Events per sample (the paper's default is ~5,000).
+    /// Events per sample (the paper's default is ~5,000). With
+    /// [`PebsConfig::adaptive`] this is only the *starting* period; the
+    /// controller moves it between the configured bounds.
     pub sample_period: u64,
     /// Buffer capacity in records; overflow drops samples.
     pub buffer_capacity: usize,
@@ -69,6 +71,14 @@ pub struct PebsConfig {
     pub drain_rate: f64,
     /// How often the PEBS thread wakes to read the buffer.
     pub drain_interval: Ns,
+    /// Self-tuning sample period (off by default). When set, each drain
+    /// pass runs a deterministic integer feedback loop over the window
+    /// since the last decision: the period doubles while the windowed
+    /// drop fraction or the buffer backlog exceeds its bound, and decays
+    /// by a quarter when both are comfortably below, holding profiling
+    /// loss inside the configured envelope at any access rate.
+    #[serde(default)]
+    pub adaptive: Option<AdaptiveConfig>,
 }
 
 impl Default for PebsConfig {
@@ -78,9 +88,90 @@ impl Default for PebsConfig {
             buffer_capacity: 16_384,
             drain_rate: 0.5e6,
             drain_interval: Ns::millis(1),
+            adaptive: None,
         }
     }
 }
+
+impl PebsConfig {
+    /// The default configuration with the self-tuning controller armed.
+    pub fn adaptive() -> PebsConfig {
+        PebsConfig {
+            adaptive: Some(AdaptiveConfig::default()),
+            ..PebsConfig::default()
+        }
+    }
+}
+
+/// Bounds for the self-tuning sample period. All integer: the control
+/// law must replay byte-identically from a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct AdaptiveConfig {
+    /// Lowest period the controller may choose (highest sampling rate).
+    pub min_period: u64,
+    /// Highest period the controller may choose.
+    pub max_period: u64,
+    /// Raise the period when the windowed drop fraction exceeds this
+    /// bound (per-mille: 100 = 10%).
+    pub target_drop_milli: u64,
+    /// Lower the period when the windowed drop fraction is under this
+    /// floor (per-mille) *and* the backlog is under half a drain budget.
+    pub relax_drop_milli: u64,
+    /// Minimum generated records in a window before a decision is made;
+    /// starved windows carry over so idle phases do not thrash the
+    /// period.
+    pub min_window_samples: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            min_period: 500,
+            max_period: 1_000_000,
+            target_drop_milli: 100,
+            relax_drop_milli: 20,
+            min_window_samples: 64,
+        }
+    }
+}
+
+/// Typed rejection of an invalid [`PebsConfig`], following the
+/// `DmaEngine::try_new` / `StateError` convention: callers that build
+/// configurations from untrusted input get an error value, and
+/// [`Pebs::new`] keeps the panicking convenience path for the shipped
+/// defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PebsConfigError {
+    /// `sample_period` is zero: the counter would fire on every event.
+    ZeroSamplePeriod,
+    /// `buffer_capacity` is zero: no record could ever be delivered.
+    ZeroBufferCapacity,
+    /// The adaptive bounds are unusable (`min_period` zero or above
+    /// `max_period`).
+    AdaptiveBounds {
+        /// Configured lower period bound.
+        min: u64,
+        /// Configured upper period bound.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for PebsConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PebsConfigError::ZeroSamplePeriod => write!(f, "sample period must be positive"),
+            PebsConfigError::ZeroBufferCapacity => {
+                write!(f, "buffer must hold at least one record")
+            }
+            PebsConfigError::AdaptiveBounds { min, max } => write!(
+                f,
+                "adaptive period bounds unusable: min {min} must be in 1..=max {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PebsConfigError {}
 
 /// Cumulative sampling counters.
 #[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
@@ -104,6 +195,21 @@ impl PebsStats {
     }
 }
 
+/// Counters for the self-tuning controller, kept apart from
+/// [`PebsStats`] so the frozen stats layout (and every fingerprint
+/// embedding it) is untouched when adaptation is off.
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
+pub struct AdaptStats {
+    /// Windows evaluated by the controller.
+    pub decisions: u64,
+    /// Decisions that raised the period.
+    pub raises: u64,
+    /// Decisions that lowered the period.
+    pub lowers: u64,
+    /// Drop fraction (per-mille) of the last evaluated window.
+    pub last_window_drop_milli: u64,
+}
+
 /// The PEBS unit: per-event residual counters plus the shared buffer.
 #[derive(Debug, Clone)]
 pub struct Pebs {
@@ -111,27 +217,110 @@ pub struct Pebs {
     residual: [u64; 3],
     buffer: VecDeque<SampleRecord>,
     stats: PebsStats,
+    /// Stats snapshot at the adaptive controller's last decision.
+    window_base: PebsStats,
+    adapt: AdaptStats,
 }
 
 impl Pebs {
     /// Creates an idle PEBS unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a configuration [`Pebs::try_new`] rejects.
     pub fn new(config: PebsConfig) -> Pebs {
-        assert!(config.sample_period > 0, "sample period must be positive");
-        assert!(
-            config.buffer_capacity > 0,
-            "buffer must hold at least one record"
-        );
-        Pebs {
+        Pebs::try_new(config).expect("valid PEBS configuration")
+    }
+
+    /// Fallible constructor: rejects configurations that could never
+    /// deliver a sample (zero period or capacity) or whose adaptive
+    /// bounds are inverted.
+    pub fn try_new(config: PebsConfig) -> Result<Pebs, PebsConfigError> {
+        if config.sample_period == 0 {
+            return Err(PebsConfigError::ZeroSamplePeriod);
+        }
+        if config.buffer_capacity == 0 {
+            return Err(PebsConfigError::ZeroBufferCapacity);
+        }
+        if let Some(a) = config.adaptive {
+            if a.min_period == 0 || a.min_period > a.max_period {
+                return Err(PebsConfigError::AdaptiveBounds {
+                    min: a.min_period,
+                    max: a.max_period,
+                });
+            }
+        }
+        Ok(Pebs {
             config,
             residual: [0; 3],
             buffer: VecDeque::new(),
             stats: PebsStats::default(),
-        }
+            window_base: PebsStats::default(),
+            adapt: AdaptStats::default(),
+        })
     }
 
     /// Configuration in effect.
     pub fn config(&self) -> &PebsConfig {
         &self.config
+    }
+
+    /// The sample period currently programmed (moves under adaptation).
+    pub fn sample_period(&self) -> u64 {
+        self.config.sample_period
+    }
+
+    /// Whether the self-tuning controller is armed.
+    pub fn is_adaptive(&self) -> bool {
+        self.config.adaptive.is_some()
+    }
+
+    /// The self-tuning controller's counters.
+    pub fn adapt_stats(&self) -> AdaptStats {
+        self.adapt
+    }
+
+    /// One feedback step, run by the drain loop after each pass. Looks at
+    /// the window of records generated since the last decision: if the
+    /// windowed drop fraction exceeds `target_drop_milli` or the backlog
+    /// left after draining exceeds one drain budget, the period doubles
+    /// (clamped to `max_period`); if the drop fraction is under
+    /// `relax_drop_milli` and the backlog under half a budget, the period
+    /// decays to 3/4 (clamped to `min_period`). Pure integer arithmetic —
+    /// replays are byte-identical. Returns the new period when it
+    /// changed. No-op (and `None`) when adaptation is off or the window
+    /// is still starved.
+    pub fn adapt_after_drain(&mut self) -> Option<u64> {
+        let a = self.config.adaptive?;
+        let generated = self.stats.generated - self.window_base.generated;
+        if generated < a.min_window_samples {
+            return None;
+        }
+        let dropped = self.stats.dropped - self.window_base.dropped;
+        let drop_milli = dropped * 1_000 / generated;
+        self.window_base = self.stats;
+        self.adapt.decisions += 1;
+        self.adapt.last_window_drop_milli = drop_milli;
+        let period = self.config.sample_period;
+        let backlog = self.pending();
+        let budget = self.drain_budget().max(1);
+        let new = if drop_milli > a.target_drop_milli || backlog > budget {
+            period.saturating_mul(2).min(a.max_period)
+        } else if drop_milli < a.relax_drop_milli && backlog * 2 < budget {
+            (period * 3 / 4).max(a.min_period)
+        } else {
+            period
+        };
+        if new == period {
+            return None;
+        }
+        if new > period {
+            self.adapt.raises += 1;
+        } else {
+            self.adapt.lowers += 1;
+        }
+        self.config.sample_period = new;
+        Some(new)
     }
 
     /// Counters.
@@ -446,6 +635,115 @@ mod tests {
         d.begin_pass();
         assert!(d.admit(0));
         assert_eq!(d.stream_stats(0).delivered, 4);
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_configs() {
+        assert_eq!(
+            Pebs::try_new(PebsConfig {
+                sample_period: 0,
+                ..PebsConfig::default()
+            })
+            .map(|_| ()),
+            Err(PebsConfigError::ZeroSamplePeriod)
+        );
+        assert_eq!(
+            Pebs::try_new(PebsConfig {
+                buffer_capacity: 0,
+                ..PebsConfig::default()
+            })
+            .map(|_| ()),
+            Err(PebsConfigError::ZeroBufferCapacity)
+        );
+        let mut cfg = PebsConfig::adaptive();
+        cfg.adaptive.as_mut().unwrap().min_period = 0;
+        assert_eq!(
+            Pebs::try_new(cfg).map(|_| ()),
+            Err(PebsConfigError::AdaptiveBounds {
+                min: 0,
+                max: 1_000_000
+            })
+        );
+        assert!(Pebs::try_new(PebsConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn adaptive_raises_period_under_drop_pressure() {
+        let mut p = Pebs::new(PebsConfig {
+            sample_period: 10,
+            buffer_capacity: 100,
+            adaptive: Some(AdaptiveConfig {
+                min_period: 10,
+                max_period: 10_000,
+                ..AdaptiveConfig::default()
+            }),
+            ..PebsConfig::default()
+        });
+        // Flood: 10k events -> 1k records into a 100-slot buffer.
+        let fired = p.events(SampleType::Store, 10_000);
+        for i in 0..fired {
+            p.push(rec(i));
+        }
+        p.drain(p.drain_budget());
+        assert!(p.stats().drop_fraction() > 0.5);
+        assert_eq!(p.adapt_after_drain(), Some(20), "period doubles");
+        assert_eq!(p.adapt_stats().raises, 1);
+        assert!(p.adapt_stats().last_window_drop_milli > 500);
+    }
+
+    #[test]
+    fn adaptive_relaxes_period_when_quiet() {
+        let mut p = Pebs::new(PebsConfig {
+            sample_period: 1_000,
+            adaptive: Some(AdaptiveConfig {
+                min_period: 100,
+                max_period: 10_000,
+                ..AdaptiveConfig::default()
+            }),
+            ..PebsConfig::default()
+        });
+        // 64 records, none dropped, all drained: well under every bound.
+        let fired = p.events(SampleType::Store, 64_000);
+        for i in 0..fired {
+            p.push(rec(i));
+        }
+        p.drain(p.drain_budget());
+        assert_eq!(p.adapt_after_drain(), Some(750), "period decays by 1/4");
+        assert_eq!(p.adapt_stats().lowers, 1);
+        // A starved window makes no decision.
+        assert_eq!(p.adapt_after_drain(), None);
+        assert_eq!(p.adapt_stats().decisions, 1);
+    }
+
+    #[test]
+    fn adaptive_respects_bounds() {
+        let mut p = Pebs::new(PebsConfig {
+            sample_period: 6_000,
+            adaptive: Some(AdaptiveConfig {
+                min_period: 6_000,
+                max_period: 6_000,
+                ..AdaptiveConfig::default()
+            }),
+            ..PebsConfig::default()
+        });
+        let fired = p.events(SampleType::Store, 6_000 * 100);
+        for i in 0..fired {
+            p.push(rec(i));
+        }
+        assert_eq!(p.adapt_after_drain(), None, "pinned bounds never move");
+        assert_eq!(p.sample_period(), 6_000);
+    }
+
+    #[test]
+    fn non_adaptive_unit_never_adapts() {
+        let mut p = Pebs::new(PebsConfig::default());
+        let fired = p.events(SampleType::Store, 5_000 * 1_000);
+        for i in 0..fired {
+            p.push(rec(i));
+        }
+        assert!(!p.is_adaptive());
+        assert_eq!(p.adapt_after_drain(), None);
+        assert_eq!(p.adapt_stats().decisions, 0);
     }
 
     #[test]

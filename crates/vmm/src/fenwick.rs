@@ -71,6 +71,31 @@ impl FlagTree {
     pub fn count(&self) -> u64 {
         self.prefix(self.flags.len())
     }
+
+    /// Index of the first set flag in `[lo, len)`, or `None`. O(log²n):
+    /// a binary search over prefix sums — the region tracker walks its
+    /// candidate index with this instead of scanning pages.
+    pub fn first_set_in(&self, lo: usize) -> Option<usize> {
+        let n = self.flags.len();
+        if lo >= n {
+            return None;
+        }
+        let base = self.prefix(lo);
+        if self.prefix(n) == base {
+            return None;
+        }
+        // Smallest hi with prefix(hi) > base; the set flag is hi - 1.
+        let (mut left, mut right) = (lo + 1, n);
+        while left < right {
+            let mid = left + (right - left) / 2;
+            if self.prefix(mid) > base {
+                right = mid;
+            } else {
+                left = mid + 1;
+            }
+        }
+        Some(left - 1)
+    }
 }
 
 #[cfg(test)]
@@ -109,6 +134,19 @@ mod tests {
         assert_eq!(t.count_range(2, 2), 0);
         assert_eq!(t.count_range(3, 1), 0);
         assert_eq!(t.count_range(0, 100), 1, "hi clamps to len");
+    }
+
+    #[test]
+    fn first_set_walks_the_flags() {
+        let mut t = FlagTree::new(10);
+        assert_eq!(t.first_set_in(0), None);
+        t.set(3, true);
+        t.set(7, true);
+        assert_eq!(t.first_set_in(0), Some(3));
+        assert_eq!(t.first_set_in(3), Some(3));
+        assert_eq!(t.first_set_in(4), Some(7));
+        assert_eq!(t.first_set_in(8), None);
+        assert_eq!(t.first_set_in(99), None);
     }
 
     #[test]

@@ -18,6 +18,8 @@ enum Op {
     Count,
     /// Compare a point read against the model.
     Get { idx: usize },
+    /// Compare a first-set scan against the model.
+    FirstSet { lo: usize },
 }
 
 fn op_strategy(len: usize) -> impl Strategy<Value = Op> {
@@ -30,6 +32,7 @@ fn op_strategy(len: usize) -> impl Strategy<Value = Op> {
         (0..len + 1, 0..len + 2).prop_map(|(lo, hi)| Op::CountRange { lo, hi }),
         Just(Op::Count),
         (0..len).prop_map(|idx| Op::Get { idx }),
+        (0..len + 2).prop_map(|lo| Op::FirstSet { lo }),
     ]
 }
 
@@ -68,6 +71,10 @@ proptest! {
                 Op::Get { idx } => {
                     let idx = idx % len;
                     prop_assert_eq!(tree.get(idx), model[idx]);
+                }
+                Op::FirstSet { lo } => {
+                    let expect = (lo..len).find(|&i| model[i]);
+                    prop_assert_eq!(tree.first_set_in(lo), expect);
                 }
             }
         }

@@ -103,6 +103,32 @@ echo "== non-exclusive tiering smoke"
 cargo build --release -p hemem-bench --bin nomadbench
 ./target/release/nomadbench
 
+# scalebench asserts internally that (a) the multi-grain region policy
+# pass is sublinear across a 2-16 GiB footprint sweep while the flat
+# per-page comparator grows ~linearly, (b) the adaptive PEBS controller
+# holds the sample-drop fraction where the same fixed period blows the
+# budget, (c) the regions-off config is byte-identical to the committed
+# tierbench baselines, and (d) killed multi-grain+adaptive runs replay
+# byte-identically with a silent audit.
+echo "== footprint-scaling smoke"
+cargo build --release -p hemem-bench --bin scalebench
+./target/release/scalebench
+
+# Region-granularity hygiene: the per-period policy pass must select
+# work through the span indexes (regions.rs) — never a fresh flat
+# per-page scan in the policy or manager layer. Crash-recovery and
+# audit full scans live in tracker.rs and are exempt by file;
+# #[cfg(test)] modules are exempt by the same cutoff as above.
+echo "== flat-scan gate"
+bad=$(for f in crates/core/src/hemem/policy.rs crates/core/src/hemem/manager.rs; do
+    awk '/#\[cfg\(test\)\]/{exit} {print FILENAME ":" FNR ": " $0}' "$f"
+  done | grep -E 'for [^ ]+ in 0\.\.pages|for [^ ]+ in 0\.\.[a-z_.]*pages\(\)|\.meta\.iter|0\.\.self\.meta\.len' || true)
+if [ -n "$bad" ]; then
+  echo "flat per-page policy scan outside regions.rs/tracker.rs:"
+  echo "$bad"
+  exit 1
+fi
+
 # Wall-clock regression gate: the gate benches above each rewrote their
 # entry in BENCH_sim_wallclock.json. Compare against the committed
 # baseline with a 3x tolerance — machine-to-machine variance is real,
