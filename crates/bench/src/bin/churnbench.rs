@@ -24,7 +24,9 @@
 
 use std::time::Instant;
 
-use hemem_bench::{f3, fingerprint, record_wallclock, ExpArgs, Report};
+use hemem_bench::{
+    assert_silent_audit, assert_tenant_drained, f3, fingerprint, record_wallclock, ExpArgs, Report,
+};
 use hemem_core::arbiter::ArbiterPolicy;
 use hemem_core::hemem::{HeMem, HeMemConfig};
 use hemem_core::machine::MachineConfig;
@@ -135,21 +137,8 @@ fn run_schedule(storm: bool, trace: bool) -> (Sim<HeMem>, ChurnResult) {
     // quota, audit silent.
     assert_eq!(sim.m.recovery.tenant_kills, 1, "seeded kill fired");
     assert_eq!(sim.m.recovery.tenant_drains, 1, "kill fully drained");
-    let victim = TenantId(1);
-    assert!(sim.backend.tenant_is_retired(victim));
-    let tf = sim.m.space.tenant_frames(victim);
-    assert_eq!(
-        tf.dram_pages + tf.nvm_pages + tf.ssd_pages,
-        0,
-        "victim frames leaked past the drain"
-    );
-    let arb = sim.backend.arbiter().expect("churn run has an arbiter");
-    assert!(!arb.is_live(victim) && arb.quota_pages(victim) == 0);
-    let violations = sim.run_audit(false);
-    assert!(
-        violations.is_empty(),
-        "retire left audit violations: {violations:?}"
-    );
+    assert_tenant_drained(&sim, TenantId(1));
+    assert_silent_audit(&mut sim, "churn retire");
     (sim, res)
 }
 

@@ -28,7 +28,9 @@
 
 use std::time::Instant;
 
-use hemem_bench::{fingerprint, record_wallclock, write_results, ExpArgs, Report};
+use hemem_bench::{
+    assert_silent_audit, fingerprint, record_wallclock, write_results, ExpArgs, Report,
+};
 use hemem_core::backend::{AccessBatch, SegmentAccess};
 use hemem_core::hemem::{HeMem, HeMemConfig};
 use hemem_core::machine::{MachineConfig, TierHealth};
@@ -288,11 +290,7 @@ fn main() {
         "gate (b): the evacuation must have moved pages, not just poisoned"
     );
     let mut ra_sim = ra.sim;
-    let violations = ra_sim.run_audit(false);
-    assert!(
-        violations.is_empty(),
-        "gate (b) failed: audit after evacuation: {violations:?}"
-    );
+    assert_silent_audit(&mut ra_sim, "gate (b) after evacuation");
     // The SSD leg drains too, and the readmitted tier is healthy, empty,
     // and accepting pages again by the end of the run.
     assert!(
@@ -306,11 +304,7 @@ fn main() {
     );
     assert_eq!(sa.sim.m.health.readmits, 1);
     let mut sa_sim = sa.sim;
-    let violations = sa_sim.run_audit(false);
-    assert!(
-        violations.is_empty(),
-        "gate (b) failed: audit after readmit: {violations:?}"
-    );
+    assert_silent_audit(&mut sa_sim, "gate (b) after readmit");
     let p99 = |s: &Sim<HeMem>| {
         s.m.trace
             .hist(hemem_sim::LatencyClass::MajorFault)

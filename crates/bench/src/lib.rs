@@ -200,6 +200,19 @@ pub fn fingerprint<B: TieredBackend>(sim: &Sim<B>) -> String {
             h.tenant_poisoned,
         ));
     }
+    // The fleet segment only appears once the backend's slot pool has
+    // actually spawned a tenant, keeping solo and statically-colocated
+    // fingerprints byte-identical to their pre-fleet baselines. Only the
+    // mechanism-independent counters are hashed: the pooled/scratch
+    // spawn split is *supposed* to differ between fleetbench's
+    // recycled-slot and fresh-slot runs, whose full fingerprints must
+    // still compare byte-identical.
+    if let Some(fs) = sim.backend.fleet_stats() {
+        s.push_str(&format!(
+            "|fleet:{}/{}/{}/{}",
+            fs.spawns, fs.recycles, fs.scrubbed_pages, fs.generation_sum,
+        ));
+    }
     // The adaptive-PEBS segment only appears when the controller is
     // configured, keeping fixed-period fingerprints byte-identical to
     // their pre-adaptation baselines.
@@ -233,6 +246,40 @@ pub fn fingerprint<B: TieredBackend>(sim: &Sim<B>) -> String {
         ));
     }
     s
+}
+
+/// Runs the structural audit (non-quiescent) and asserts it is silent;
+/// `ctx` names the gate in the failure message. Hoisted from the
+/// lifecycle benches (churn/fail/nomad/fleet) so "audit silent" means
+/// the same check everywhere.
+pub fn assert_silent_audit<B: TieredBackend>(sim: &mut Sim<B>, ctx: &str) {
+    let violations = sim.run_audit(false);
+    assert!(
+        violations.is_empty(),
+        "{ctx}: audit violations: {violations:?}"
+    );
+}
+
+/// Asserts tenant `t` retired cleanly after a drain: lifecycle retired,
+/// zero frames on every tier, dead to the arbiter with zero quota.
+/// Shared by the churn/fleet gates so "drained" means the same thing
+/// everywhere a tenant leaves.
+pub fn assert_tenant_drained(sim: &Sim<hemem_core::HeMem>, t: hemem_vmm::TenantId) {
+    assert!(
+        sim.backend.tenant_is_retired(t),
+        "{t} not retired after drain"
+    );
+    let tf = sim.m.space.tenant_frames(t);
+    assert_eq!(
+        tf.dram_pages + tf.nvm_pages + tf.ssd_pages,
+        0,
+        "{t} frames leaked past the drain"
+    );
+    let arb = sim.backend.arbiter().expect("drain gate needs an arbiter");
+    assert!(
+        !arb.is_live(t) && arb.quota_pages(t) == 0,
+        "{t} quota survived retirement"
+    );
 }
 
 /// Writes `results/<filename>`, logging the path (or a warning) to

@@ -36,6 +36,18 @@
 //! floor would be unsatisfiable, and the conservation invariant extends
 //! to `sum(quotas) + unassigned == total` with every retired slot at
 //! zero — which is what the `ZombieTenantQuota` audit checks.
+//!
+//! Under fleet churn (hundreds of admit/retire events per second) the
+//! lifecycle ops must not rescan the slot table. Three running
+//! aggregates make them O(1) amortized: a cached live count, a
+//! conservative `min_guard` (a lower bound on every live quota and
+//! balloon cap) that lets [`DramArbiter::retire`] skip the floor
+//! top-up scan when no survivor can be below the raised floor, and a
+//! `releasable` sub-account of the host reserve where reclaimed quota
+//! is banked instead of being equal-split eagerly; the next periodic
+//! reallocation distributes it in one batch. Only when a survivor might
+//! actually sit below the new floor (a balloon pinned it there) does
+//! retire fall back to the O(n) repair scan.
 
 use hemem_vmm::TenantId;
 
@@ -151,6 +163,19 @@ pub struct DramArbiter {
     /// the cap at its target so periodic reallocation cannot regrow the
     /// tenant past it; admit/retire reset the slot's cap.
     caps: Vec<u64>,
+    /// Cached `live.iter().filter(..).count()` so floor math and the
+    /// lifecycle fast paths never rescan the slot table.
+    live_count: usize,
+    /// Conservative lower bound on every live tenant's quota *and*
+    /// balloon cap (`u64::MAX` while nothing is live). Retire may skip
+    /// its floor-repair scan whenever `min_guard` already clears the
+    /// raised floor; staleness only ever errs low, forcing a harmless
+    /// slow path, never an unsound fast path.
+    min_guard: u64,
+    /// Pages of `unassigned` banked by retirements and owed back to the
+    /// survivors: the next periodic reallocation splits them equally
+    /// (cap-respecting) instead of retire doing an O(n) split per event.
+    releasable: u64,
     /// Quota moved per greedy reallocation, in pages.
     realloc_step_pages: u64,
     /// Reallocation period in simulated nanoseconds.
@@ -180,6 +205,10 @@ impl DramArbiter {
             live: vec![true; tenants],
             unassigned: 0,
             caps: vec![u64::MAX; tenants],
+            live_count: tenants,
+            // Equal split: the smallest share is the base (no remainder).
+            min_guard: base,
+            releasable: 0,
             realloc_step_pages: (total_pages / 64).max(1),
             realloc_period_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
             next_realloc_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
@@ -200,6 +229,9 @@ impl DramArbiter {
             live: vec![false; capacity],
             unassigned: total_pages,
             caps: vec![u64::MAX; capacity],
+            live_count: 0,
+            min_guard: u64::MAX,
+            releasable: 0,
             realloc_step_pages: (total_pages / 64).max(1),
             realloc_period_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
             next_realloc_ns: DramArbiter::DEFAULT_REALLOC_PERIOD_NS,
@@ -222,9 +254,24 @@ impl DramArbiter {
         self.quotas.len()
     }
 
-    /// Number of currently live tenants.
+    /// Number of currently live tenants (cached; O(1)).
     pub fn live_tenants(&self) -> usize {
-        self.live.iter().filter(|l| **l).count()
+        self.live_count
+    }
+
+    /// Pages the live set holds above its collective floor — derived in
+    /// O(1) from conservation (`sum(live quotas) == total - unassigned`)
+    /// and the cached live count, this is the running above-floor sum
+    /// the admission shave can draw from.
+    pub fn above_floor_pages(&self) -> u64 {
+        (self.total_pages - self.unassigned)
+            .saturating_sub(self.live_count as u64 * self.floor_pages())
+    }
+
+    /// Pages of the host reserve banked by retirements and pending
+    /// redistribution at the next reallocation period.
+    pub fn releasable_pages(&self) -> u64 {
+        self.releasable
     }
 
     /// True while tenant `t` is live (admitted and not retired).
@@ -280,7 +327,11 @@ impl DramArbiter {
 
     /// True while the quota vector plus the host reserve still sums to
     /// the tier's capacity and every retired slot holds zero quota —
-    /// the arbiter's conservation invariant, checked by the audit.
+    /// the arbiter's conservation invariant, checked by the audit. Also
+    /// validates the O(1) lifecycle aggregates: the cached live count,
+    /// the releasable sub-account (never exceeds the reserve), and the
+    /// min-guard's soundness (a true lower bound on every live quota
+    /// and cap, so the retire fast path can never skip a needed repair).
     pub fn conserved(&self) -> bool {
         self.quotas.iter().sum::<u64>() + self.unassigned == self.total_pages
             && self
@@ -288,6 +339,21 @@ impl DramArbiter {
                 .iter()
                 .zip(&self.live)
                 .all(|(q, l)| *l || *q == 0)
+            && self.live_count == self.live.iter().filter(|l| **l).count()
+            && self.releasable <= self.unassigned
+            && self
+                .quotas
+                .iter()
+                .zip(&self.caps)
+                .zip(&self.live)
+                .all(|((q, c), l)| !*l || (self.min_guard <= *q && self.min_guard <= *c))
+    }
+
+    /// Re-clamps the releasable sub-account after something else drew
+    /// from the host reserve (admission grants, floor repairs, balloon
+    /// grows spend reserve pages releasable may have been backing).
+    fn clamp_releasable(&mut self) {
+        self.releasable = self.releasable.min(self.unassigned);
     }
 
     /// Admits tenant slot `t` into the live set, returning its granted
@@ -303,7 +369,7 @@ impl DramArbiter {
         if self.live[i] {
             return Err(AdmitError::AlreadyLive);
         }
-        let n_new = self.live_tenants() as u64 + 1;
+        let n_new = self.live_count as u64 + 1;
         let floor = (self.total_pages / (8 * n_new)).max(1);
         match floor.checked_mul(n_new) {
             Some(need) if need <= self.total_pages => {}
@@ -313,13 +379,19 @@ impl DramArbiter {
         let want = self.total_pages / n_new;
         let mut grant = self.unassigned.min(want.max(floor));
         self.unassigned -= grant;
+        self.clamp_releasable();
         // The reserve alone may not reach the floor; shave live tenants
-        // down toward the floor, lowest index first. The admission check
-        // above guarantees this loop reaches the floor.
+        // down toward the floor, lowest index first, stopping as soon as
+        // the grant is covered. The admission check above guarantees the
+        // loop reaches the floor; in the common fleet case the reserve
+        // covers the grant and the loop never runs, keeping admit O(1).
         if grant < floor {
             let mut need = floor - grant;
             for (q, l) in self.quotas.iter_mut().zip(&self.live) {
-                if !*l || need == 0 {
+                if need == 0 {
+                    break;
+                }
+                if !*l {
                     continue;
                 }
                 let cut = q.saturating_sub(floor).min(need);
@@ -328,21 +400,30 @@ impl DramArbiter {
                 need -= cut;
             }
             assert_eq!(need, 0, "admission check let an unsatisfiable join in");
+            // Donors were shaved toward (never below) the floor.
+            self.min_guard = self.min_guard.min(floor);
         }
         self.quotas[i] = grant;
         self.live[i] = true;
+        self.live_count += 1;
         self.caps[i] = u64::MAX;
+        self.min_guard = self.min_guard.min(grant);
         debug_assert!(self.conserved(), "admit broke conservation");
         Ok(grant)
     }
 
-    /// Retires tenant `t`: the live-set shrink raises the floor, so the
-    /// reclaimed quota first lifts every straggling survivor (and its
-    /// balloon cap) up to the recomputed floor — drawing from the host
-    /// reserve if the retiree alone is not enough — and the remainder
-    /// is split equally (remainder pages to the lowest indices), or
-    /// returned to the reserve when no tenant survives. Returns the
-    /// reclaimed quota. Idempotent on already-retired slots.
+    /// Retires tenant `t`: the reclaimed quota is banked in the host
+    /// reserve's releasable sub-account and handed back to the
+    /// survivors in one equal (cap-respecting) batch at the next
+    /// reallocation period, rather than equal-split eagerly per event.
+    /// The live-set shrink raises the floor; when the running
+    /// `min_guard` already clears the new floor — the common fleet-churn
+    /// case — no survivor can be below it and retire is O(1). Only when
+    /// a balloon may have pinned a survivor (or its cap) under the new
+    /// floor does retire run the O(n) repair scan that lifts every
+    /// straggler (and its cap) to the floor, drawing from the reclaimed
+    /// pool and then the reserve. Returns the reclaimed quota.
+    /// Idempotent on already-retired slots.
     pub fn retire(&mut self, t: TenantId) -> u64 {
         let i = t.0 as usize;
         if i >= self.quotas.len() || !self.live[i] {
@@ -350,14 +431,32 @@ impl DramArbiter {
         }
         let reclaimed = std::mem::take(&mut self.quotas[i]);
         self.live[i] = false;
+        self.live_count -= 1;
         self.caps[i] = u64::MAX;
-        let survivors: Vec<usize> = (0..self.quotas.len()).filter(|&j| self.live[j]).collect();
-        if survivors.is_empty() {
+        if self.live_count == 0 {
+            // No survivors: everything returns to the plain reserve.
             self.unassigned += reclaimed;
+            self.min_guard = u64::MAX;
+            debug_assert!(self.conserved(), "retire broke conservation");
+            return reclaimed;
+        }
+        let floor = self.floor_pages();
+        if self.min_guard >= floor {
+            // Fast path: every live quota and cap already sits at or
+            // above the raised floor; bank the reclaim for the next
+            // periodic redistribution.
+            self.unassigned += reclaimed;
+            self.releasable += reclaimed;
         } else {
-            let floor = self.floor_pages();
+            // Slow path: a balloon may hold a survivor below the new
+            // floor. Repair floors and caps in one scan and recompute
+            // an exact min-guard while we are here.
             let mut pool = reclaimed;
-            for &j in &survivors {
+            let mut guard = u64::MAX;
+            for j in 0..self.quotas.len() {
+                if !self.live[j] {
+                    continue;
+                }
                 // The floor is the tenant's guarantee; a balloon cap
                 // below it no longer binds.
                 self.caps[j] = self.caps[j].max(floor);
@@ -369,23 +468,47 @@ impl DramArbiter {
                     self.unassigned -= pull;
                     self.quotas[j] += take + pull;
                 }
+                guard = guard.min(self.quotas[j]).min(self.caps[j]);
             }
-            let n = survivors.len() as u64;
-            let base = pool / n;
-            let rem = pool % n;
-            let mut left = pool;
-            for (k, &j) in survivors.iter().enumerate() {
-                let give = (base + u64::from((k as u64) < rem))
-                    .min(self.caps[j].saturating_sub(self.quotas[j]));
-                self.quotas[j] += give;
-                left -= give;
-            }
-            // Survivors pinned at a balloon cap cannot absorb their
-            // share; the remainder goes to the host reserve.
-            self.unassigned += left;
+            self.min_guard = guard;
+            self.unassigned += pool;
+            self.releasable += pool;
+            self.clamp_releasable();
         }
         debug_assert!(self.conserved(), "retire broke conservation");
         reclaimed
+    }
+
+    /// Splits the releasable reserve equally among the live tenants
+    /// (remainder to the lowest indices), respecting balloon caps;
+    /// whatever no one can absorb stays in the plain reserve. Runs at
+    /// most once per reallocation period, batching the per-retire
+    /// splits the old eager path did per event. Returns `true` when any
+    /// quota moved.
+    fn distribute_releasable(&mut self) -> bool {
+        if self.releasable == 0 || self.live_count == 0 {
+            return false;
+        }
+        let pool = std::mem::take(&mut self.releasable);
+        let n = self.live_count as u64;
+        let base = pool / n;
+        let rem = pool % n;
+        let mut given = 0u64;
+        let mut k = 0u64;
+        for j in 0..self.quotas.len() {
+            if !self.live[j] {
+                continue;
+            }
+            let give = (base + u64::from(k < rem)).min(self.caps[j].saturating_sub(self.quotas[j]));
+            self.quotas[j] += give;
+            given += give;
+            k += 1;
+        }
+        // Cap-pinned survivors cannot absorb their share; the remainder
+        // stays in the plain host reserve.
+        self.unassigned -= given;
+        debug_assert!(self.conserved(), "releasable split broke conservation");
+        given > 0
     }
 
     /// Balloons live tenant `t` toward `target_pages`: a shrink releases
@@ -408,6 +531,7 @@ impl DramArbiter {
         } else if target > q {
             let take = (target - q).min(self.unassigned);
             self.unassigned -= take;
+            self.clamp_releasable();
             self.quotas[i] += take;
         }
         self.caps[i] = if target_pages == u64::MAX {
@@ -415,6 +539,8 @@ impl DramArbiter {
         } else {
             target
         };
+        // The new quota and pinned cap both bound the guard from below.
+        self.min_guard = self.min_guard.min(self.quotas[i]).min(self.caps[i]);
         debug_assert!(self.conserved(), "balloon broke conservation");
         self.quotas[i]
     }
@@ -446,7 +572,10 @@ impl DramArbiter {
 
     /// Runs a reallocation if the period elapsed. Returns `true` when
     /// quotas may have moved. `signals` is indexed by tenant and must
-    /// cover every tenant.
+    /// cover every tenant. Quota banked by retirements since the last
+    /// period is redistributed here first (under every policy — the old
+    /// eager per-retire split also ran under static shares), then the
+    /// demand-driven policy runs.
     pub fn maybe_realloc(&mut self, now_ns: u64, signals: &[TenantSignal]) -> bool {
         if now_ns < self.next_realloc_ns {
             return false;
@@ -454,8 +583,9 @@ impl DramArbiter {
         while self.next_realloc_ns <= now_ns {
             self.next_realloc_ns += self.realloc_period_ns;
         }
-        if self.live_tenants() < 2 || self.policy == ArbiterPolicy::StaticShares {
-            return false;
+        let released = self.distribute_releasable();
+        if self.live_count < 2 || self.policy == ArbiterPolicy::StaticShares {
+            return released;
         }
         assert_eq!(signals.len(), self.quotas.len(), "one signal per slot");
         match self.policy {
@@ -501,6 +631,10 @@ impl DramArbiter {
             i += 1;
         }
         self.apply_caps(&live);
+        // Every live quota was rebuilt at or above the floor (and every
+        // live cap already clears it), so the floor is the tight sound
+        // guard after a full redistribution.
+        self.min_guard = floor;
     }
 
     /// Clamps every live quota to its balloon cap, redistributing the
@@ -568,6 +702,7 @@ impl DramArbiter {
             .min(self.caps[live[hi]].saturating_sub(self.quotas[live[hi]]));
         self.quotas[live[lo]] -= step;
         self.quotas[live[hi]] += step;
+        self.min_guard = self.min_guard.min(self.quotas[live[lo]]);
     }
 }
 
@@ -678,18 +813,75 @@ mod tests {
 
     #[test]
     fn retire_to_one_tenant_does_not_underflow_proportional() {
-        // Regression (satellite 1): the floor used to be frozen at
-        // construction, so shrinking the live set to 1 made
-        // `total - floor * n` computations fragile. The survivor must
-        // absorb everything and reallocation must stay conserved.
+        // Regression: the floor used to be frozen at construction, so
+        // shrinking the live set to 1 made `total - floor * n`
+        // computations fragile. Retire now banks the reclaim in the
+        // releasable reserve (O(1) fast path — every survivor already
+        // clears the raised floor) and the next reallocation period
+        // hands the survivor everything in one batch.
         let mut a = DramArbiter::new(ArbiterPolicy::ProportionalShares, 512, 4);
         for t in 1..4 {
             a.retire(TenantId(t));
         }
         assert_eq!(a.live_tenants(), 1);
+        assert_eq!(a.quota_pages(TenantId(0)), 128, "split is deferred");
+        assert_eq!(a.releasable_pages(), 384);
+        assert!(a.conserved());
+        // The periodic reallocation performs the deferred split even
+        // though live < 2 short-circuits the demand policy.
+        assert!(a.maybe_realloc(100_000_000, &[hot(1); 4]));
         assert_eq!(a.quota_pages(TenantId(0)), 512);
-        // live < 2 short-circuits, but the math must also hold if run.
-        assert!(!a.maybe_realloc(100_000_000, &[hot(1); 4]));
+        assert_eq!(a.releasable_pages(), 0);
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn deferred_split_respects_balloon_caps() {
+        // Three live tenants, one capped: the capped slot's share of a
+        // retiree's quota cannot regrow it past the cap, and whatever
+        // it cannot absorb stays in the host reserve.
+        let mut a = DramArbiter::new(ArbiterPolicy::StaticShares, 512, 4);
+        a.balloon(TenantId(0), 100);
+        assert_eq!(a.quota_pages(TenantId(0)), 100);
+        let reclaimed = a.retire(TenantId(3));
+        assert_eq!(reclaimed, 128);
+        assert!(a.conserved());
+        a.maybe_realloc(100_000_000, &[TenantSignal::default(); 4]);
+        assert_eq!(a.quota_pages(TenantId(0)), 100, "cap holds");
+        assert!(a.conserved());
+        // The uncapped survivors absorbed their shares.
+        assert!(a.quota_pages(TenantId(1)) > 128);
+        assert!(a.quota_pages(TenantId(2)) > 128);
+    }
+
+    #[test]
+    fn retire_repairs_a_balloon_pinned_survivor_below_the_raised_floor() {
+        // Slow-path regression: tenant 1 balloons to the 4-live floor
+        // (16 pages); retiring two tenants raises the floor to 32, so
+        // the fast path must not fire and the repair scan must lift
+        // both the quota and the pinned cap to the new floor.
+        let mut a = DramArbiter::new(ArbiterPolicy::GreedyMissRatio, 512, 4);
+        let floor4 = a.floor_pages();
+        assert_eq!(floor4, 16);
+        a.balloon(TenantId(1), 0); // clamps at the floor, pins the cap
+        assert_eq!(a.quota_pages(TenantId(1)), 16);
+        a.retire(TenantId(2));
+        a.retire(TenantId(3));
+        let floor2 = a.floor_pages();
+        assert_eq!(floor2, 32);
+        assert!(a.quota_pages(TenantId(1)) >= floor2, "floor repaired");
+        assert!(a.quota_cap(TenantId(1)) >= floor2, "cap lifted");
+        assert!(a.conserved());
+    }
+
+    #[test]
+    fn above_floor_sum_tracks_the_live_set() {
+        let mut a = DramArbiter::new(ArbiterPolicy::StaticShares, 512, 4);
+        assert_eq!(a.above_floor_pages(), 512 - 4 * 16);
+        a.retire(TenantId(3));
+        // The reclaim sits in the reserve until the next period; the
+        // floor rose to 512 / 24 = 21 for the three survivors.
+        assert_eq!(a.above_floor_pages(), 384 - 3 * 21);
         assert!(a.conserved());
     }
 

@@ -239,6 +239,29 @@ pub enum AuditViolation {
         /// Pins outstanding with an empty migration journal.
         orphan_pins: u64,
     },
+    /// A managed region is stamped with a slot generation older than its
+    /// tenant's current one: a mapping from a previous occupant of a
+    /// recycled slot survived the teardown drain.
+    StaleSlotFrame {
+        /// The stale region.
+        region: hemem_vmm::RegionId,
+        /// The tenant slot it is attributed to.
+        tenant: TenantId,
+        /// Generation the region was mapped under.
+        region_generation: u32,
+        /// The slot's current generation.
+        current_generation: u32,
+    },
+    /// A parked (free-list) slot still carries occupant state — tracker
+    /// pages, load counters, balloon, or PEBS stream history — that
+    /// would bleed into the slot's next generation (reported through
+    /// `TieredBackend::audit`).
+    SlotGenerationLeak {
+        /// The dirty parked slot.
+        tenant: TenantId,
+        /// The generation of the occupant that left the state behind.
+        generation: u32,
+    },
 }
 
 impl std::fmt::Display for AuditViolation {
@@ -335,6 +358,19 @@ impl std::fmt::Display for AuditViolation {
             AuditViolation::DoubleJournaledPage { page, entries } => {
                 write!(f, "{page:?} has {entries} outstanding journal entries")
             }
+            AuditViolation::StaleSlotFrame {
+                region,
+                tenant,
+                region_generation,
+                current_generation,
+            } => write!(
+                f,
+                "{region:?} of {tenant} maps generation {region_generation} but the slot is at {current_generation}"
+            ),
+            AuditViolation::SlotGenerationLeak { tenant, generation } => write!(
+                f,
+                "parked slot {tenant} still carries generation-{generation} occupant state"
+            ),
             AuditViolation::JournalProtocolViolation { count } => {
                 write!(f, "journal counted {count} protocol violations")
             }
@@ -417,9 +453,22 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
     };
     let mut stale_shadows: Vec<(hemem_vmm::PageId, Option<Tier>)> = Vec::new();
     let mut shadow_mapped = 0u64;
+    let mut stale_slots: Vec<AuditViolation> = Vec::new();
     for region in m.space.regions() {
         if region.kind() != RegionKind::ManagedHeap {
             continue;
+        }
+        // Slot-generation agreement: a region must have been mapped by
+        // the slot's *current* occupant. Machines without a fleet (no
+        // generation bumps) stamp and expect zero, so the check is free.
+        let current = m.space.tenant_generation(region.tenant());
+        if region.generation() != current {
+            stale_slots.push(AuditViolation::StaleSlotFrame {
+                region: region.id(),
+                tenant: region.tenant(),
+                region_generation: region.generation(),
+                current_generation: current,
+            });
         }
         for i in 0..region.page_count() {
             if let PageState::Mapped { tier, phys, .. } = region.state(i) {
@@ -452,6 +501,7 @@ pub fn audit_machine(m: &MachineCore, expect_quiescent: bool) -> Vec<AuditViolat
     for (page, primary) in stale_shadows {
         v.push(AuditViolation::StaleShadowMapped { page, primary });
     }
+    v.extend(stale_slots);
     let pool_held = m.nvm_pool.shadow_held_pages();
     if pool_held != shadow_mapped {
         v.push(AuditViolation::ShadowFrameLeak {

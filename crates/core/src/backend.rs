@@ -286,6 +286,14 @@ pub trait TieredBackend {
     /// its arbiter, completing the Quarantined → Retired transition.
     fn tenant_drained(&mut self, _m: &mut MachineCore, _tenant: hemem_vmm::TenantId, _now: Ns) {}
 
+    /// Slot-pool lifecycle counters, when the backend runs its tenants
+    /// out of a [`crate::fleet::SlotPool`]. `None` (the default) means
+    /// the backend has no fleet control plane; the bench fingerprint
+    /// omits its segment entirely so non-fleet runs stay byte-identical.
+    fn fleet_stats(&self) -> Option<crate::fleet::FleetStats> {
+        None
+    }
+
     /// Picks the destination tier for evacuating `page` off the failing
     /// tier `from`: the fastest *online* tier with a free frame. Backends
     /// with admission control (the multi-tenant arbiter) override this to

@@ -6,12 +6,13 @@
 //! PEBS samples processed by a dedicated thread, and migrates pages
 //! asynchronously under the 10 ms policy thread using DMA offload.
 
-use hemem_pebs::{SampleRecord, SampleType, TenantDemux, TenantStreamStats};
+use hemem_pebs::{SampleRecord, TenantDemux, TenantStreamStats};
 use hemem_sim::Ns;
 use hemem_vmm::{PageId, RegionId, TenantId, Tier, VirtAddr};
 
 use crate::arbiter::{ArbiterPolicy, DramArbiter, TenantSignal};
 use crate::backend::{TickOutput, TieredBackend};
+use crate::fleet::{BalloonDrain, FleetStats, Lifecycle, SlotPool};
 use crate::hemem::policy::{run_policy, run_policy_scoped, PolicyConfig, PolicyScope};
 use crate::hemem::tracker::{PageTracker, Queue, TrackerConfig};
 use crate::machine::MachineCore;
@@ -106,22 +107,6 @@ pub struct HeMemStats {
     pub balloon_escalations: u64,
 }
 
-/// Where a tenant slot is in its lifecycle. The runtime drives the
-/// transitions: a seeded kill quarantines the slot, the post-quiescence
-/// drain retires it (Live → Quarantined → [drain] → Retired); admission
-/// takes a Retired (or never-admitted) slot back to Live.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Lifecycle {
-    /// Scheduled normally.
-    Live,
-    /// Kill taken: nothing new is scheduled for the tenant while the
-    /// runtime rolls back its in-flight work and awaits DMA quiescence.
-    Quarantined,
-    /// Drained: frames reclaimed, quota returned. Also the starting
-    /// state of a deferred slot awaiting admission.
-    Retired,
-}
-
 /// Default for [`HeMemConfig::breaker_threshold`]: consecutive migration
 /// aborts that trip a tenant's circuit breaker.
 const BREAKER_THRESHOLD: u32 = 8;
@@ -129,69 +114,6 @@ const BREAKER_THRESHOLD: u32 = 8;
 const BREAKER_BACKOFF_TICKS: u32 = 16;
 /// Forced demotions per tick once a balloon deadline has slipped.
 const BALLOON_ESCALATION_BATCH: usize = 64;
-
-/// An in-flight balloon shrink: the quota is already cut; the claim has
-/// until `deadline` to drain through watermark demotion before the
-/// manager starts forcing pages toward the slowest tier.
-#[derive(Debug, Clone, Copy)]
-struct BalloonDrain {
-    target_pages: u64,
-    deadline: Ns,
-}
-
-/// Per-tenant manager state: one hot/cold tracker plus the demand
-/// signals the DRAM arbiter reallocates on.
-struct TenantState {
-    id: TenantId,
-    tracker: PageTracker,
-    /// Load mix since the last arbiter reallocation.
-    window: TenantSignal,
-    /// Cumulative loads, for per-tenant miss-ratio reporting.
-    total_dram_loads: u64,
-    total_nvm_loads: u64,
-    /// Samples this tenant's tracker consumed.
-    samples_applied: u64,
-    /// Where the slot is in its admit/kill/drain lifecycle.
-    lifecycle: Lifecycle,
-    /// Consecutive migration aborts feeding the circuit breaker.
-    breaker_fails: u32,
-    /// Remaining ticks the tripped breaker skips this tenant's pass.
-    breaker_skip_ticks: u32,
-    /// In-flight balloon shrink, if any.
-    balloon: Option<BalloonDrain>,
-}
-
-impl TenantState {
-    fn new(id: TenantId, cfg: TrackerConfig) -> TenantState {
-        TenantState {
-            id,
-            tracker: PageTracker::new(cfg),
-            window: TenantSignal::default(),
-            total_dram_loads: 0,
-            total_nvm_loads: 0,
-            samples_applied: 0,
-            lifecycle: Lifecycle::Live,
-            breaker_fails: 0,
-            breaker_skip_ticks: 0,
-            balloon: None,
-        }
-    }
-
-    fn note_sample(&mut self, kind: SampleType) {
-        self.samples_applied += 1;
-        match kind {
-            SampleType::DramLoad => {
-                self.window.dram_loads += 1;
-                self.total_dram_loads += 1;
-            }
-            SampleType::NvmLoad => {
-                self.window.nvm_loads += 1;
-                self.total_nvm_loads += 1;
-            }
-            SampleType::Store => {}
-        }
-    }
-}
 
 /// The HeMem backend.
 ///
@@ -202,7 +124,11 @@ impl TenantState {
 /// run the exact pre-colocation code path.
 pub struct HeMem {
     cfg: HeMemConfig,
-    tenants: Vec<TenantState>,
+    /// The fleet slot pool: backing store for every tenant instance
+    /// (solo included). Spawn claims and resets a slot; teardown
+    /// scrubs and recycles it — never a from-scratch rebuild or a
+    /// `Vec` regrowth in the hot path.
+    pool: SlotPool,
     /// Global DRAM arbiter; created lazily on the first callback that
     /// sees the machine (quotas need the pool's capacity).
     arbiter: Option<DramArbiter>,
@@ -231,9 +157,9 @@ impl HeMem {
     /// Creates a single-tenant HeMem instance with the given
     /// configuration.
     pub fn new(cfg: HeMemConfig) -> HeMem {
-        let tenants = vec![TenantState::new(TenantId::SOLO, cfg.tracker.clone())];
+        let pool = SlotPool::new(cfg.tracker.clone(), 1, true);
         HeMem {
-            tenants,
+            pool,
             cfg,
             arbiter: None,
             arbiter_policy: None,
@@ -256,9 +182,7 @@ impl HeMem {
     pub fn multi_tenant(cfg: HeMemConfig, tenants: usize, policy: ArbiterPolicy) -> HeMem {
         assert!(tenants > 0, "need at least one tenant");
         let mut h = HeMem::new(cfg);
-        h.tenants = (0..tenants as u32)
-            .map(|i| TenantState::new(TenantId(i), h.cfg.tracker.clone()))
-            .collect();
+        h.pool = SlotPool::new(h.cfg.tracker.clone(), tenants, true);
         h.arbiter_policy = Some(policy);
         h
     }
@@ -271,9 +195,7 @@ impl HeMem {
     /// arrival/kill/balloon experiments.
     pub fn churn(cfg: HeMemConfig, capacity: usize, policy: ArbiterPolicy) -> HeMem {
         let mut h = HeMem::multi_tenant(cfg, capacity, policy);
-        for ts in &mut h.tenants {
-            ts.lifecycle = Lifecycle::Retired;
-        }
+        h.pool = SlotPool::new(h.cfg.tracker.clone(), capacity, false);
         h.deferred_admission = true;
         h
     }
@@ -298,9 +220,9 @@ impl HeMem {
         }
         let policy = self.arbiter_policy.expect("checked above");
         let mut arb = if self.deferred_admission {
-            DramArbiter::deferred(policy, m.dram_pool.total_pages(), self.tenants.len())
+            DramArbiter::deferred(policy, m.dram_pool.total_pages(), self.pool.slots.len())
         } else {
-            DramArbiter::new(policy, m.dram_pool.total_pages(), self.tenants.len())
+            DramArbiter::new(policy, m.dram_pool.total_pages(), self.pool.slots.len())
         };
         if let Some(ns) = self.realloc_period_ns {
             arb.set_realloc_period_ns(ns);
@@ -315,8 +237,8 @@ impl HeMem {
     fn tenant_index(&self, m: &MachineCore, region: RegionId) -> usize {
         let t = m.space.region(region).tenant();
         let idx = t.0 as usize;
-        debug_assert!(idx < self.tenants.len(), "region owned by unknown {t}");
-        idx.min(self.tenants.len() - 1)
+        debug_assert!(idx < self.pool.slots.len(), "region owned by unknown {t}");
+        idx.min(self.pool.slots.len() - 1)
     }
 
     /// Tenant `i`'s policy scope: its unclaimed quota and its shares of
@@ -326,7 +248,7 @@ impl HeMem {
             .arbiter
             .as_ref()
             .expect("multi-tenant scope needs the arbiter");
-        let t = self.tenants[i].id;
+        let t = self.pool.slots[i].id;
         let page_bytes = m.cfg.managed_page.bytes();
         let quota_bytes = arb.quota_pages(t) * page_bytes;
         let claim_bytes = (m.space.tenant_frames(t).dram_pages
@@ -380,13 +302,8 @@ impl HeMem {
             .as_mut()
             .expect("admission needs a multi-tenant instance");
         let granted = arb.admit(t)?;
-        let ts = &mut self.tenants[t.0 as usize];
-        ts.tracker = PageTracker::new(self.cfg.tracker.clone());
-        ts.window = TenantSignal::default();
-        ts.lifecycle = Lifecycle::Live;
-        ts.breaker_fails = 0;
-        ts.breaker_skip_ticks = 0;
-        ts.balloon = None;
+        let generation = m.space.bump_tenant_generation(t);
+        self.pool.claim(t, generation);
         m.trace.instant(
             now,
             "tenant_admit",
@@ -419,7 +336,7 @@ impl HeMem {
             return 0;
         }
         let effective = arb.balloon(t, target_pages);
-        self.tenants[t.0 as usize].balloon = Some(BalloonDrain {
+        self.pool.slots[t.0 as usize].balloon = Some(BalloonDrain {
             target_pages: effective,
             deadline,
         });
@@ -439,7 +356,8 @@ impl HeMem {
     /// True while tenant `t` is live (admitted, not quarantined or
     /// retired).
     pub fn tenant_is_live(&self, t: TenantId) -> bool {
-        self.tenants
+        self.pool
+            .slots
             .get(t.0 as usize)
             .map(|ts| ts.lifecycle == Lifecycle::Live)
             .unwrap_or(false)
@@ -447,7 +365,8 @@ impl HeMem {
 
     /// True once tenant `t` has fully drained (or was never admitted).
     pub fn tenant_is_retired(&self, t: TenantId) -> bool {
-        self.tenants
+        self.pool
+            .slots
             .get(t.0 as usize)
             .map(|ts| ts.lifecycle == Lifecycle::Retired)
             .unwrap_or(false)
@@ -467,17 +386,36 @@ impl HeMem {
     /// multi-tenant instance this is tenant 0's tracker; see
     /// [`HeMem::tracker_for`].
     pub fn tracker(&self) -> &PageTracker {
-        &self.tenants[0].tracker
+        &self.pool.slots[0].tracker
     }
 
     /// Tenant `t`'s hotness tracker.
     pub fn tracker_for(&self, t: TenantId) -> &PageTracker {
-        &self.tenants[t.0 as usize].tracker
+        &self.pool.slots[t.0 as usize].tracker
+    }
+
+    /// Selects the fleet spawn mechanism: pooled reset-in-place of
+    /// recycled slots (the default) or from-scratch rebuild per
+    /// admission — the pre-pool behavior, kept for `fleetbench`'s
+    /// recycled-vs-fresh identity reduction.
+    pub fn set_fleet_pooling(&mut self, pooled: bool) {
+        self.pool.set_pooled(pooled);
+    }
+
+    /// Sets how many pages each pooled slot pre-warms tracker capacity
+    /// for at claim time.
+    pub fn set_slot_pages(&mut self, pages: u64) {
+        self.pool.set_slot_pages(pages);
+    }
+
+    /// The slot pool (for experiment introspection).
+    pub fn slot_pool(&self) -> &SlotPool {
+        &self.pool
     }
 
     /// Number of tenants this instance manages.
     pub fn tenant_count(&self) -> usize {
-        self.tenants.len()
+        self.pool.slots.len()
     }
 
     /// The DRAM arbiter, once created (multi-tenant instances only).
@@ -488,13 +426,13 @@ impl HeMem {
     /// Tenant `t`'s cumulative `(dram_loads, nvm_loads)` sample counts —
     /// the raw material of its miss ratio.
     pub fn tenant_loads(&self, t: TenantId) -> (u64, u64) {
-        let ts = &self.tenants[t.0 as usize];
+        let ts = &self.pool.slots[t.0 as usize];
         (ts.total_dram_loads, ts.total_nvm_loads)
     }
 
     /// Samples applied to tenant `t`'s tracker.
     pub fn tenant_samples(&self, t: TenantId) -> u64 {
-        self.tenants[t.0 as usize].samples_applied
+        self.pool.slots[t.0 as usize].samples_applied
     }
 
     /// Tenant `t`'s PEBS stream counters (zero when the single-tenant
@@ -516,7 +454,7 @@ impl HeMem {
     /// trackers tick in lockstep), the work counters sum.
     pub fn region_stats(&self) -> Option<crate::hemem::regions::RegionStats> {
         let mut agg: Option<crate::hemem::regions::RegionStats> = None;
-        for ts in &self.tenants {
+        for ts in &self.pool.slots {
             if let Some(s) = ts.tracker.region_stats() {
                 agg.get_or_insert_with(Default::default).merge(&s);
             }
@@ -569,7 +507,7 @@ impl TieredBackend for HeMem {
             }
             let pages = r.page_count();
             let idx = self.tenant_index(m, region);
-            self.tenants[idx].tracker.add_region(region, pages);
+            self.pool.slots[idx].tracker.add_region(region, pages);
             self.stats.managed_regions += 1;
         } else {
             self.small_growth += r.range().len;
@@ -581,7 +519,7 @@ impl TieredBackend for HeMem {
         self.pinned.remove(&region);
         // The owning tenant's tracker drops the region; for the others
         // this is a no-op.
-        for ts in &mut self.tenants {
+        for ts in &mut self.pool.slots {
             ts.tracker.remove_region(region);
         }
     }
@@ -604,7 +542,7 @@ impl TieredBackend for HeMem {
             } = m.space.region(page.region).state(page.index)
             {
                 let idx = self.tenant_index(m, page.region);
-                let tracker = &mut self.tenants[idx].tracker;
+                let tracker = &mut self.pool.slots[idx].tracker;
                 let seen = tracker.note_fault(page, is_write);
                 // An offline SSD cannot keep its second-chance pages:
                 // anything faulting off it promotes at least one hop.
@@ -634,10 +572,10 @@ impl TieredBackend for HeMem {
         if m.dram_pool.free_pages() == 0 {
             return spill_tier(m);
         }
-        if self.tenants.len() > 1 {
+        if self.pool.slots.len() > 1 {
             self.ensure_arbiter(m);
             let arb = self.arbiter.as_ref().expect("arbiter for multi-tenant");
-            let t = self.tenants[self.tenant_index(m, page.region)].id;
+            let t = self.pool.slots[self.tenant_index(m, page.region)].id;
             let claim =
                 m.space.tenant_frames(t).dram_pages + m.journal.prepared_into_for(t, Tier::Dram);
             if claim >= arb.quota_pages(t) {
@@ -649,7 +587,7 @@ impl TieredBackend for HeMem {
 
     fn placed(&mut self, m: &mut MachineCore, page: PageId, tier: Tier) {
         let idx = self.tenant_index(m, page.region);
-        self.tenants[idx].tracker.placed(page, tier);
+        self.pool.slots[idx].tracker.placed(page, tier);
     }
 
     fn uses_pebs(&self) -> bool {
@@ -657,10 +595,10 @@ impl TieredBackend for HeMem {
     }
 
     fn on_samples(&mut self, m: &mut MachineCore, samples: &[SampleRecord], now: Ns) {
-        if self.tenants.len() == 1 {
+        if self.pool.slots.len() == 1 {
             // Solo fast path: no demux, no budget split — byte-identical
             // to a single-process machine.
-            let ts = &mut self.tenants[0];
+            let ts = &mut self.pool.slots[0];
             for s in samples {
                 if let Some(page) = m.space.page_at(VirtAddr(s.vaddr)) {
                     if ts.tracker.tracks(page.region) {
@@ -674,17 +612,17 @@ impl TieredBackend for HeMem {
         }
         // Multi-tenant: the shared drain budget is split evenly, so one
         // tenant's sample flood cannot starve the others' classifiers.
-        let per_tenant = (m.pebs.drain_budget() as u64 / self.tenants.len() as u64).max(1);
+        let per_tenant = (m.pebs.drain_budget() as u64 / self.pool.slots.len() as u64).max(1);
         let mut demux = self
             .demux
             .take()
-            .unwrap_or_else(|| TenantDemux::new(self.tenants.len(), per_tenant));
+            .unwrap_or_else(|| TenantDemux::new(self.pool.slots.len(), per_tenant));
         demux.set_per_pass_budget(per_tenant);
         demux.begin_pass();
         for s in samples {
             if let Some(page) = m.space.page_at(VirtAddr(s.vaddr)) {
                 let idx = self.tenant_index(m, page.region);
-                let ts = &mut self.tenants[idx];
+                let ts = &mut self.pool.slots[idx];
                 // Quarantined tenants consume no stream budget: a dying
                 // tenant mid-PEBS-storm cannot crowd out the survivors'
                 // classifiers.
@@ -704,12 +642,13 @@ impl TieredBackend for HeMem {
     fn tick(&mut self, m: &mut MachineCore, now: Ns) -> TickOutput {
         self.stats.policy_runs += 1;
         self.ensure_arbiter(m);
-        let multi = self.tenants.len() > 1;
+        let multi = self.pool.slots.len() > 1;
         // Reallocate DRAM quotas from the tenants' demand signals.
         if let Some(arb) = &mut self.arbiter {
             let page_bytes = m.cfg.managed_page.bytes();
             let signals: Vec<TenantSignal> = self
-                .tenants
+                .pool
+                .slots
                 .iter()
                 .map(|ts| TenantSignal {
                     hot_bytes: (ts.tracker.queue_len(Queue::DramHot)
@@ -721,7 +660,7 @@ impl TieredBackend for HeMem {
                 })
                 .collect();
             if arb.maybe_realloc(now.0, &signals) {
-                for ts in &mut self.tenants {
+                for ts in &mut self.pool.slots {
                     ts.window = TenantSignal::default();
                 }
                 if multi {
@@ -731,7 +670,7 @@ impl TieredBackend for HeMem {
                         "arbiter",
                         &[
                             ("reallocations", arb.reallocations()),
-                            ("quota_t0", arb.quota_pages(self.tenants[0].id)),
+                            ("quota_t0", arb.quota_pages(self.pool.slots[0].id)),
                         ],
                     );
                 }
@@ -740,7 +679,7 @@ impl TieredBackend for HeMem {
         let mut migrations = if !self.cfg.enable_migration {
             Vec::new()
         } else if !multi {
-            run_policy(&self.cfg.policy, &mut self.tenants[0].tracker, m, now)
+            run_policy(&self.cfg.policy, &mut self.pool.slots[0].tracker, m, now)
         } else {
             // One scoped policy pass per tenant, in tenant order. Each
             // pass sees its own quota headroom and budget share, so a
@@ -750,22 +689,22 @@ impl TieredBackend for HeMem {
             // so its failing migrations cannot camp on the fault
             // machinery and starve the neighbors.
             let mut jobs = Vec::new();
-            for i in 0..self.tenants.len() {
-                if self.tenants[i].lifecycle != Lifecycle::Live {
+            for i in 0..self.pool.slots.len() {
+                if self.pool.slots[i].lifecycle != Lifecycle::Live {
                     continue;
                 }
-                if self.tenants[i].breaker_skip_ticks > 0 {
-                    self.tenants[i].breaker_skip_ticks -= 1;
+                if self.pool.slots[i].breaker_skip_ticks > 0 {
+                    self.pool.slots[i].breaker_skip_ticks -= 1;
                     continue;
                 }
                 let mut scope = self.scope_for(i, m);
-                if self.tenants[i].breaker_fails >= self.cfg.breaker_threshold {
+                if self.pool.slots[i].breaker_fails >= self.cfg.breaker_threshold {
                     // Half-open probe: a one-page rate budget until a
                     // success closes the breaker.
                     scope.max_inflight_pages = 1;
                     scope.budget = m.cfg.managed_page.bytes();
                 }
-                let ts = &mut self.tenants[i];
+                let ts = &mut self.pool.slots[i];
                 jobs.extend(run_policy_scoped(
                     &self.cfg.policy,
                     &mut ts.tracker,
@@ -794,7 +733,8 @@ impl TieredBackend for HeMem {
             // and a multi-tenant machine demotes under every tenant's
             // id, not just the solo one.
             let pending = self
-                .tenants
+                .pool
+                .slots
                 .iter()
                 .map(|ts| m.journal.prepared_freeing_for(ts.id, Tier::Nvm))
                 .sum::<u64>()
@@ -814,7 +754,7 @@ impl TieredBackend for HeMem {
             let mut pushed = 0usize;
             while need > 0 && pushed < 64 {
                 let mut popped = false;
-                for ts in &mut self.tenants {
+                for ts in &mut self.pool.slots {
                     if need == 0 || pushed >= 64 {
                         break;
                     }
@@ -850,7 +790,7 @@ impl TieredBackend for HeMem {
                 .saturating_sub(m.nvm_pool.free_bytes());
             while need > 0 && swap_outs.len() < 64 {
                 let mut popped = false;
-                for ts in &mut self.tenants {
+                for ts in &mut self.pool.slots {
                     if need == 0 || swap_outs.len() >= 64 {
                         break;
                     }
@@ -884,19 +824,19 @@ impl TieredBackend for HeMem {
                 .rev()
                 .find(|&t| t != Tier::Dram && m.tier_online(t))
                 .unwrap_or(Tier::Nvm);
-            for i in 0..self.tenants.len() {
-                let Some(b) = self.tenants[i].balloon else {
+            for i in 0..self.pool.slots.len() {
+                let Some(b) = self.pool.slots[i].balloon else {
                     continue;
                 };
-                if self.tenants[i].lifecycle != Lifecycle::Live {
-                    self.tenants[i].balloon = None;
+                if self.pool.slots[i].lifecycle != Lifecycle::Live {
+                    self.pool.slots[i].balloon = None;
                     continue;
                 }
-                let t = self.tenants[i].id;
+                let t = self.pool.slots[i].id;
                 let claim = m.space.tenant_frames(t).dram_pages
                     + m.journal.prepared_into_for(t, Tier::Dram);
                 if claim <= b.target_pages {
-                    self.tenants[i].balloon = None;
+                    self.pool.slots[i].balloon = None;
                     if let Some(arb) = &mut self.arbiter {
                         arb.unballoon(t);
                     }
@@ -914,7 +854,7 @@ impl TieredBackend for HeMem {
                 let mut need = (claim - b.target_pages) as usize;
                 let mut forced = 0usize;
                 while need > 0 && forced < BALLOON_ESCALATION_BATCH {
-                    let Some(victim) = self.tenants[i].tracker.pop_demotion(true) else {
+                    let Some(victim) = self.pool.slots[i].tracker.pop_demotion(true) else {
                         break;
                     };
                     migrations.push(crate::backend::MigrationJob {
@@ -946,7 +886,7 @@ impl TieredBackend for HeMem {
 
     fn swapped_out(&mut self, m: &mut MachineCore, page: PageId) {
         let idx = self.tenant_index(m, page.region);
-        self.tenants[idx].tracker.evicted(page);
+        self.pool.slots[idx].tracker.evicted(page);
     }
 
     fn reclaim_victim(&mut self, m: &mut MachineCore) -> Option<PageId> {
@@ -959,7 +899,7 @@ impl TieredBackend for HeMem {
         // pressure (kernel direct reclaim walks the inactive lists).
         // Tenants are scanned in order; with one tenant this is the
         // plain two-step lookup.
-        for ts in &mut self.tenants {
+        for ts in &mut self.pool.slots {
             if ts.lifecycle != Lifecycle::Live {
                 continue;
             }
@@ -967,7 +907,7 @@ impl TieredBackend for HeMem {
                 return Some(victim);
             }
         }
-        for ts in &mut self.tenants {
+        for ts in &mut self.pool.slots {
             if ts.lifecycle != Lifecycle::Live {
                 continue;
             }
@@ -980,7 +920,7 @@ impl TieredBackend for HeMem {
 
     fn migration_done(&mut self, m: &mut MachineCore, page: PageId, dst: Tier) {
         let idx = self.tenant_index(m, page.region);
-        let ts = &mut self.tenants[idx];
+        let ts = &mut self.pool.slots[idx];
         ts.tracker.placed(page, dst);
         // A success closes the tenant's circuit breaker.
         ts.breaker_fails = 0;
@@ -989,14 +929,14 @@ impl TieredBackend for HeMem {
     fn migration_aborted(&mut self, m: &mut MachineCore, page: PageId, current: Tier) {
         // The page never left `current`; put it back on the right queue.
         let idx = self.tenant_index(m, page.region);
-        let ts = &mut self.tenants[idx];
+        let ts = &mut self.pool.slots[idx];
         ts.tracker.placed(page, current);
         // Per-tenant circuit breaker (multi-tenant only): consecutive
         // failures — a tenant camped on 100%-failing media — trip the
         // slot into a scheduling backoff instead of letting it retry
         // the same doomed pages through the shared fault threads.
-        if self.tenants.len() > 1 {
-            let ts = &mut self.tenants[idx];
+        if self.pool.slots.len() > 1 {
+            let ts = &mut self.pool.slots[idx];
             ts.breaker_fails += 1;
             if ts.breaker_fails >= self.cfg.breaker_threshold && ts.breaker_skip_ticks == 0 {
                 ts.breaker_skip_ticks = BREAKER_BACKOFF_TICKS;
@@ -1022,13 +962,13 @@ impl TieredBackend for HeMem {
         // and the authoritative address-space residency. Each tenant's
         // tracker rebuilds only the regions it registered. Pinned regions
         // carry no queues, so nothing to rebuild there.
-        for ts in &mut self.tenants {
+        for ts in &mut self.pool.slots {
             ts.tracker.rebuild_from(&m.space);
         }
     }
 
     fn tenant_killed(&mut self, _m: &mut MachineCore, tenant: TenantId, _now: Ns) {
-        let Some(ts) = self.tenants.get_mut(tenant.0 as usize) else {
+        let Some(ts) = self.pool.slots.get_mut(tenant.0 as usize) else {
             return;
         };
         if ts.lifecycle != Lifecycle::Live {
@@ -1044,11 +984,19 @@ impl TieredBackend for HeMem {
         ts.breaker_skip_ticks = 0;
     }
 
+    fn fleet_stats(&self) -> Option<FleetStats> {
+        // Only surface the segment once the pool has actually spawned:
+        // static constructions (solo, colocated) never claim a slot and
+        // must keep their committed fingerprints byte-identical.
+        let s = self.pool.stats();
+        (s.spawns > 0).then_some(s)
+    }
+
     fn evacuation_dst(&mut self, m: &mut MachineCore, page: PageId, from: Tier) -> Option<Tier> {
-        let multi = self.tenants.len() > 1;
+        let multi = self.pool.slots.len() > 1;
         let tenant = if multi {
             self.ensure_arbiter(m);
-            Some(self.tenants[self.tenant_index(m, page.region)].id)
+            Some(self.pool.slots[self.tenant_index(m, page.region)].id)
         } else {
             None
         };
@@ -1075,7 +1023,7 @@ impl TieredBackend for HeMem {
     }
 
     fn tenant_drained(&mut self, _m: &mut MachineCore, tenant: TenantId, _now: Ns) {
-        let Some(ts) = self.tenants.get_mut(tenant.0 as usize) else {
+        let Some(ts) = self.pool.slots.get_mut(tenant.0 as usize) else {
             return;
         };
         if ts.lifecycle == Lifecycle::Retired {
@@ -1087,11 +1035,35 @@ impl TieredBackend for HeMem {
         if let Some(arb) = &mut self.arbiter {
             arb.retire(tenant);
         }
+        // Scrub the slot and park it on the free list so the next
+        // arrival claims it without rebuilding, and zero the tenant's
+        // PEBS demux lane so no stream history (FNV hashes, round-robin
+        // credit) leaks into the slot's next generation.
+        self.pool.recycle(tenant);
+        if let Some(d) = &mut self.demux {
+            d.reset_lane(tenant.0 as usize);
+        }
     }
 
     fn audit(&self, m: &MachineCore) -> Vec<crate::audit::AuditViolation> {
         let mut v: Vec<crate::audit::AuditViolation> = Vec::new();
-        for ts in &self.tenants {
+        // Parked slots must be scrubbed: no tracker pages, counters,
+        // balloon, or PEBS stream history from a previous occupant may
+        // survive onto the free list.
+        for &i in self.pool.free_list() {
+            let ts = &self.pool.slots[i as usize];
+            let lane_dirty = self.demux.as_ref().is_some_and(|d| {
+                let s = d.stream_stats(i as usize);
+                s.delivered != 0 || s.throttled != 0
+            });
+            if !ts.is_scrubbed() || lane_dirty {
+                v.push(crate::audit::AuditViolation::SlotGenerationLeak {
+                    tenant: ts.id,
+                    generation: ts.generation,
+                });
+            }
+        }
+        for ts in &self.pool.slots {
             v.extend(ts.tracker.residency_mismatches(&m.space).into_iter().map(
                 |(page, tracked, mapped)| crate::audit::AuditViolation::TrackerMismatch {
                     page,
@@ -1112,10 +1084,10 @@ impl TieredBackend for HeMem {
         // in-flight work after a quota cut), and the per-tenant frame
         // books balance between the address space, the tracker queues,
         // and the journal's in-flight entries.
-        let Some(arb) = self.arbiter.as_ref().filter(|_| self.tenants.len() > 1) else {
+        let Some(arb) = self.arbiter.as_ref().filter(|_| self.pool.slots.len() > 1) else {
             return v;
         };
-        for ts in &self.tenants {
+        for ts in &self.pool.slots {
             let t = ts.id;
             // Retirement must be complete: a retired slot may hold no
             // quota (and must read dead to the arbiter) and no frames on

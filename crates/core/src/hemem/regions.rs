@@ -221,6 +221,16 @@ impl RegionTracker {
         &self.cfg
     }
 
+    /// Empties the tracker back to its just-constructed state (same
+    /// config, no views, zero counters) without dropping the container
+    /// allocations — the slot-pool scrub path, where a recycled
+    /// tenant's region layer must be indistinguishable from a fresh
+    /// one.
+    pub fn reset(&mut self) {
+        self.views.clear();
+        self.stats = RegionStats::default();
+    }
+
     /// Counters.
     pub fn stats(&self) -> RegionStats {
         self.stats

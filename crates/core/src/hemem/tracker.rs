@@ -179,6 +179,77 @@ impl PageTracker {
         &self.cfg
     }
 
+    /// Resets the tracker to its just-constructed state — no regions,
+    /// empty queues, zeroed counters and cursors — while keeping every
+    /// container's allocated capacity. This is the slot-pool scrub: a
+    /// recycled tenant slot must behave byte-identically to a fresh
+    /// `PageTracker::new(cfg)` without rebuilding heap state per spawn.
+    pub fn reset(&mut self) {
+        self.arena.reset();
+        self.queues = [
+            FifoList::new(Queue::DramHot.index() as u8),
+            FifoList::new(Queue::DramCold.index() as u8),
+            FifoList::new(Queue::NvmHot.index() as u8),
+            FifoList::new(Queue::NvmCold.index() as u8),
+        ];
+        self.meta.clear();
+        self.slot_page.clear();
+        self.regions.clear();
+        if let Some(rv) = self.region_view.as_mut() {
+            rv.reset();
+        }
+        self.promo_cursor = None;
+        self.demo_cursors = [None, None];
+        self.cool_clock = 0;
+        self.last_advance = Ns::ZERO;
+        self.stats = TrackerStats::default();
+    }
+
+    /// Pre-allocates container capacity for `pages` tracked pages so
+    /// the slot's first `add_region` calls never reallocate in the
+    /// spawn hot path.
+    pub fn prewarm(&mut self, pages: u64) {
+        let n = pages as usize;
+        self.arena.reserve(n);
+        if n > self.meta.len() {
+            self.meta.reserve(n - self.meta.len());
+        }
+        if n > self.slot_page.len() {
+            self.slot_page.reserve(n - self.slot_page.len());
+        }
+    }
+
+    /// True when the tracker is indistinguishable from a freshly
+    /// constructed one: no tracked regions or page state and every
+    /// counter at zero. The slot-recycling audit uses this to prove a
+    /// scrubbed slot cannot leak tracker state into its next
+    /// generation.
+    pub fn is_pristine(&self) -> bool {
+        self.regions.is_empty()
+            && self.meta.is_empty()
+            && self.queues.iter().all(FifoList::is_empty)
+            && self.promo_cursor.is_none()
+            && self.demo_cursors.iter().all(Option::is_none)
+            && self.cool_clock == 0
+            && self.last_advance == Ns::ZERO
+            && self.stats.records == 0
+            && self.stats.promotions == 0
+            && self.stats.demotions == 0
+            && self.stats.cool_events == 0
+    }
+
+    /// Pages currently tracked across all registered regions.
+    pub fn tracked_pages(&self) -> u64 {
+        self.regions.values().map(|&(_, pages)| pages).sum()
+    }
+
+    /// Metadata slots the tracker's containers currently span,
+    /// including slots left behind by removed regions — the footprint a
+    /// slot-pool scrub reclaims.
+    pub fn footprint_pages(&self) -> u64 {
+        self.meta.len() as u64
+    }
+
     /// Statistics.
     pub fn stats(&self) -> &TrackerStats {
         &self.stats

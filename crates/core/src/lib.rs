@@ -22,6 +22,7 @@ pub mod arbiter;
 pub mod audit;
 pub mod backend;
 pub mod error;
+pub mod fleet;
 pub mod hemem;
 pub mod journal;
 pub mod machine;
@@ -34,6 +35,7 @@ pub use backend::{
     AccessBatch, CopyMechanism, MigrationJob, SegmentAccess, TickOutput, TieredBackend, Traffic,
 };
 pub use error::MemError;
+pub use fleet::{spawn_cost_ns, FleetStats, SlotPool};
 pub use hemem::{HeMem, HeMemConfig};
 pub use journal::{JournalEntry, MigrationJournal, TxnState};
 pub use machine::{MachineConfig, MachineCore, MachineStats, RecoveryStats, WatchdogConfig};

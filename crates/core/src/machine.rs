@@ -383,11 +383,13 @@ pub struct MachineCore {
     /// histograms, and policy decision attribution (always).
     pub trace: Tracer,
     /// Per-tenant major-fault service-time histograms (tier-3 swap-ins),
-    /// keyed by tenant slot. The global `trace` histogram mixes every
-    /// tenant together; fault-isolation gates need the survivor's tail
-    /// separated from a storm-afflicted neighbor's. BTreeMap keeps
-    /// iteration order deterministic.
-    pub tenant_major_faults: std::collections::BTreeMap<u32, Histogram>,
+    /// keyed by (tenant slot, slot generation). The global `trace`
+    /// histogram mixes every tenant together; fault-isolation gates need
+    /// the survivor's tail separated from a storm-afflicted neighbor's,
+    /// and fleet gates need a recycled slot's new occupant separated
+    /// from its predecessors. BTreeMap keeps iteration order
+    /// deterministic.
+    pub tenant_major_faults: std::collections::BTreeMap<(u32, u32), Histogram>,
     /// Per-device health lifecycle and data-loss accounting.
     pub health: HealthState,
     /// Non-exclusive tiering (shadow page) counters.

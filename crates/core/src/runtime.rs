@@ -2139,9 +2139,10 @@ impl<B: TieredBackend> Sim<B> {
         }
         self.m.fault_stats.record(FaultKind::Missing, total);
         self.m.trace.observe_ns(LatencyClass::MajorFault, total);
+        let generation = self.m.space.tenant_generation(tenant);
         self.m
             .tenant_major_faults
-            .entry(tenant.0)
+            .entry((tenant.0, generation))
             .or_default()
             .record_ns(total);
         self.m.trace.instant(

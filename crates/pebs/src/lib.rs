@@ -501,6 +501,16 @@ impl TenantDemux {
     pub fn stream_stats(&self, tenant: usize) -> TenantStreamStats {
         self.stats[tenant]
     }
+
+    /// Scrubs one tenant's demux lane back to a fresh stream: cumulative
+    /// counters and the in-pass budget both return to zero. Part of the
+    /// slot-pool teardown, so a recycled slot's next occupant starts
+    /// with a clean PEBS stream instead of inheriting its predecessor's
+    /// delivered/throttled history.
+    pub fn reset_lane(&mut self, tenant: usize) {
+        self.pass_counts[tenant] = 0;
+        self.stats[tenant] = TenantStreamStats::default();
+    }
 }
 
 #[cfg(test)]

@@ -48,6 +48,22 @@ impl FifoArena {
         }
     }
 
+    /// Empties the arena back to zero slots while keeping its allocated
+    /// capacity, so a recycled tracker's next `grow_to` is a fill, not a
+    /// reallocation. Logically identical to `FifoArena::new(0)`; any
+    /// lists threaded through the arena must be re-created by the
+    /// caller.
+    pub fn reset(&mut self) {
+        self.links.clear();
+    }
+
+    /// Pre-allocates capacity for `n` slots without creating them.
+    pub fn reserve(&mut self, n: usize) {
+        if n > self.links.len() {
+            self.links.reserve(n - self.links.len());
+        }
+    }
+
     /// Grows the arena to at least `n` slots.
     pub fn grow_to(&mut self, n: usize) {
         if n > self.links.len() {

@@ -103,6 +103,11 @@ pub struct Region {
     page_size: PageSize,
     kind: RegionKind,
     tenant: TenantId,
+    /// Slot generation of the owning tenant at mmap time. A fleet
+    /// machine bumps the tenant's generation on every (re)admission, so
+    /// a region stamped with a stale generation is a leak from a prior
+    /// occupant of the slot — the audit flags it as a stale slot frame.
+    generation: u32,
     states: Vec<PageState>,
     dram_idx: FlagTree,
     /// SSD-resident pages; NVM residency is derived as
@@ -128,6 +133,7 @@ impl Region {
         page_size: PageSize,
         kind: RegionKind,
         tenant: TenantId,
+        generation: u32,
     ) -> Region {
         let pages = range.page_count(page_size) as usize;
         Region {
@@ -136,6 +142,7 @@ impl Region {
             page_size,
             kind,
             tenant,
+            generation,
             states: vec![PageState::Unmapped; pages],
             dram_idx: FlagTree::new(pages),
             ssd_idx: FlagTree::new(pages),
@@ -172,6 +179,11 @@ impl Region {
     /// single-process machine).
     pub fn tenant(&self) -> TenantId {
         self.tenant
+    }
+
+    /// Slot generation of the owning tenant at mmap time.
+    pub fn generation(&self) -> u32 {
+        self.generation
     }
 
     /// Number of pages.
@@ -575,6 +587,7 @@ impl Region {
             page_size: self.page_size,
             kind: self.kind,
             tenant: self.tenant,
+            generation: self.generation,
             states: self.states.clone(),
             shadows: self.shadows.clone(),
         }
@@ -584,7 +597,14 @@ impl Region {
     /// flag counts are reconstructed from the page states; the access
     /// ledger restarts empty (scan evidence does not survive a restart).
     pub fn restore(snap: RegionSnapshot) -> Region {
-        let mut r = Region::new(snap.id, snap.range, snap.page_size, snap.kind, snap.tenant);
+        let mut r = Region::new(
+            snap.id,
+            snap.range,
+            snap.page_size,
+            snap.kind,
+            snap.tenant,
+            snap.generation,
+        );
         for (i, &state) in snap.states.iter().enumerate() {
             match state {
                 PageState::Unmapped => {}
@@ -618,6 +638,9 @@ pub struct RegionSnapshot {
     pub kind: RegionKind,
     /// Tenant that mapped the region.
     pub tenant: TenantId,
+    /// Slot generation of the owning tenant at mmap time.
+    #[serde(default)]
+    pub generation: u32,
     /// Per-page mapping states.
     pub states: Vec<PageState>,
     /// Clean NVM shadow frames by page index (non-exclusive tiering).
@@ -633,6 +656,10 @@ pub struct SpaceSnapshot {
     pub regions: Vec<Option<RegionSnapshot>>,
     /// Next mmap base address.
     pub next_base: u64,
+    /// Per-tenant slot generations (fleet machines only; empty
+    /// otherwise so old snapshots keep deserializing).
+    #[serde(default)]
+    pub tenant_generations: BTreeMap<TenantId, u32>,
 }
 
 /// Frame counts for one tenant's managed regions.
@@ -672,6 +699,9 @@ impl TenantFrames {
 pub struct AddressSpace {
     regions: Vec<Option<Region>>,
     next_base: u64,
+    /// Slot generation per tenant; bumped on every (re)admission so
+    /// regions can prove which occupancy of a recycled slot mapped them.
+    tenant_generations: BTreeMap<TenantId, u32>,
 }
 
 /// Gap left between consecutively allocated regions.
@@ -683,6 +713,7 @@ impl AddressSpace {
         AddressSpace {
             regions: Vec::new(),
             next_base: 1 << 40,
+            tenant_generations: BTreeMap::new(),
         }
     }
 
@@ -709,9 +740,25 @@ impl AddressSpace {
         let range = VirtRange::new(self.next_base, len);
         self.next_base = range.end() + GUARD;
         self.next_base = self.next_base.next_multiple_of(PageSize::Giga1G.bytes());
-        self.regions
-            .push(Some(Region::new(id, range, page_size, kind, tenant)));
+        let generation = self.tenant_generation(tenant);
+        self.regions.push(Some(Region::new(
+            id, range, page_size, kind, tenant, generation,
+        )));
         id
+    }
+
+    /// Current slot generation for `tenant` (0 until the first bump).
+    pub fn tenant_generation(&self, tenant: TenantId) -> u32 {
+        self.tenant_generations.get(&tenant).copied().unwrap_or(0)
+    }
+
+    /// Bumps and returns `tenant`'s slot generation. Called once per
+    /// admission so regions mapped by the new occupant of a recycled
+    /// slot carry a generation no prior occupant's regions can share.
+    pub fn bump_tenant_generation(&mut self, tenant: TenantId) -> u32 {
+        let g = self.tenant_generations.entry(tenant).or_insert(0);
+        *g += 1;
+        *g
     }
 
     /// Removes a region, returning it so the caller can free its physical
@@ -814,6 +861,7 @@ impl AddressSpace {
                 .map(|r| r.as_ref().map(Region::snapshot))
                 .collect(),
             next_base: self.next_base,
+            tenant_generations: self.tenant_generations.clone(),
         }
     }
 
@@ -827,6 +875,7 @@ impl AddressSpace {
                 .map(|r| r.map(Region::restore))
                 .collect(),
             next_base: snap.next_base,
+            tenant_generations: snap.tenant_generations,
         }
     }
 }

@@ -301,7 +301,8 @@ pub fn run_churn(sim: &mut Sim<HeMem>, cfg: &ChurnConfig) -> ChurnResult {
         .enumerate()
         .map(|(i, spec)| {
             let t = TenantId(i as u32);
-            let hist = sim.m.tenant_major_faults.get(&(i as u32));
+            let generation = sim.m.space.tenant_generation(t);
+            let hist = sim.m.tenant_major_faults.get(&(i as u32, generation));
             ChurnOutcome {
                 tenant: t,
                 label: spec.label.clone(),

@@ -11,6 +11,7 @@
 
 pub mod churn;
 pub mod colo;
+pub mod fleet;
 pub mod graph;
 pub mod gups;
 pub mod kvs;
@@ -20,6 +21,7 @@ pub mod stream;
 pub use colo::{
     run_colo, run_colo_with, ColoConfig, ColoResult, TenantKind, TenantOutcome, TenantSpec,
 };
+pub use fleet::{run_fleet, run_fleet_with, FleetConfig, FleetResult, LifetimeOutcome};
 pub use graph::{Bc, BcResult, GraphConfig};
 pub use gups::{run_gups, Gups, GupsConfig, GupsResult};
 pub use kvs::{run_kvs, Kvs, KvsConfig, KvsResult, TierRho};

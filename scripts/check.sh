@@ -114,6 +114,33 @@ echo "== footprint-scaling smoke"
 cargo build --release -p hemem-bench --bin scalebench
 ./target/release/scalebench
 
+# fleetbench asserts internally that (a) pooled spawn-to-first-touch
+# p99 sits >= 5x below the from-scratch baseline with zero scratch
+# spawns and most admissions landing on recycled slots, (b) a
+# recycled-slot run is byte-identical (fingerprint + stream + telemetry
+# CSV) to the same schedule on fresh slots, and (c) seeded mid-run slot
+# kills replay byte-identically with a silent audit while the committed
+# solo tierbench baseline stays untouched.
+echo "== fleet churn smoke"
+cargo build --release -p hemem-bench --bin fleetbench
+./target/release/fleetbench
+
+# Slot-pool hygiene: every tenant spawn must flow through the pool
+# (claim + in-place reset), never construct a tracker ad hoc — the only
+# PageTracker::new call sites in the managed layers live in
+# core/src/fleet.rs. Baselines keep their own trackers and are exempt;
+# comments and #[cfg(test)] modules are exempt by the same cutoffs as
+# above.
+echo "== pooled-spawn gate"
+bad=$(find crates/core/src crates/workloads/src -name '*.rs' ! -name 'fleet.rs' -print0 \
+  | xargs -0 -n1 awk '/#\[cfg\(test\)\]/{exit} /^[[:space:]]*\/\//{next} {print FILENAME ":" FNR ": " $0}' \
+  | grep -F 'PageTracker::new' || true)
+if [ -n "$bad" ]; then
+  echo "tenant tracker built outside the slot pool (core/src/fleet.rs):"
+  echo "$bad"
+  exit 1
+fi
+
 # Region-granularity hygiene: the per-period policy pass must select
 # work through the span indexes (regions.rs) — never a fresh flat
 # per-page scan in the policy or manager layer. Crash-recovery and
